@@ -1,0 +1,107 @@
+// Command sparseadvise is the paper's future work (§VI) as a tool: it
+// characterizes the sparsity of a dataset and recommends a storage
+// organization for a stated workload.
+//
+// Usage:
+//
+//	sparseadvise -in dataset.txt
+//	sparseadvise -in dataset.bin -binary -weights 1,4,1 -read-fraction 0.05
+//	sparsegen -pattern TSP -dims 3 | sparseadvise
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sparseart/internal/advisor"
+	"sparseart/internal/core"
+	"sparseart/internal/dataio"
+)
+
+func main() {
+	var (
+		in           = flag.String("in", "", "dataset file (default stdin)")
+		binary       = flag.Bool("binary", false, "dataset is in sparsegen's binary format")
+		weightsSpec  = flag.String("weights", "1,1,1", "write,read,space workload weights")
+		readFraction = flag.Float64("read-fraction", 0.01, "expected probed/stored point ratio")
+	)
+	flag.Parse()
+	if err := run(*in, *binary, *weightsSpec, *readFraction); err != nil {
+		fmt.Fprintln(os.Stderr, "sparseadvise:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, binary bool, weightsSpec string, readFraction float64) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	var t *dataio.Tensor
+	var err error
+	if binary {
+		t, err = dataio.ReadBinary(r)
+	} else {
+		t, err = dataio.ReadText(r)
+	}
+	if err != nil {
+		return err
+	}
+
+	w, err := parseWeights(weightsSpec)
+	if err != nil {
+		return err
+	}
+	profile, err := advisor.Characterize(t.Coords, t.Shape)
+	if err != nil {
+		return err
+	}
+	rec, err := advisor.Recommend(profile, w, readFraction)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("profile:\n")
+	fmt.Printf("  shape:         %v (%d points, density %.4f%%)\n", profile.Shape, profile.NNZ, 100*profile.Density)
+	fmt.Printf("  prefix share:  %.3f\n", profile.PrefixShare)
+	fmt.Printf("  band score:    %.3f\n", profile.BandScore)
+	fmt.Printf("  cluster score: %.2f\n", profile.ClusterScore)
+	fmt.Printf("scores (lower is better):\n")
+	for _, k := range core.PaperKinds() {
+		marker := " "
+		if k == rec.Best {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-8v %.3f\n", marker, k, rec.Scores[k])
+	}
+	fmt.Printf("recommendation: %v\n", rec.Best)
+	for _, reason := range rec.Reasons {
+		fmt.Printf("  - %s\n", reason)
+	}
+	return nil
+}
+
+func parseWeights(spec string) (advisor.Weights, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return advisor.Weights{}, fmt.Errorf("want -weights write,read,space")
+	}
+	var vals [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return advisor.Weights{}, fmt.Errorf("bad weight %q", p)
+		}
+		vals[i] = v
+	}
+	return advisor.Weights{Write: vals[0], Read: vals[1], Space: vals[2]}, nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sparseart/internal/advisor"
+)
+
+// writeDataset puts a small TSP-ish text dataset on disk.
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("# shape: 64 64\n")
+	for i := 0; i < 64; i++ {
+		for j := i - 1; j <= i+1; j++ {
+			if j < 0 || j > 63 {
+				continue
+			}
+			b.WriteString(strings.ReplaceAll(
+				strings.ReplaceAll("I J 1.0\n", "I", itoa(i)), "J", itoa(j)))
+		}
+	}
+	path := filepath.Join(t.TempDir(), "ds.txt")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var d []byte
+	for i > 0 {
+		d = append([]byte{byte('0' + i%10)}, d...)
+		i /= 10
+	}
+	return string(d)
+}
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		r.Close()
+		done <- buf.String()
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestRunRecommends(t *testing.T) {
+	path := writeDataset(t)
+	out, err := capture(t, func() error { return run(path, false, "1,1,1", 0.05) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"profile:", "band score", "recommendation:", "GCSR++"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The diagonal dataset must be detected as banded.
+	if !strings.Contains(out, "band score:    1.000") {
+		t.Fatalf("band not detected:\n%s", out)
+	}
+}
+
+func TestRunWeights(t *testing.T) {
+	path := writeDataset(t)
+	out, err := capture(t, func() error { return run(path, false, "0,0,1", 0.05) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "recommendation: LINEAR") {
+		t.Fatalf("space-only weights should pick LINEAR:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeDataset(t)
+	if err := run(path, false, "1,1", 0.05); err == nil {
+		t.Error("two weights accepted")
+	}
+	if err := run(path, false, "a,b,c", 0.05); err == nil {
+		t.Error("garbage weights accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing"), false, "1,1,1", 0.05); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(path, true, "1,1,1", 0.05); err == nil {
+		t.Error("text file parsed as binary")
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("1, 2,0.5")
+	if err != nil || (w != advisor.Weights{Write: 1, Read: 2, Space: 0.5}) {
+		t.Fatalf("parseWeights = %+v, %v", w, err)
+	}
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs f with stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		r.Close()
+		done <- buf.String()
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestRunTable1Only(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("table1", "small", "sim", "", 1, "", true, 0, 1, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "O(n log n + 2n)") {
+		t.Fatalf("table1 output:\n%s", out)
+	}
+	if strings.Contains(out, "Figure") {
+		t.Fatal("table1 run produced measurement output")
+	}
+}
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	out, err := capture(t, func() error {
+		return run("table2", "small", "sim", "", 1, csv, true, 0, 2, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table II") {
+		t.Fatalf("table2 output:\n%s", out)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1+9*5 {
+		t.Fatalf("CSV has %d lines, want header + 45", len(lines))
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run("fig9", "small", "sim", "", 1, "", true, 0, 1, false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run("table1", "galactic", "sim", "", 1, "", true, 0, 1, false); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run("table1", "small", "nfs", "", 1, "", true, 0, 1, false); err == nil {
+		t.Error("unknown fs accepted")
+	}
+}
+
+func TestRunOSBackend(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return run("fig4", "small", "os", dir, 1, "", true, 0, 1, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 4") {
+		t.Fatalf("fig4 output:\n%s", out)
+	}
+	// The OS backend actually wrote fragment files.
+	found := false
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && strings.Contains(p, "frag-") {
+			found = true
+		}
+		return nil
+	})
+	if !found {
+		t.Fatal("no fragment files on the OS backend")
+	}
+}
+
+func TestRunFig1(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("fig1", "small", "sim", "", 1, "", true, 0, 1, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 1", "nfibs: 2, 3, 5", "row_ptr"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunChartMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("fig4", "small", "sim", "", 1, "", true, 0, 1, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "log-scaled bars") || !strings.Contains(out, "#") {
+		t.Fatalf("chart output:\n%s", out)
+	}
+}
+
+func TestRunTable4IncludesSensitivity(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("table4", "small", "sim", "", 1, "", true, 0, 1, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table IV:", "sensitivity", "write-heavy", "space-heavy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table4 output missing %q:\n%s", want, out)
+		}
+	}
+}

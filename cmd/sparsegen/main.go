@@ -1,0 +1,112 @@
+// Command sparsegen generates the paper's synthetic sparse-tensor
+// datasets (TSP, GSP, MSP; §III) and writes them to a file in text or
+// binary form for use by sparseadvise, the examples, or external tools.
+//
+// Usage:
+//
+//	sparsegen -pattern TSP -dims 3 -scale small -out tsp3d.txt
+//	sparsegen -pattern MSP -shape 64,64,64 -out msp.bin -format binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sparseart/internal/dataio"
+	"sparseart/internal/gen"
+	"sparseart/internal/tensor"
+)
+
+func main() {
+	var (
+		patternName = flag.String("pattern", "GSP", "sparsity pattern: TSP|GSP|MSP")
+		dims        = flag.Int("dims", 3, "dimensionality (2, 3, or 4) when using -scale shapes")
+		scaleName   = flag.String("scale", "small", "problem scale: small|medium|paper")
+		shapeSpec   = flag.String("shape", "", "explicit shape 'm1,m2,...' (overrides -dims/-scale)")
+		seed        = flag.Uint64("seed", 42, "generator seed")
+		out         = flag.String("out", "", "output file (default stdout)")
+		format      = flag.String("format", "text", "output format: text|binary")
+	)
+	flag.Parse()
+	if err := run(*patternName, *dims, *scaleName, *shapeSpec, *seed, *out, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "sparsegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(patternName string, dims int, scaleName, shapeSpec string, seed uint64, out, format string) error {
+	pattern, err := gen.ParsePattern(patternName)
+	if err != nil {
+		return err
+	}
+	scale, err := gen.ParseScale(scaleName)
+	if err != nil {
+		return err
+	}
+
+	var cfg gen.Config
+	if shapeSpec != "" {
+		shape, err := parseShape(shapeSpec)
+		if err != nil {
+			return err
+		}
+		// Calibrate the pattern parameters as TableIIConfig does, then
+		// substitute the explicit shape (keeping its density target).
+		cfg, err = gen.TableIIConfig(pattern, shape.Dims(), scale, seed)
+		if err != nil {
+			return err
+		}
+		cfg.Shape = shape
+		if pattern == gen.MSP {
+			for i := range shape {
+				cfg.ClusterStart[i] = shape[i] / 3
+				cfg.ClusterSize[i] = shape[i] / 3
+			}
+		}
+	} else {
+		cfg, err = gen.TableIIConfig(pattern, dims, scale, seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %v over %v: %d points (density %.4f%%)\n",
+		pattern, cfg.Shape, ds.NNZ(), 100*ds.Density())
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	t := &dataio.Tensor{Shape: cfg.Shape, Coords: ds.Coords, Values: ds.Values}
+	switch format {
+	case "text":
+		return dataio.WriteText(w, t)
+	case "binary":
+		return dataio.WriteBinary(w, t)
+	}
+	return fmt.Errorf("unknown format %q", format)
+}
+
+func parseShape(spec string) (tensor.Shape, error) {
+	var shape tensor.Shape
+	for _, f := range strings.Split(spec, ",") {
+		m, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad shape extent %q", f)
+		}
+		shape = append(shape, m)
+	}
+	return shape, shape.Validate()
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sparseart/internal/dataio"
+)
+
+func TestRunTextOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.txt")
+	if err := run("MSP", 2, "small", "", 7, out, "text"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataio.ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Coords.Len() == 0 || ds.Shape[0] != 1024 {
+		t.Fatalf("dataset: %d points, shape %v", ds.Coords.Len(), ds.Shape)
+	}
+}
+
+func TestRunBinaryOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.bin")
+	if err := run("GSP", 3, "small", "", 7, out, "binary"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataio.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Shape.Dims() != 3 {
+		t.Fatalf("shape %v", ds.Shape)
+	}
+}
+
+func TestRunExplicitShape(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.txt")
+	if err := run("TSP", 0, "small", "40,30", 7, out, "text"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataio.ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Shape[0] != 40 || ds.Shape[1] != 30 {
+		t.Fatalf("shape %v", ds.Shape)
+	}
+}
+
+func TestRunExplicitShapeMSPClusterFollowsShape(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.txt")
+	if err := run("MSP", 0, "small", "90,90", 7, out, "text"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := dataio.ReadText(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("XYZ", 2, "small", "", 7, "", "text"); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	if err := run("GSP", 2, "huge", "", 7, "", "text"); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run("GSP", 2, "small", "0,4", 7, "", "text"); err == nil {
+		t.Error("zero-extent shape accepted")
+	}
+	if err := run("GSP", 2, "small", "a,b", 7, "", "text"); err == nil {
+		t.Error("garbage shape accepted")
+	}
+	out := filepath.Join(t.TempDir(), "ds")
+	if err := run("GSP", 2, "small", "", 7, out, "xml"); err == nil ||
+		!strings.Contains(err.Error(), "format") {
+		t.Errorf("bad format accepted: %v", err)
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	s, err := parseShape("3, 4,5")
+	if err != nil || len(s) != 3 || s[2] != 5 {
+		t.Fatalf("parseShape = %v, %v", s, err)
+	}
+	if _, err := parseShape(""); err == nil {
+		t.Error("empty spec accepted")
+	}
+}

@@ -1,0 +1,82 @@
+// Command sparseinspect dumps the metadata of fragment files and store
+// manifests written by the storage engine: organization kind, shape,
+// point count, bounding box, section sizes, and — with -payload — the
+// organization-specific index structure (CSR pointers, CSF level sizes,
+// and so on).
+//
+// Usage:
+//
+//	sparseinspect /path/to/store/tensor/frag-000000
+//	sparseinspect -payload /path/to/store/tensor/frag-000003
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparseart/internal/core"
+	_ "sparseart/internal/core/all"
+	"sparseart/internal/core/csf"
+	"sparseart/internal/fragment"
+)
+
+func main() {
+	payload := flag.Bool("payload", false, "also decode and summarize the index payload")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sparseinspect [-payload] fragment-file...")
+		os.Exit(2)
+	}
+	status := 0
+	for _, path := range flag.Args() {
+		if err := inspect(path, *payload); err != nil {
+			fmt.Fprintf(os.Stderr, "sparseinspect: %s: %v\n", path, err)
+			status = 1
+		}
+	}
+	os.Exit(status)
+}
+
+func inspect(path string, payload bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	frag, err := fragment.Decode(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s:\n", path)
+	fmt.Printf("  organization: %v\n", frag.Kind)
+	fmt.Printf("  codec:        %d\n", frag.Codec)
+	if frag.Tombstone {
+		fmt.Printf("  tombstone:    deletes %v .. %v\n", frag.BBox.Min, frag.BBox.Max)
+	}
+	fmt.Printf("  shape:        %v\n", frag.Shape)
+	fmt.Printf("  points:       %d\n", frag.NNZ)
+	if frag.NNZ > 0 {
+		fmt.Printf("  bbox:         %v .. %v\n", frag.BBox.Min, frag.BBox.Max)
+	}
+	fmt.Printf("  total bytes:  %d (payload %d stored, %d decoded; values %d)\n",
+		frag.Bytes, frag.Stored.Payload, len(frag.Payload), frag.Stored.Values)
+	if !payload {
+		return nil
+	}
+	f, err := core.Get(frag.Kind)
+	if err != nil {
+		return err
+	}
+	reader, err := f.Open(frag.Payload, frag.Shape)
+	if err != nil {
+		return err
+	}
+	if sz, ok := reader.(core.PayloadSizer); ok {
+		fmt.Printf("  index words:  %d (%.2f per point)\n", sz.IndexWords(),
+			float64(sz.IndexWords())/float64(max(int(frag.NNZ), 1)))
+	}
+	if tree, ok := reader.(*csf.Tree); ok {
+		fmt.Printf("  CSF levels:   nfibs=%v dims=%v\n", tree.NFibs(), tree.DimOrder())
+	}
+	return nil
+}

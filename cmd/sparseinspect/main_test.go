@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sparseart/internal/core"
+	"sparseart/internal/fsim"
+	"sparseart/internal/store"
+	"sparseart/internal/tensor"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		r.Close()
+		done <- buf.String()
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+// writeFragment creates a real fragment file and returns its path.
+func writeFragment(t *testing.T, kind core.Kind) string {
+	t.Helper()
+	dir := t.TempDir()
+	fs, err := fsim.NewOSFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Create(fs, "t", kind, tensor.Shape{8, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tensor.NewCoords(3, 0)
+	c.Append(1, 2, 3)
+	c.Append(4, 5, 6)
+	rep, err := st.Write(c, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, filepath.FromSlash(rep.Name))
+}
+
+func TestInspectHeader(t *testing.T) {
+	path := writeFragment(t, core.Linear)
+	out, err := capture(t, func() error { return inspect(path, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"organization: LINEAR", "shape:        8x8x8", "points:       2", "bbox:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInspectPayloadCSF(t *testing.T) {
+	path := writeFragment(t, core.CSF)
+	out, err := capture(t, func() error { return inspect(path, true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "index words") || !strings.Contains(out, "CSF levels") {
+		t.Fatalf("payload dissection missing:\n%s", out)
+	}
+}
+
+func TestInspectErrors(t *testing.T) {
+	if err := inspect(filepath.Join(t.TempDir(), "missing"), false); err == nil {
+		t.Error("missing file accepted")
+	}
+	junk := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(junk, []byte("not a fragment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inspect(junk, false); err == nil {
+		t.Error("junk file accepted")
+	}
+}

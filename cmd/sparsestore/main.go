@@ -1,0 +1,335 @@
+// Command sparsestore administers on-disk tensor stores written by this
+// library: inspect them, consolidate their fragments, convert them
+// between storage organizations, and export or import their contents as
+// dataset files.
+//
+// Usage:
+//
+//	sparsestore info    -dir /path/to/store
+//	sparsestore compact -dir /path/to/store
+//	sparsestore convert -dir /path/to/store -to CSF -out /path/to/new
+//	sparsestore export  -dir /path/to/store -o dump.txt
+//	sparsestore import  -dir /path/to/new -kind GCSR++ -shape 64,64 -in dump.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sparseart/internal/core"
+	_ "sparseart/internal/core/all"
+	"sparseart/internal/dataio"
+	"sparseart/internal/fsim"
+	"sparseart/internal/store"
+	"sparseart/internal/tensor"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "info":
+		err = runInfo(args)
+	case "compact":
+		err = runCompact(args)
+	case "convert":
+		err = runConvert(args)
+	case "delete":
+		err = runDelete(args)
+	case "export":
+		err = runExport(args)
+	case "import":
+		err = runImport(args)
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "sparsestore: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sparsestore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: sparsestore <command> [flags]
+
+commands:
+  info     print a store's organization, shape, and fragment inventory
+  compact  consolidate all fragments into one (newest value wins,
+           tombstones folded in)
+  convert  rewrite the store under another organization
+  delete   write a tombstone fragment over a region
+  export   dump the logical contents as a dataset file
+  import   create a store from a dataset file`)
+}
+
+// openStore opens the store rooted at dir (stores created by the
+// library facade live under the "tensor" prefix).
+func openStore(dir string) (*store.Store, error) {
+	fs, err := fsim.NewOSFS(dir)
+	if err != nil {
+		return nil, err
+	}
+	return store.Open(fs, "tensor")
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("info: -dir is required")
+	}
+	st, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	coords, _, err := st.ExportAll()
+	if err != nil {
+		return err
+	}
+	vol, _ := st.Shape().Volume()
+	stats := st.Stats()
+	fmt.Printf("store:        %s\n", *dir)
+	fmt.Printf("organization: %v\n", st.Kind())
+	fmt.Printf("shape:        %v\n", st.Shape())
+	fmt.Printf("fragments:    %d (%d bytes, %d tombstones)\n",
+		stats.Fragments, stats.Bytes, stats.Tombstones)
+	fmt.Printf("written:      %d points across all fragments\n", stats.WrittenPoints)
+	fmt.Printf("live cells:   %d (density %.4f%%)\n", coords.Len(),
+		100*float64(coords.Len())/float64(vol))
+	return nil
+}
+
+func runCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("compact: -dir is required")
+	}
+	st, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	rep, err := st.Compact()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fragments: %d -> %d\n", rep.FragmentsBefore, rep.FragmentsAfter)
+	fmt.Printf("points:    %d -> %d\n", rep.PointsBefore, rep.PointsAfter)
+	fmt.Printf("bytes:     %d -> %d\n", rep.BytesBefore, rep.BytesAfter)
+	return nil
+}
+
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	dir := fs.String("dir", "", "source store directory")
+	out := fs.String("out", "", "destination store directory")
+	to := fs.String("to", "", "destination organization (COO|LINEAR|GCSR++|GCSC++|CSF|COO-sorted)")
+	fs.Parse(args)
+	if *dir == "" || *out == "" || *to == "" {
+		return fmt.Errorf("convert: -dir, -out, and -to are required")
+	}
+	kind, err := core.ParseKind(*to)
+	if err != nil {
+		return err
+	}
+	src, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	dstFS, err := fsim.NewOSFS(*out)
+	if err != nil {
+		return err
+	}
+	dst, err := store.Convert(src, dstFS, "tensor", kind)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %v (%d bytes) -> %v (%d bytes) at %s\n",
+		src.Kind(), src.TotalBytes(), dst.Kind(), dst.TotalBytes(), *out)
+	return nil
+}
+
+func runDelete(args []string) error {
+	fs := flag.NewFlagSet("delete", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory")
+	startSpec := fs.String("start", "", "region start 'c1,c2,...'")
+	sizeSpec := fs.String("size", "", "region size 'n1,n2,...'")
+	fs.Parse(args)
+	if *dir == "" || *startSpec == "" || *sizeSpec == "" {
+		return fmt.Errorf("delete: -dir, -start, and -size are required")
+	}
+	start, err := parseU64List(*startSpec)
+	if err != nil {
+		return err
+	}
+	size, err := parseU64List(*sizeSpec)
+	if err != nil {
+		return err
+	}
+	st, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	region, err := tensor.NewRegion(st.Shape(), start, size)
+	if err != nil {
+		return err
+	}
+	rep, err := st.DeleteRegion(region)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote tombstone %s over start=%v size=%v (%d bytes)\n",
+		rep.Name, start, size, rep.Bytes)
+	return nil
+}
+
+func runExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory")
+	out := fs.String("o", "", "output dataset file (default stdout)")
+	format := fs.String("format", "text", "output format: text|binary|mtx (Matrix Market, 2D only)")
+	binary := fs.Bool("binary", false, "alias for -format binary")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("export: -dir is required")
+	}
+	if *binary {
+		*format = "binary"
+	}
+	st, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	coords, vals, err := st.ExportAll()
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	t := &dataio.Tensor{Shape: st.Shape(), Coords: coords, Values: vals}
+	switch *format {
+	case "text":
+		return dataio.WriteText(w, t)
+	case "binary":
+		return dataio.WriteBinary(w, t)
+	case "mtx":
+		return dataio.WriteMatrixMarket(w, t)
+	}
+	return fmt.Errorf("export: unknown format %q", *format)
+}
+
+func runImport(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory to create")
+	in := fs.String("in", "", "input dataset file (default stdin)")
+	kindName := fs.String("kind", "LINEAR", "storage organization")
+	shapeSpec := fs.String("shape", "", "override tensor shape 'm1,m2,...' (default: the dataset's)")
+	format := fs.String("format", "text", "input format: text|binary|mtx (Matrix Market, e.g. SuiteSparse)")
+	binary := fs.Bool("binary", false, "alias for -format binary")
+	dedup := fs.Bool("dedup", false, "normalize the dataset first: sort by linear address and drop duplicate cells (newest wins)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("import: -dir is required")
+	}
+	if *binary {
+		*format = "binary"
+	}
+	kind, err := core.ParseKind(*kindName)
+	if err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	var t *dataio.Tensor
+	switch *format {
+	case "text":
+		t, err = dataio.ReadText(r)
+	case "binary":
+		t, err = dataio.ReadBinary(r)
+	case "mtx":
+		t, err = dataio.ReadMatrixMarket(r)
+	default:
+		return fmt.Errorf("import: unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	shape := t.Shape
+	if *shapeSpec != "" {
+		shape, err = parseShape(*shapeSpec)
+		if err != nil {
+			return err
+		}
+	}
+	if *dedup {
+		t.Coords, t.Values, err = tensor.Normalize(t.Coords, t.Values, shape)
+		if err != nil {
+			return err
+		}
+	}
+	osfs, err := fsim.NewOSFS(*dir)
+	if err != nil {
+		return err
+	}
+	st, err := store.Create(osfs, "tensor", kind, shape)
+	if err != nil {
+		return err
+	}
+	rep, err := st.Write(t.Coords, t.Values)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("imported %d points into %v store at %s (%d bytes)\n",
+		rep.NNZ, kind, *dir, rep.Bytes)
+	return nil
+}
+
+func parseShape(spec string) (tensor.Shape, error) {
+	vals, err := parseU64List(spec)
+	if err != nil {
+		return nil, err
+	}
+	shape := tensor.Shape(vals)
+	return shape, shape.Validate()
+}
+
+func parseU64List(spec string) ([]uint64, error) {
+	var out []uint64
+	for _, f := range strings.Split(spec, ",") {
+		m, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", f)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,3 @@
+module sparseart
+
+go 1.22

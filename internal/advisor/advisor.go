@@ -1,0 +1,262 @@
+// Package advisor implements the paper's stated future work (§VI): "to
+// explore automatic strategies for selecting different organization for
+// applications based on the characterization of sparsity in their
+// data." It characterizes a coordinate sample — density, per-level
+// prefix sharing, band concentration, cluster skew — and ranks the
+// organizations by combining the Table I cost model (fed with the
+// measured characteristics) under user-supplied workload weights, using
+// the same lower-is-better normalization as the paper's Table IV score.
+package advisor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sparseart/internal/complexity"
+	"sparseart/internal/core"
+	"sparseart/internal/tensor"
+)
+
+// Profile is the measured sparsity characterization of a dataset.
+type Profile struct {
+	Shape   tensor.Shape
+	NNZ     int
+	Density float64
+	// PrefixShare is the average fraction of coordinates deduplicated
+	// per CSF level: 1 − (unique prefixes / points), averaged over the
+	// non-leaf levels in ascending-extent dimension order. High values
+	// mean a compact CSF tree.
+	PrefixShare float64
+	// BandScore is the fraction of points with some adjacent
+	// coordinate pair within 1% of the extent — near 1 for TSP-like
+	// data.
+	BandScore float64
+	// ClusterScore is the densest-octant density divided by the mean
+	// octant density — near 1 for uniform (GSP) data, large for
+	// MSP-like data.
+	ClusterScore float64
+}
+
+// Characterize measures a coordinate sample against its shape.
+func Characterize(c *tensor.Coords, shape tensor.Shape) (Profile, error) {
+	if err := shape.Validate(); err != nil {
+		return Profile{}, err
+	}
+	if c.Dims() != shape.Dims() {
+		return Profile{}, fmt.Errorf("advisor: %d-dim coords for %d-dim shape", c.Dims(), shape.Dims())
+	}
+	n := c.Len()
+	p := Profile{Shape: shape.Clone(), NNZ: n}
+	vol, ok := shape.Volume()
+	if !ok {
+		return Profile{}, fmt.Errorf("advisor: %w: shape %v", tensor.ErrOverflow, shape)
+	}
+	if n == 0 {
+		return p, nil
+	}
+	p.Density = float64(n) / float64(vol)
+	p.PrefixShare = prefixShare(c, shape)
+	p.BandScore = bandScore(c, shape)
+	p.ClusterScore = clusterScore(c, shape)
+	return p, nil
+}
+
+// prefixShare sorts the points in CSF's ascending-extent dimension order
+// and measures how many coordinates each non-leaf level saves.
+func prefixShare(c *tensor.Coords, shape tensor.Shape) float64 {
+	d := shape.Dims()
+	if d < 2 {
+		return 0
+	}
+	dims := make([]int, d)
+	for i := range dims {
+		dims[i] = i
+	}
+	sort.SliceStable(dims, func(a, b int) bool { return shape[dims[a]] < shape[dims[b]] })
+	n := c.Len()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := c.At(order[a]), c.At(order[b])
+		for _, dim := range dims {
+			if pa[dim] != pb[dim] {
+				return pa[dim] < pb[dim]
+			}
+		}
+		return false
+	})
+	var shareSum float64
+	for lvl := 0; lvl < d-1; lvl++ {
+		unique := 1
+		for i := 1; i < n; i++ {
+			pa, pb := c.At(order[i-1]), c.At(order[i])
+			for l := 0; l <= lvl; l++ {
+				if pa[dims[l]] != pb[dims[l]] {
+					unique++
+					break
+				}
+			}
+		}
+		shareSum += 1 - float64(unique)/float64(n)
+	}
+	return shareSum / float64(d-1)
+}
+
+// bandScore counts points with an adjacent coordinate pair within 1% of
+// the extent (at least 1).
+func bandScore(c *tensor.Coords, shape tensor.Shape) float64 {
+	d := shape.Dims()
+	if d < 2 {
+		return 0
+	}
+	n := c.Len()
+	hits := 0
+	for i := 0; i < n; i++ {
+		p := c.At(i)
+		for j := 0; j+1 < d; j++ {
+			tol := shape[j] / 100
+			if tol == 0 {
+				tol = 1
+			}
+			var diff uint64
+			if p[j] > p[j+1] {
+				diff = p[j] - p[j+1]
+			} else {
+				diff = p[j+1] - p[j]
+			}
+			if diff <= tol {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+// clusterScore splits the domain into 2^d octants and compares the
+// densest octant's share against the uniform expectation.
+func clusterScore(c *tensor.Coords, shape tensor.Shape) float64 {
+	d := shape.Dims()
+	if d > 16 {
+		return 1
+	}
+	counts := make([]int, 1<<d)
+	n := c.Len()
+	for i := 0; i < n; i++ {
+		p := c.At(i)
+		idx := 0
+		for j := 0; j < d; j++ {
+			if p[j] >= shape[j]/2 {
+				idx |= 1 << j
+			}
+		}
+		counts[idx]++
+	}
+	maxCount := 0
+	for _, v := range counts {
+		if v > maxCount {
+			maxCount = v
+		}
+	}
+	mean := float64(n) / float64(len(counts))
+	if mean == 0 {
+		return 1
+	}
+	return float64(maxCount) / mean
+}
+
+// Weights expresses how much the application cares about each metric;
+// they need not sum to one. The zero value is invalid — use Balanced.
+type Weights struct {
+	Write, Read, Space float64
+}
+
+// Balanced weighs the three metrics equally, like the paper's Table IV
+// score.
+func Balanced() Weights { return Weights{Write: 1, Read: 1, Space: 1} }
+
+// Recommendation ranks the organizations for a profile.
+type Recommendation struct {
+	// Best is the lowest-score organization.
+	Best core.Kind
+	// Scores maps every candidate to its weighted, normalized score
+	// (lower is better), comparable to the paper's Table IV.
+	Scores map[core.Kind]float64
+	// Reasons explains the choice in prose.
+	Reasons []string
+}
+
+// Recommend ranks the paper's five organizations for the profiled
+// dataset under the given workload weights.
+func Recommend(p Profile, w Weights, readFraction float64) (Recommendation, error) {
+	if w.Write < 0 || w.Read < 0 || w.Space < 0 || w.Write+w.Read+w.Space == 0 {
+		return Recommendation{}, fmt.Errorf("advisor: invalid weights %+v", w)
+	}
+	if readFraction <= 0 {
+		readFraction = 0.01
+	}
+	params := complexity.Params{
+		N:        math.Max(float64(p.NNZ), 1),
+		NRead:    math.Max(float64(p.NNZ)*readFraction, 1),
+		Shape:    p.Shape,
+		CSFShare: clamp(p.PrefixShare, 0, 0.99),
+	}
+	kinds := core.PaperKinds()
+	ests := make(map[core.Kind]complexity.Estimate, len(kinds))
+	var maxB, maxR, maxS float64
+	for _, k := range kinds {
+		e, err := complexity.For(k, params)
+		if err != nil {
+			return Recommendation{}, err
+		}
+		ests[k] = e
+		maxB = math.Max(maxB, e.Build)
+		maxR = math.Max(maxR, e.Read)
+		maxS = math.Max(maxS, e.SpaceWords)
+	}
+	rec := Recommendation{Scores: make(map[core.Kind]float64, len(kinds))}
+	best := math.Inf(1)
+	for _, k := range kinds {
+		e := ests[k]
+		score := (w.Write*e.Build/maxB + w.Read*e.Read/maxR + w.Space*e.SpaceWords/maxS) /
+			(w.Write + w.Read + w.Space)
+		rec.Scores[k] = score
+		if score < best {
+			best = score
+			rec.Best = k
+		}
+	}
+	rec.Reasons = reasons(p, rec.Best)
+	return rec, nil
+}
+
+func reasons(p Profile, best core.Kind) []string {
+	var out []string
+	out = append(out, fmt.Sprintf("density %.4f over shape %v with %d points", p.Density, p.Shape, p.NNZ))
+	if p.PrefixShare > 0.4 {
+		out = append(out, fmt.Sprintf("high prefix sharing (%.2f) keeps the CSF tree compact", p.PrefixShare))
+	} else if p.PrefixShare > 0 {
+		out = append(out, fmt.Sprintf("low prefix sharing (%.2f) pushes CSF toward its O(n x d) worst case", p.PrefixShare))
+	}
+	if p.BandScore > 0.8 {
+		out = append(out, "diagonal banding detected (TSP-like)")
+	}
+	if p.ClusterScore > 2 {
+		out = append(out, fmt.Sprintf("dense cluster detected (densest octant %.1fx the mean, MSP-like)", p.ClusterScore))
+	}
+	out = append(out, fmt.Sprintf("lowest weighted Table I cost: %v", best))
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

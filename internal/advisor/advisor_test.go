@@ -1,0 +1,205 @@
+package advisor
+
+import (
+	"testing"
+
+	"sparseart/internal/core"
+	"sparseart/internal/gen"
+	"sparseart/internal/tensor"
+)
+
+func dataset(t *testing.T, p gen.Pattern) (*gen.Dataset, tensor.Shape) {
+	t.Helper()
+	cfg, err := gen.TableIIConfig(p, 3, gen.Small, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, cfg.Shape
+}
+
+func TestCharacterizeTSPDetectsBand(t *testing.T) {
+	ds, shape := dataset(t, gen.TSP)
+	p, err := Characterize(ds.Coords, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BandScore < 0.9 {
+		t.Fatalf("TSP band score = %v, want near 1", p.BandScore)
+	}
+	if p.Density <= 0 {
+		t.Fatalf("density = %v", p.Density)
+	}
+}
+
+func TestCharacterizeGSPIsUniform(t *testing.T) {
+	ds, shape := dataset(t, gen.GSP)
+	p, err := Characterize(ds.Coords, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BandScore > 0.3 {
+		t.Fatalf("GSP band score = %v, want low", p.BandScore)
+	}
+	if p.ClusterScore > 1.3 {
+		t.Fatalf("GSP cluster score = %v, want ~1", p.ClusterScore)
+	}
+}
+
+func TestCharacterizeMSPDetectsCluster(t *testing.T) {
+	// A hand-built MSP with a very dense cluster in one octant.
+	shape := tensor.Shape{40, 40}
+	c := tensor.NewCoords(2, 0)
+	for i := uint64(0); i < 20; i++ { // sparse background
+		c.Append(i, (i*7)%40)
+	}
+	for x := uint64(25); x < 35; x++ { // dense block in the (1,1) octant
+		for y := uint64(25); y < 35; y++ {
+			c.Append(x, y)
+		}
+	}
+	p, err := Characterize(c, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ClusterScore < 2 {
+		t.Fatalf("cluster score = %v, want > 2", p.ClusterScore)
+	}
+}
+
+func TestPrefixShareExtremes(t *testing.T) {
+	shape := tensor.Shape{16, 16, 16}
+	// One fiber: maximal sharing.
+	fiber := tensor.NewCoords(3, 0)
+	for z := uint64(0); z < 16; z++ {
+		fiber.Append(3, 5, z)
+	}
+	p, err := Characterize(fiber, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PrefixShare < 0.9 {
+		t.Fatalf("fiber prefix share = %v, want near 1", p.PrefixShare)
+	}
+	// Diagonal: no sharing.
+	diag := tensor.NewCoords(3, 0)
+	for i := uint64(0); i < 16; i++ {
+		diag.Append(i, i, i)
+	}
+	p, err = Characterize(diag, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PrefixShare > 0.1 {
+		t.Fatalf("diagonal prefix share = %v, want near 0", p.PrefixShare)
+	}
+}
+
+func TestCharacterizeValidation(t *testing.T) {
+	c := tensor.NewCoords(2, 0)
+	if _, err := Characterize(c, tensor.Shape{0, 4}); err == nil {
+		t.Error("invalid shape accepted")
+	}
+	if _, err := Characterize(c, tensor.Shape{4, 4, 4}); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	if _, err := Characterize(c, tensor.Shape{1 << 33, 1 << 33}); err == nil {
+		t.Error("overflow shape accepted")
+	}
+	// Empty datasets characterize to a zero profile without error.
+	p, err := Characterize(c, tensor.Shape{4, 4})
+	if err != nil || p.NNZ != 0 || p.Density != 0 {
+		t.Fatalf("empty profile: %+v, %v", p, err)
+	}
+}
+
+func TestRecommendSpaceHeavyPicksLinear(t *testing.T) {
+	ds, shape := dataset(t, gen.GSP)
+	p, err := Characterize(ds.Coords, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recommend(p, Weights{Write: 0, Read: 0, Space: 1}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best != core.Linear {
+		t.Fatalf("space-only pick = %v, want LINEAR (Table I smallest index)", rec.Best)
+	}
+}
+
+func TestRecommendWriteHeavyPicksCOO(t *testing.T) {
+	ds, shape := dataset(t, gen.GSP)
+	p, err := Characterize(ds.Coords, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recommend(p, Weights{Write: 1, Read: 0, Space: 0}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best != core.COO {
+		t.Fatalf("write-only pick = %v, want COO (O(1) build)", rec.Best)
+	}
+}
+
+func TestRecommendReadHeavyAvoidsScans(t *testing.T) {
+	ds, shape := dataset(t, gen.GSP)
+	p, err := Characterize(ds.Coords, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recommend(p, Weights{Write: 0, Read: 1, Space: 0}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best == core.COO || rec.Best == core.Linear {
+		t.Fatalf("read-only pick = %v, scans should lose", rec.Best)
+	}
+}
+
+func TestRecommendScoresCoverAllKinds(t *testing.T) {
+	ds, shape := dataset(t, gen.MSP)
+	p, err := Characterize(ds.Coords, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recommend(p, Balanced(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Scores) != 5 {
+		t.Fatalf("scores for %d kinds", len(rec.Scores))
+	}
+	for k, s := range rec.Scores {
+		if s < 0 || s > 1 {
+			t.Fatalf("%v score %v outside [0,1]", k, s)
+		}
+	}
+	if len(rec.Reasons) == 0 {
+		t.Fatal("no reasons given")
+	}
+	best := rec.Scores[rec.Best]
+	for _, s := range rec.Scores {
+		if s < best {
+			t.Fatal("Best is not the minimum score")
+		}
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	p := Profile{Shape: tensor.Shape{4, 4}, NNZ: 4, Density: 0.25}
+	if _, err := Recommend(p, Weights{}, 0.1); err == nil {
+		t.Error("zero weights accepted")
+	}
+	if _, err := Recommend(p, Weights{Write: -1, Read: 1, Space: 1}, 0.1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	// Non-positive read fraction defaults instead of failing.
+	if _, err := Recommend(p, Balanced(), 0); err != nil {
+		t.Errorf("zero read fraction rejected: %v", err)
+	}
+}

@@ -1,0 +1,307 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"sparseart/internal/core"
+	"sparseart/internal/gen"
+	"sparseart/internal/store"
+)
+
+func TestCasesMatrix(t *testing.T) {
+	cs := Cases()
+	if len(cs) != 9 {
+		t.Fatalf("%d cases, want 9", len(cs))
+	}
+	seen := map[Case]bool{}
+	for _, c := range cs {
+		if c.Dims < 2 || c.Dims > 4 {
+			t.Fatalf("case dims %d", c.Dims)
+		}
+		if seen[c] {
+			t.Fatalf("duplicate case %+v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestMakeDataset(t *testing.T) {
+	ds, err := MakeDataset(Case{Pattern: gen.MSP, Dims: 2}, gen.Small, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Data.NNZ() == 0 {
+		t.Fatal("empty dataset")
+	}
+	if ds.Region.Start[0] != 512 || ds.Region.Size[0] != 102 {
+		t.Fatalf("region = %+v", ds.Region)
+	}
+	if _, err := MakeDataset(Case{Pattern: gen.TSP, Dims: 7}, gen.Small, 1, 0); err == nil {
+		t.Fatal("7D case accepted")
+	}
+}
+
+// runSmallSubset runs one cheap cell against all five organizations.
+func runSmallSubset(t *testing.T) ([]Measurement, []*Dataset) {
+	t.Helper()
+	var log bytes.Buffer
+	r := &Runner{
+		Scale: gen.Small,
+		Seed:  42,
+		Cases: []Case{{Pattern: gen.MSP, Dims: 4}},
+		Log:   &log,
+	}
+	ms, dss, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "dataset MSP 4D") {
+		t.Fatalf("progress log missing: %q", log.String())
+	}
+	return ms, dss
+}
+
+func TestRunnerProducesAllCells(t *testing.T) {
+	ms, dss := runSmallSubset(t)
+	if len(ms) != 5 {
+		t.Fatalf("%d measurements, want 5", len(ms))
+	}
+	if len(dss) != 1 {
+		t.Fatalf("%d datasets", len(dss))
+	}
+	kinds := map[core.Kind]bool{}
+	for _, m := range ms {
+		kinds[m.Kind] = true
+		if m.Bytes <= 0 || m.NNZ == 0 {
+			t.Fatalf("measurement %v: %+v", m.Kind, m)
+		}
+		if m.WriteTotal() <= 0 || m.ReadTotal() <= 0 {
+			t.Fatalf("measurement %v has zero times", m.Kind)
+		}
+		if m.ProbeScale != 1 {
+			t.Fatalf("unsampled read has scale %v", m.ProbeScale)
+		}
+	}
+	if len(kinds) != 5 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	// Every organization finds the same point set.
+	found := ms[0].Found
+	for _, m := range ms {
+		if m.Found != found {
+			t.Fatalf("%v found %d, %v found %d", ms[0].Kind, found, m.Kind, m.Found)
+		}
+	}
+	// Fig. 4's headline: COO is the largest file, LINEAR the smallest.
+	byKind := map[core.Kind]Measurement{}
+	for _, m := range ms {
+		byKind[m.Kind] = m
+	}
+	if byKind[core.COO].Bytes <= byKind[core.Linear].Bytes {
+		t.Fatal("COO fragment not larger than LINEAR")
+	}
+}
+
+func TestProbeLimitExtrapolates(t *testing.T) {
+	ds, err := MakeDataset(Case{Pattern: gen.GSP, Dims: 2}, gen.Small, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := &Runner{Scale: gen.Small, Seed: 7, Kinds: []core.Kind{core.GCSR}}
+	sampled := &Runner{Scale: gen.Small, Seed: 7, Kinds: []core.Kind{core.GCSR}, ProbeLimit: 500}
+	me, err := exact.RunCase(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msam, err := sampled.RunCase(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msam[0].ProbeScale <= 1 {
+		t.Fatalf("probe scale = %v, want > 1", msam[0].ProbeScale)
+	}
+	// The extrapolated probe time should be within a loose factor of
+	// the exact one (both measure the same per-probe cost).
+	e, s := me[0].Read.Probe.Seconds(), msam[0].Read.Probe.Seconds()
+	if s < e/5 || s > e*5 {
+		t.Fatalf("extrapolated probe %.6fs vs exact %.6fs", s, e)
+	}
+}
+
+func TestScoresNormalization(t *testing.T) {
+	// Hand-built measurements: org A dominates (max) on every metric
+	// in the single cell, so A scores 1.0 and B scores the mean of
+	// its ratios.
+	c := Case{Pattern: gen.TSP, Dims: 2}
+	mk := func(kind core.Kind, w, r time.Duration, bytes int64) Measurement {
+		return Measurement{
+			Case:  c,
+			Kind:  kind,
+			Write: store.WriteReport{Write: w},
+			Read:  store.ReadReport{Probe: r},
+			Bytes: bytes,
+		}
+	}
+	ms := []Measurement{
+		mk(core.COO, 10*time.Second, 10*time.Second, 1000),
+		mk(core.Linear, 5*time.Second, 1*time.Second, 250),
+	}
+	scores := Scores(ms)
+	if scores[core.COO] != 1.0 {
+		t.Fatalf("dominating org scored %v", scores[core.COO])
+	}
+	want := (0.5 + 0.1 + 0.25) / 3
+	if diff := scores[core.Linear] - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("LINEAR score = %v, want %v", scores[core.Linear], want)
+	}
+	rank := Ranking(scores)
+	if rank[0] != core.Linear || rank[1] != core.COO {
+		t.Fatalf("ranking = %v", rank)
+	}
+}
+
+func TestScoresSkipIncompleteCells(t *testing.T) {
+	c1 := Case{Pattern: gen.TSP, Dims: 2}
+	c2 := Case{Pattern: gen.GSP, Dims: 2}
+	ms := []Measurement{
+		{Case: c1, Kind: core.COO, Write: store.WriteReport{Write: time.Second}, Bytes: 1},
+		{Case: c1, Kind: core.Linear, Write: store.WriteReport{Write: time.Second}, Bytes: 1},
+		{Case: c2, Kind: core.COO, Write: store.WriteReport{Write: time.Second}, Bytes: 1},
+		// c2 is missing LINEAR: it must not bias the normalization.
+	}
+	scores := Scores(ms)
+	if scores[core.COO] != scores[core.Linear] {
+		t.Fatalf("equal orgs scored differently: %v", scores)
+	}
+}
+
+func TestPaperReferenceValues(t *testing.T) {
+	p := PaperTableIV()
+	if p[core.Linear] != 0.34 || p[core.COO] != 0.76 {
+		t.Fatalf("PaperTableIV = %v", p)
+	}
+	b := PaperTableIII()
+	sum := b[core.Linear][0] + b[core.Linear][1] + b[core.Linear][2] + b[core.Linear][3]
+	if sum < 0.077 || sum > 0.079 { // the paper's 0.0780
+		t.Fatalf("paper LINEAR sum = %v", sum)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	ms, dss := runSmallSubset(t)
+
+	t1 := RenderTableI()
+	for _, want := range []string{"COO", "LINEAR", "GCSR++", "GCSC++", "CSF", "O(1)", "O(n x d)"} {
+		if !strings.Contains(t1, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, t1)
+		}
+	}
+
+	t2 := RenderTableII(dss)
+	if !strings.Contains(t2, "4D MSP") || !strings.Contains(t2, "0.21%") {
+		t.Fatalf("Table II missing expected cells:\n%s", t2)
+	}
+
+	t3 := RenderTableIII(ms, Case{Pattern: gen.MSP, Dims: 4})
+	for _, want := range []string{"Build", "Reorg.", "Write", "Others", "Sum", "Paper sum", "0.5366"} {
+		if !strings.Contains(t3, want) {
+			t.Fatalf("Table III missing %q:\n%s", want, t3)
+		}
+	}
+
+	t4 := RenderTableIV(ms)
+	if !strings.Contains(t4, "Paper") || !strings.Contains(t4, "0.34") {
+		t.Fatalf("Table IV missing paper column:\n%s", t4)
+	}
+
+	for name, s := range map[string]string{
+		"fig3": RenderFig3(ms),
+		"fig4": RenderFig4(ms),
+		"fig5": RenderFig5(ms),
+	} {
+		if !strings.Contains(s, "4D MSP") || !strings.Contains(s, "CSF") {
+			t.Fatalf("%s incomplete:\n%s", name, s)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	ms, _ := runSmallSubset(t)
+	csv := CSV(ms)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 6 { // header + 5 organizations
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "pattern,dims,kind") {
+		t.Fatalf("CSV header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "MSP,4,") {
+		t.Fatalf("CSV row: %q", lines[1])
+	}
+	for _, line := range lines {
+		if got, want := strings.Count(line, ","), strings.Count(lines[0], ","); got != want {
+			t.Fatalf("ragged CSV row %q", line)
+		}
+	}
+}
+
+func TestMatrixIncludesExtraKinds(t *testing.T) {
+	c := Case{Pattern: gen.TSP, Dims: 2}
+	ms := []Measurement{
+		{Case: c, Kind: core.COO, Bytes: 10},
+		{Case: c, Kind: core.COOSorted, Bytes: 9},
+	}
+	out := RenderFig4(ms)
+	if !strings.Contains(out, "COO-sorted") {
+		t.Fatalf("extra kind dropped:\n%s", out)
+	}
+}
+
+func TestWeightedScoresSkewRanking(t *testing.T) {
+	c := Case{Pattern: gen.TSP, Dims: 2}
+	mk := func(kind core.Kind, w, r time.Duration, bytes int64) Measurement {
+		return Measurement{Case: c, Kind: kind,
+			Write: store.WriteReport{Write: w},
+			Read:  store.ReadReport{Probe: r},
+			Bytes: bytes}
+	}
+	// A writes fast but reads slowly; B the reverse; sizes equal.
+	ms := []Measurement{
+		mk(core.COO, time.Second, 10*time.Second, 100),
+		mk(core.CSF, 10*time.Second, time.Second, 100),
+	}
+	writeHeavy := WeightedScores(ms, MetricWeights{Write: 10, Read: 1, Size: 1})
+	readHeavy := WeightedScores(ms, MetricWeights{Write: 1, Read: 10, Size: 1})
+	if writeHeavy[core.COO] >= writeHeavy[core.CSF] {
+		t.Fatalf("write-heavy weights should favor the fast writer: %v", writeHeavy)
+	}
+	if readHeavy[core.CSF] >= readHeavy[core.COO] {
+		t.Fatalf("read-heavy weights should favor the fast reader: %v", readHeavy)
+	}
+	// Equal weights must match Scores exactly.
+	eq := WeightedScores(ms, MetricWeights{Write: 1, Read: 1, Size: 1})
+	base := Scores(ms)
+	for k, v := range base {
+		if eq[k] != v {
+			t.Fatalf("equal weights diverge from Scores: %v vs %v", eq[k], v)
+		}
+	}
+	// Zero-weight metrics are excluded entirely.
+	sizeOnly := WeightedScores(ms, MetricWeights{Size: 1})
+	if sizeOnly[core.COO] != 1 || sizeOnly[core.CSF] != 1 {
+		t.Fatalf("size-only scores = %v (equal sizes should tie at 1)", sizeOnly)
+	}
+}
+
+func TestRenderTableIVSensitivity(t *testing.T) {
+	ms, _ := runSmallSubset(t)
+	out := RenderTableIVSensitivity(ms)
+	for _, want := range []string{"equal (paper)", "write-heavy", "read-heavy", "space-heavy", "COO"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}

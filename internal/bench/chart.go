@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sparseart/internal/core"
+)
+
+// This file renders the Figure 3/4/5 measurement grids as grouped
+// horizontal bar charts, mirroring the bar-figure presentation of the
+// paper. Values within one figure often span orders of magnitude
+// (Fig. 5's COO vs CSF), so bars are laid out on a log scale anchored
+// at the figure's minimum.
+
+const chartWidth = 42
+
+// renderChart draws one grouped bar chart: a group per dataset cell, a
+// bar per organization.
+func renderChart(title, unit string, ms []Measurement, value func(Measurement) float64,
+	format func(float64) string) string {
+	byCell := map[Case]map[core.Kind]Measurement{}
+	var order []Case
+	for _, m := range ms {
+		if byCell[m.Case] == nil {
+			byCell[m.Case] = map[core.Kind]Measurement{}
+			order = append(order, m.Case)
+		}
+		byCell[m.Case][m.Kind] = m
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, cell := range byCell {
+		for _, m := range cell {
+			v := value(m)
+			if v <= 0 {
+				continue
+			}
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+	}
+	if math.IsInf(min, 1) {
+		return title + ": no data\n"
+	}
+	logSpan := math.Log(max / min)
+	bar := func(v float64) string {
+		if v <= 0 {
+			return ""
+		}
+		frac := 1.0
+		if logSpan > 0 {
+			frac = (math.Log(v/min) + 0.05*logSpan) / (1.05 * logSpan)
+		}
+		n := int(math.Round(frac * chartWidth))
+		if n < 1 {
+			n = 1
+		}
+		if n > chartWidth {
+			n = chartWidth
+		}
+		return strings.Repeat("#", n)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s, log-scaled bars)\n", title, unit)
+	for _, c := range order {
+		label := caseLabel(c)
+		for _, kind := range core.PaperKinds() {
+			m, ok := byCell[c][kind]
+			if !ok {
+				continue
+			}
+			v := value(m)
+			fmt.Fprintf(&b, "%-7s %-8s |%-*s| %s\n", label, kind, chartWidth, bar(v), format(v))
+			label = ""
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFig3Chart draws Figure 3 (write time) as grouped bars.
+func RenderFig3Chart(ms []Measurement) string {
+	return renderChart("Figure 3: writing time", "seconds", ms,
+		func(m Measurement) float64 { return m.WriteTotal().Seconds() },
+		func(v float64) string { return fmt.Sprintf("%.4f", v) })
+}
+
+// RenderFig4Chart draws Figure 4 (file size) as grouped bars.
+func RenderFig4Chart(ms []Measurement) string {
+	return renderChart("Figure 4: file size", "bytes", ms,
+		func(m Measurement) float64 { return float64(m.Bytes) },
+		func(v float64) string { return fmt.Sprintf("%.0f", v) })
+}
+
+// RenderFig5Chart draws Figure 5 (read time) as grouped bars.
+func RenderFig5Chart(ms []Measurement) string {
+	return renderChart("Figure 5: reading time", "seconds", ms,
+		func(m Measurement) float64 { return m.ReadTotal().Seconds() },
+		func(v float64) string { return fmt.Sprintf("%.4f", v) })
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sparseart/internal/core"
+	"sparseart/internal/gen"
+	"sparseart/internal/store"
+)
+
+func chartMeasurements() []Measurement {
+	c := Case{Pattern: gen.TSP, Dims: 2}
+	return []Measurement{
+		{Case: c, Kind: core.COO, Bytes: 4000, Write: store.WriteReport{Write: time.Second},
+			Read: store.ReadReport{Probe: 100 * time.Millisecond}},
+		{Case: c, Kind: core.Linear, Bytes: 1000, Write: store.WriteReport{Write: 300 * time.Millisecond},
+			Read: store.ReadReport{Probe: time.Millisecond}},
+	}
+}
+
+func TestRenderChartsContainBarsAndValues(t *testing.T) {
+	ms := chartMeasurements()
+	for name, render := range map[string]func([]Measurement) string{
+		"fig3": RenderFig3Chart,
+		"fig4": RenderFig4Chart,
+		"fig5": RenderFig5Chart,
+	} {
+		out := render(ms)
+		if !strings.Contains(out, "2D TSP") || !strings.Contains(out, "#") {
+			t.Fatalf("%s chart incomplete:\n%s", name, out)
+		}
+		if !strings.Contains(out, "COO") || !strings.Contains(out, "LINEAR") {
+			t.Fatalf("%s chart missing organizations:\n%s", name, out)
+		}
+	}
+}
+
+func TestRenderChartBarLengthOrdering(t *testing.T) {
+	out := RenderFig4Chart(chartMeasurements())
+	var cooBar, linBar int
+	for _, line := range strings.Split(out, "\n") {
+		bar := strings.Count(line, "#")
+		switch {
+		case strings.Contains(line, "COO"):
+			cooBar = bar
+		case strings.Contains(line, "LINEAR"):
+			linBar = bar
+		}
+	}
+	if cooBar <= linBar {
+		t.Fatalf("COO bar (%d) should be longer than LINEAR's (%d):\n%s", cooBar, linBar, out)
+	}
+	if cooBar > chartWidth {
+		t.Fatalf("bar exceeds width: %d", cooBar)
+	}
+}
+
+func TestRenderChartEmpty(t *testing.T) {
+	out := renderChart("x", "u", nil, func(Measurement) float64 { return 0 },
+		func(v float64) string { return "" })
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+}
+
+func TestRenderChartEqualValues(t *testing.T) {
+	// All-equal values must not divide by zero in the log scaling.
+	c := Case{Pattern: gen.GSP, Dims: 3}
+	ms := []Measurement{
+		{Case: c, Kind: core.COO, Bytes: 500},
+		{Case: c, Kind: core.CSF, Bytes: 500},
+	}
+	out := RenderFig4Chart(ms)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("chart:\n%s", out)
+	}
+}

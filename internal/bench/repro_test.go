@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"testing"
+
+	"sparseart/internal/core"
+	"sparseart/internal/gen"
+)
+
+// TestPaperShapeReproduction runs the full small-scale matrix and
+// asserts the paper's qualitative findings — the orderings and ratios
+// its evaluation section claims, which must hold at any scale. This is
+// the repository's executable summary of EXPERIMENTS.md.
+func TestPaperShapeReproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix run")
+	}
+	r := &Runner{Scale: gen.Small, Seed: 42, Trials: 3}
+	ms, _, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCell := map[Case]map[core.Kind]Measurement{}
+	for _, m := range ms {
+		if byCell[m.Case] == nil {
+			byCell[m.Case] = map[core.Kind]Measurement{}
+		}
+		byCell[m.Case][m.Kind] = m
+	}
+
+	for c, cell := range byCell {
+		coo, lin := cell[core.COO], cell[core.Linear]
+		gcsr, gcsc, csf := cell[core.GCSR], cell[core.GCSC], cell[core.CSF]
+
+		// Figure 4: LINEAR < GCSR++ = GCSC++ <= CSF <= COO, every cell.
+		if !(lin.Bytes < gcsr.Bytes) {
+			t.Errorf("%v %dD: LINEAR %d not smaller than GCSR++ %d", c.Pattern, c.Dims, lin.Bytes, gcsr.Bytes)
+		}
+		if gcsr.Bytes != gcsc.Bytes {
+			t.Errorf("%v %dD: GCSR++ %d != GCSC++ %d bytes", c.Pattern, c.Dims, gcsr.Bytes, gcsc.Bytes)
+		}
+		if !(gcsr.Bytes <= csf.Bytes) {
+			t.Errorf("%v %dD: CSF %d smaller than GCSR++ %d", c.Pattern, c.Dims, csf.Bytes, gcsr.Bytes)
+		}
+		if !(csf.Bytes <= coo.Bytes) {
+			t.Errorf("%v %dD: CSF %d larger than COO %d", c.Pattern, c.Dims, csf.Bytes, coo.Bytes)
+		}
+		// §III-B: "the potential reduction in storage space can be as
+		// much as O(d) times" — COO clearly above LINEAR everywhere.
+		if float64(coo.Bytes) < 1.3*float64(lin.Bytes) {
+			t.Errorf("%v %dD: COO %d not clearly above LINEAR %d", c.Pattern, c.Dims, coo.Bytes, lin.Bytes)
+		}
+
+		// Figure 5 (probe phase, where the index structure acts): the
+		// scan formats lose to the compressed formats by a wide margin
+		// on the bigger datasets.
+		if coo.NNZ >= 5000 {
+			if coo.Read.Probe < 3*gcsr.Read.Probe {
+				t.Errorf("%v %dD: COO probe %v not >> GCSR++ probe %v",
+					c.Pattern, c.Dims, coo.Read.Probe, gcsr.Read.Probe)
+			}
+			if coo.Read.Probe < lin.Read.Probe {
+				t.Errorf("%v %dD: COO probe %v below LINEAR probe %v (d x fewer words should win)",
+					c.Pattern, c.Dims, coo.Read.Probe, lin.Read.Probe)
+			}
+		}
+
+		// Every organization returns the same answer.
+		for k, m := range cell {
+			if m.Found != coo.Found {
+				t.Errorf("%v %dD: %v found %d, COO found %d", c.Pattern, c.Dims, k, m.Found, coo.Found)
+			}
+		}
+	}
+
+	// §III-C's 2D exception: CSF's linear descent loses to GCSR++ on 2D
+	// tensors (large root fanout). Checked on the densest 2D dataset.
+	c2d := Case{Pattern: gen.TSP, Dims: 2}
+	if csf, gcsr := byCell[c2d][core.CSF], byCell[c2d][core.GCSR]; csf.Read.Probe < gcsr.Read.Probe {
+		t.Errorf("2D TSP: CSF probe %v faster than GCSR++ %v — the paper's 2D exception should hold",
+			csf.Read.Probe, gcsr.Read.Probe)
+	}
+
+	// §III-A: GCSC++ pays for the row-major input layout at build time.
+	c4d := Case{Pattern: gen.TSP, Dims: 4} // the largest build in the matrix
+	if gcsc, gcsr := byCell[c4d][core.GCSC], byCell[c4d][core.GCSR]; gcsc.Write.Build <= gcsr.Write.Build {
+		t.Errorf("4D TSP: GCSC++ build %v not above GCSR++ %v — the layout penalty should show",
+			gcsc.Write.Build, gcsr.Write.Build)
+	}
+
+	// Table IV: COO scores worst overall.
+	scores := Scores(ms)
+	rank := Ranking(scores)
+	if rank[len(rank)-1] != core.COO {
+		t.Errorf("overall ranking %v: COO should be last", rank)
+	}
+}

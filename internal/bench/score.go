@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"sort"
+
+	"sparseart/internal/core"
+)
+
+// This file implements the paper's Table IV overall score: every
+// measurement m_i is normalized against the maximum across organizations
+// for the same metric, pattern, and dimensionality (r_i = m_i / max),
+// and the normalized values are averaged with equal weights over the
+// three metrics (write time, read time, file size), three patterns, and
+// three dimensionalities. Lower is better.
+
+// PaperTableIV returns the overall scores the paper reports.
+func PaperTableIV() map[core.Kind]float64 {
+	return map[core.Kind]float64{
+		core.COO:    0.76,
+		core.Linear: 0.34,
+		core.GCSR:   0.36,
+		core.GCSC:   0.50,
+		core.CSF:    0.48,
+	}
+}
+
+type metric struct {
+	name string
+	of   func(Measurement) float64
+}
+
+func metrics() []metric {
+	return []metric{
+		{"write", func(m Measurement) float64 { return m.WriteTotal().Seconds() }},
+		{"read", func(m Measurement) float64 { return m.ReadTotal().Seconds() }},
+		{"size", func(m Measurement) float64 { return float64(m.Bytes) }},
+	}
+}
+
+// MetricWeights weighs the three Table IV metrics. The paper "assume[s]
+// all weights are equal"; WeightedScores lets the sensitivity ablation
+// vary them.
+type MetricWeights struct {
+	Write, Read, Size float64
+}
+
+// Scores computes the Table IV score of every organization present in
+// ms, with the paper's equal weights. Cells missing some organization
+// are skipped entirely so the normalization stays fair.
+func Scores(ms []Measurement) map[core.Kind]float64 {
+	return WeightedScores(ms, MetricWeights{Write: 1, Read: 1, Size: 1})
+}
+
+// WeightedScores generalizes Scores to arbitrary metric weights.
+func WeightedScores(ms []Measurement, w MetricWeights) map[core.Kind]float64 {
+	kinds := map[core.Kind]bool{}
+	for _, m := range ms {
+		kinds[m.Kind] = true
+	}
+	byCell := map[Case][]Measurement{}
+	for _, m := range ms {
+		byCell[m.Case] = append(byCell[m.Case], m)
+	}
+
+	metricWeight := map[string]float64{"write": w.Write, "read": w.Read, "size": w.Size}
+	sums := map[core.Kind]float64{}
+	weightTotals := map[core.Kind]float64{}
+	for _, cell := range byCell {
+		if len(cell) != len(kinds) {
+			continue
+		}
+		for _, met := range metrics() {
+			mw := metricWeight[met.name]
+			if mw <= 0 {
+				continue
+			}
+			maxV := 0.0
+			for _, m := range cell {
+				if v := met.of(m); v > maxV {
+					maxV = v
+				}
+			}
+			if maxV == 0 {
+				continue
+			}
+			for _, m := range cell {
+				sums[m.Kind] += mw * met.of(m) / maxV
+				weightTotals[m.Kind] += mw
+			}
+		}
+	}
+	out := map[core.Kind]float64{}
+	for k, s := range sums {
+		out[k] = s / weightTotals[k]
+	}
+	return out
+}
+
+// Ranking returns the organizations sorted by ascending score.
+func Ranking(scores map[core.Kind]float64) []core.Kind {
+	kinds := make([]core.Kind, 0, len(scores))
+	for k := range scores {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(a, b int) bool {
+		if scores[kinds[a]] != scores[kinds[b]] {
+			return scores[kinds[a]] < scores[kinds[b]]
+		}
+		return kinds[a] < kinds[b]
+	})
+	return kinds
+}

@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"sparseart/internal/complexity"
+	"sparseart/internal/core"
+	"sparseart/internal/gen"
+	"sparseart/internal/store"
+)
+
+// table is a minimal fixed-width ASCII table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func caseLabel(c Case) string { return fmt.Sprintf("%dD %v", c.Dims, c.Pattern) }
+
+// RenderTableI prints the symbolic complexity table (paper Table I).
+func RenderTableI() string {
+	t := &table{header: []string{"Layout", "Build time", "Read time", "Space"}}
+	for _, row := range complexity.TableI() {
+		t.add(row.Kind.String(), row.Build, row.Read, row.Space)
+	}
+	return "Table I: time and space complexity of the storage organizations\n" + t.String()
+}
+
+// RenderTableII prints measured dataset densities next to the paper's
+// (paper Table II).
+func RenderTableII(dss []*Dataset) string {
+	t := &table{header: []string{"Dataset", "Shape", "NNZ", "Density", "Paper"}}
+	for _, ds := range dss {
+		paper, err := gen.TableIIDensity(ds.Case.Pattern, ds.Case.Dims)
+		paperStr := "-"
+		if err == nil {
+			paperStr = fmt.Sprintf("%.2f%%", 100*paper)
+		}
+		t.add(caseLabel(ds.Case), ds.Data.Config.Shape.String(),
+			fmt.Sprintf("%d", ds.Data.NNZ()),
+			fmt.Sprintf("%.2f%%", 100*ds.Data.Density()), paperStr)
+	}
+	return "Table II: size and density of the synthetic data sets\n" + t.String()
+}
+
+// paperTableIII is the breakdown the paper reports for the 4D MSP
+// pattern, in seconds, keyed by organization then phase row.
+var paperTableIII = map[core.Kind][4]float64{
+	core.COO:    {0, 0, 0.1217, 0.0177},
+	core.Linear: {0.0109, 0, 0.0504, 0.0167},
+	core.GCSR:   {0.1888, 0.0073, 0.0493, 0.0179},
+	core.GCSC:   {0.4484, 0.0195, 0.0513, 0.0174},
+	core.CSF:    {0.3014, 0.0073, 0.0751, 0.0179},
+}
+
+// PaperTableIII returns the paper's 4D-MSP write breakdown in seconds:
+// Build, Reorg, Write, Others.
+func PaperTableIII() map[core.Kind][4]float64 { return paperTableIII }
+
+// RenderTableIII prints the write-time breakdown for one case (the
+// paper uses 4D MSP), measured vs paper.
+func RenderTableIII(ms []Measurement, c Case) string {
+	t := &table{header: []string{"Phase"}}
+	var cell []Measurement
+	for _, m := range ms {
+		if m.Case == c {
+			cell = append(cell, m)
+			t.header = append(t.header, m.Kind.String())
+		}
+	}
+	row := func(name string, of func(store.WriteReport) float64) {
+		cells := []string{name}
+		for _, m := range cell {
+			cells = append(cells, fmt.Sprintf("%.4f", of(m.Write)))
+		}
+		t.add(cells...)
+	}
+	row("Build", func(w store.WriteReport) float64 { return w.Build.Seconds() })
+	row("Reorg.", func(w store.WriteReport) float64 { return w.Reorg.Seconds() })
+	row("Write", func(w store.WriteReport) float64 { return w.Write.Seconds() })
+	row("Others", func(w store.WriteReport) float64 { return w.Others.Seconds() })
+	row("Sum", func(w store.WriteReport) float64 { return w.Sum().Seconds() })
+	paperRow := []string{"Paper sum"}
+	for _, m := range cell {
+		if p, ok := paperTableIII[m.Kind]; ok {
+			paperRow = append(paperRow, fmt.Sprintf("%.4f", p[0]+p[1]+p[2]+p[3]))
+		} else {
+			paperRow = append(paperRow, "-")
+		}
+	}
+	t.add(paperRow...)
+	return fmt.Sprintf("Table III: write-time breakdown (seconds) for %s\n%s", caseLabel(c), t.String())
+}
+
+// matrix renders one Fig. 3/4/5-style grid: one row per dataset cell,
+// one column per organization.
+func matrix(title, unit string, ms []Measurement, value func(Measurement) string) string {
+	kinds := core.PaperKinds()
+	present := map[core.Kind]bool{}
+	for _, m := range ms {
+		present[m.Kind] = true
+	}
+	t := &table{header: []string{"Dataset"}}
+	var cols []core.Kind
+	for _, k := range kinds {
+		if present[k] {
+			cols = append(cols, k)
+			delete(present, k)
+		}
+	}
+	// Extra organizations (e.g. COO-sorted from ablations) go after the
+	// paper's five.
+	for k := core.Kind(1); int(k) < 64 && len(present) > 0; k++ {
+		if present[k] {
+			cols = append(cols, k)
+			delete(present, k)
+		}
+	}
+	for _, k := range cols {
+		t.header = append(t.header, k.String())
+	}
+	byCell := map[Case]map[core.Kind]Measurement{}
+	var order []Case
+	for _, m := range ms {
+		if byCell[m.Case] == nil {
+			byCell[m.Case] = map[core.Kind]Measurement{}
+			order = append(order, m.Case)
+		}
+		byCell[m.Case][m.Kind] = m
+	}
+	for _, c := range order {
+		cells := []string{caseLabel(c)}
+		for _, k := range cols {
+			if m, ok := byCell[c][k]; ok {
+				cells = append(cells, value(m))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.add(cells...)
+	}
+	return fmt.Sprintf("%s (%s)\n%s", title, unit, t.String())
+}
+
+// RenderFig3 prints total write time per dataset and organization
+// (paper Fig. 3).
+func RenderFig3(ms []Measurement) string {
+	return matrix("Figure 3: writing time of the storage organizations", "seconds", ms,
+		func(m Measurement) string { return fmt.Sprintf("%.4f", m.WriteTotal().Seconds()) })
+}
+
+// RenderFig4 prints fragment file size per dataset and organization
+// (paper Fig. 4).
+func RenderFig4(ms []Measurement) string {
+	return matrix("Figure 4: file size of the storage organizations", "bytes", ms,
+		func(m Measurement) string { return fmt.Sprintf("%d", m.Bytes) })
+}
+
+// RenderFig5 prints total read time per dataset and organization
+// (paper Fig. 5).
+func RenderFig5(ms []Measurement) string {
+	return matrix("Figure 5: reading time of the storage organizations", "seconds", ms,
+		func(m Measurement) string { return fmt.Sprintf("%.4f", m.ReadTotal().Seconds()) })
+}
+
+// RenderTableIV prints the overall scores, measured vs paper
+// (paper Table IV).
+func RenderTableIV(ms []Measurement) string {
+	scores := Scores(ms)
+	paper := PaperTableIV()
+	t := &table{header: []string{"Organization", "Score", "Paper"}}
+	for _, k := range Ranking(scores) {
+		p := "-"
+		if v, ok := paper[k]; ok {
+			p = fmt.Sprintf("%.2f", v)
+		}
+		t.add(k.String(), fmt.Sprintf("%.2f", scores[k]), p)
+	}
+	return "Table IV: overall scores (lower is better)\n" + t.String()
+}
+
+// RenderTableIVSensitivity shows how the Table IV ranking moves when
+// the equal-weight assumption ("here we assume all weights are equal")
+// is relaxed toward write-, read-, or space-dominated workloads.
+func RenderTableIVSensitivity(ms []Measurement) string {
+	profiles := []struct {
+		name string
+		w    MetricWeights
+	}{
+		{"equal (paper)", MetricWeights{1, 1, 1}},
+		{"write-heavy", MetricWeights{4, 1, 1}},
+		{"read-heavy", MetricWeights{1, 4, 1}},
+		{"space-heavy", MetricWeights{1, 1, 4}},
+	}
+	t := &table{header: []string{"Organization"}}
+	for _, p := range profiles {
+		t.header = append(t.header, p.name)
+	}
+	base := Scores(ms)
+	for _, k := range Ranking(base) {
+		cells := []string{k.String()}
+		for _, p := range profiles {
+			cells = append(cells, fmt.Sprintf("%.2f", WeightedScores(ms, p.w)[k]))
+		}
+		t.add(cells...)
+	}
+	return "Table IV sensitivity: scores under workload-skewed weights (lower is better)\n" + t.String()
+}
+
+// CSV renders all measurements as comma-separated rows for external
+// plotting.
+func CSV(ms []Measurement) string {
+	var b strings.Builder
+	b.WriteString("pattern,dims,kind,nnz,build_s,reorg_s,write_s,others_s,write_total_s,io_s,extract_s,probe_s,merge_s,read_total_s,bytes,found\n")
+	for _, m := range ms {
+		fmt.Fprintf(&b, "%v,%d,%v,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d\n",
+			m.Case.Pattern, m.Case.Dims, m.Kind, m.NNZ,
+			m.Write.Build.Seconds(), m.Write.Reorg.Seconds(), m.Write.Write.Seconds(),
+			m.Write.Others.Seconds(), m.WriteTotal().Seconds(),
+			m.Read.IO.Seconds(), m.Read.Extract.Seconds(), m.Read.Probe.Seconds(),
+			m.Read.Merge.Seconds(), m.ReadTotal().Seconds(), m.Bytes, m.Found)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+// Package complexity encodes the paper's Table I — the time and space
+// complexity of the five storage organizations — as evaluable cost
+// functions. The benchmark harness prints the symbolic table from here,
+// and the organization advisor (the paper's stated future work) uses the
+// numeric estimates to rank organizations for a characterized dataset.
+//
+// Costs are in abstract operation/word units: they predict orderings and
+// ratios, not seconds.
+package complexity
+
+import (
+	"fmt"
+	"math"
+
+	"sparseart/internal/core"
+	"sparseart/internal/tensor"
+)
+
+// Params describes a workload for estimation.
+type Params struct {
+	// N is the number of stored points, NRead the number probed.
+	N, NRead float64
+	// Shape is the tensor shape.
+	Shape tensor.Shape
+	// CSFShare is the fraction of coordinates deduplicated per CSF
+	// level, in [0, 1): 0 reproduces the worst case O(n·d), 0.5 the
+	// paper's average case 2n(1−(1/2)^d). The advisor measures it from
+	// the data; Table I evaluation uses the average case.
+	CSFShare float64
+}
+
+// Dims returns the dimensionality.
+func (p Params) Dims() int { return p.Shape.Dims() }
+
+func (p Params) minExtent() float64 {
+	m, _ := p.Shape.MinExtent()
+	return float64(m)
+}
+
+// Estimate is the predicted cost of one organization under a workload.
+type Estimate struct {
+	// Build is the index-construction operation count (Table I col 2).
+	Build float64
+	// Read is the operation count to probe NRead points (col 3).
+	Read float64
+	// SpaceWords is the index footprint in 8-byte words (col 4).
+	SpaceWords float64
+}
+
+// For evaluates Table I's formulas for one organization.
+func For(kind core.Kind, p Params) (Estimate, error) {
+	n, nr, d := p.N, p.NRead, float64(p.Dims())
+	logn := math.Log2(math.Max(n, 2))
+	minExt := p.minExtent()
+	switch kind {
+	case core.COO:
+		return Estimate{Build: 1, Read: n * nr, SpaceWords: n * d}, nil
+	case core.COOSorted:
+		// The sorted variant the paper discusses in §II-A: n log n
+		// build, log n per probe.
+		return Estimate{Build: n * logn, Read: nr * logn, SpaceWords: n * d}, nil
+	case core.Linear:
+		return Estimate{Build: n * d, Read: n * nr, SpaceWords: n}, nil
+	case core.BCOO:
+		// The HiCOO-style extension: sort-dominated build; probes pay
+		// two binary searches; the index stores one byte per
+		// coordinate plus a block directory (modeled as n/8 blocks of
+		// d+1 words in the worst dispersal case).
+		blocks := n / 8
+		return Estimate{
+			Build:      n*logn + n*d,
+			Read:       nr * 2 * logn,
+			SpaceWords: n*d/8 + blocks*(d+1),
+		}, nil
+	case core.GCSR, core.GCSC:
+		return Estimate{
+			Build:      n*logn + 2*n,
+			Read:       nr*(n/math.Max(minExt, 1)) + n,
+			SpaceWords: n + minExt,
+		}, nil
+	case core.CSF:
+		share := p.CSFShare
+		if share < 0 || share >= 1 {
+			return Estimate{}, fmt.Errorf("complexity: CSF share %v outside [0,1)", share)
+		}
+		// Space interpolates the paper's three cases. A share s of
+		// coordinates deduplicated per level shrinks each level above
+		// the leaves by f = 1-s, so the total is n·(1-f^d)/(1-f):
+		// share=0 gives the worst case n·d, share=0.5 the average
+		// 2n(1-(1/2)^d), and share→1 approaches the best case n+d.
+		var space float64
+		if share == 0 {
+			space = n * d
+		} else {
+			f := 1 - share
+			space = n * (1 - math.Pow(f, d)) / (1 - f)
+			if best := n + d; space < best {
+				space = best
+			}
+		}
+		return Estimate{
+			Build:      n*logn + n*d,
+			Read:       nr * d,
+			SpaceWords: space,
+		}, nil
+	}
+	return Estimate{}, fmt.Errorf("complexity: no model for %v", kind)
+}
+
+// Row is one line of the symbolic Table I.
+type Row struct {
+	Kind  core.Kind
+	Build string
+	Read  string
+	Space string
+}
+
+// TableI returns the symbolic complexity table exactly as the paper
+// prints it.
+func TableI() []Row {
+	return []Row{
+		{core.COO, "O(1)", "O(n x n_read)", "O(n x d)"},
+		{core.Linear, "O(n x d)", "O(n x n_read)", "O(n)"},
+		{core.GCSR, "O(n log n + 2n)", "O(n_read x n/min{m_1..m_d} + n)", "O(n + min{m_1..m_d})"},
+		{core.GCSC, "O(n log n + 2n)", "O(n_read x n/min{m_1..m_d} + n)", "O(n + min{m_1..m_d})"},
+		{core.CSF, "O(n log n + n x d)", "O(n_read x d)", "O(n+d) .. O(n x d)"},
+	}
+}

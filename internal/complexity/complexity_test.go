@@ -1,0 +1,168 @@
+package complexity
+
+import (
+	"testing"
+
+	"sparseart/internal/core"
+	"sparseart/internal/tensor"
+)
+
+func params() Params {
+	return Params{
+		N:        1e6,
+		NRead:    1e4,
+		Shape:    tensor.Shape{512, 512, 512},
+		CSFShare: 0.5,
+	}
+}
+
+func est(t *testing.T, k core.Kind, p Params) Estimate {
+	t.Helper()
+	e, err := For(k, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestBuildOrdering checks the paper's §III-A build ranking:
+// COO > LINEAR > GCSR++ = GCSC++, with CSF also slower than LINEAR.
+func TestBuildOrdering(t *testing.T) {
+	p := params()
+	coo := est(t, core.COO, p)
+	lin := est(t, core.Linear, p)
+	gcsr := est(t, core.GCSR, p)
+	gcsc := est(t, core.GCSC, p)
+	csf := est(t, core.CSF, p)
+	if !(coo.Build < lin.Build && lin.Build < gcsr.Build) {
+		t.Fatalf("build ordering violated: COO %g LINEAR %g GCSR %g", coo.Build, lin.Build, gcsr.Build)
+	}
+	if gcsr.Build != gcsc.Build {
+		t.Fatalf("GCSR and GCSC build differ: %g vs %g", gcsr.Build, gcsc.Build)
+	}
+	if csf.Build <= lin.Build {
+		t.Fatalf("CSF build %g should exceed LINEAR %g", csf.Build, lin.Build)
+	}
+}
+
+// TestSpaceOrdering checks Figure 4's ranking:
+// LINEAR < GCSR++ <= CSF(avg) <= COO.
+func TestSpaceOrdering(t *testing.T) {
+	p := params()
+	coo := est(t, core.COO, p)
+	lin := est(t, core.Linear, p)
+	gcsr := est(t, core.GCSR, p)
+	csf := est(t, core.CSF, p)
+	if !(lin.SpaceWords < gcsr.SpaceWords && gcsr.SpaceWords < csf.SpaceWords && csf.SpaceWords < coo.SpaceWords) {
+		t.Fatalf("space ordering violated: LINEAR %g GCSR %g CSF %g COO %g",
+			lin.SpaceWords, gcsr.SpaceWords, csf.SpaceWords, coo.SpaceWords)
+	}
+}
+
+// TestReadOrdering checks Figure 5's ranking: the compressed formats
+// beat the scan formats by orders of magnitude.
+func TestReadOrdering(t *testing.T) {
+	p := params()
+	coo := est(t, core.COO, p)
+	lin := est(t, core.Linear, p)
+	gcsr := est(t, core.GCSR, p)
+	csf := est(t, core.CSF, p)
+	if gcsr.Read >= lin.Read/10 {
+		t.Fatalf("GCSR read %g should be far below LINEAR %g", gcsr.Read, lin.Read)
+	}
+	if csf.Read >= gcsr.Read {
+		t.Fatalf("CSF read %g should beat GCSR %g at 3D", csf.Read, gcsr.Read)
+	}
+	if coo.Read != lin.Read {
+		t.Fatalf("COO and LINEAR share the scan cost: %g vs %g", coo.Read, lin.Read)
+	}
+}
+
+// TestGCSReadDegradesWithDimensions reproduces the paper's §III-C
+// explanation: GCSR++'s read cost grows with dimensionality (the rows
+// get longer) while CSF's shrinks relative to it, crossing over after
+// 2D.
+func TestGCSReadDegradesWithDimensions(t *testing.T) {
+	n, nr := 1e6, 1e4
+	shapes := map[int]tensor.Shape{
+		2: {8192, 8192},
+		3: {512, 512, 512},
+		4: {128, 128, 128, 128},
+	}
+	ratio := map[int]float64{}
+	for d, shape := range shapes {
+		p := Params{N: n, NRead: nr, Shape: shape, CSFShare: 0.5}
+		gcsr := est(t, core.GCSR, p)
+		csf := est(t, core.CSF, p)
+		ratio[d] = gcsr.Read / csf.Read
+	}
+	if !(ratio[2] < ratio[3] && ratio[3] < ratio[4]) {
+		t.Fatalf("GCSR/CSF read ratio should grow with dims: %v", ratio)
+	}
+}
+
+// TestCSFSpaceCases pins the three cases of §II-E: worst O(n·d),
+// average 2n(1-(1/2)^d), best approaching O(n+d).
+func TestCSFSpaceCases(t *testing.T) {
+	p := params()
+	p.CSFShare = 0
+	worst := est(t, core.CSF, p)
+	if worst.SpaceWords != p.N*3 {
+		t.Fatalf("worst case = %g, want %g", worst.SpaceWords, p.N*3)
+	}
+	p.CSFShare = 0.5
+	avg := est(t, core.CSF, p)
+	want := 2 * p.N * (1 - 0.125)
+	if avg.SpaceWords < want*0.99 || avg.SpaceWords > want*1.01 {
+		t.Fatalf("average case = %g, want ~%g", avg.SpaceWords, want)
+	}
+	p.CSFShare = 0.99
+	best := est(t, core.CSF, p)
+	if best.SpaceWords >= avg.SpaceWords || best.SpaceWords < p.N {
+		t.Fatalf("best case = %g", best.SpaceWords)
+	}
+	p.CSFShare = 1.5
+	if _, err := For(core.CSF, p); err == nil {
+		t.Fatal("share > 1 accepted")
+	}
+}
+
+func TestSortedCOOBetweenBaselines(t *testing.T) {
+	p := params()
+	coo := est(t, core.COO, p)
+	scoo := est(t, core.COOSorted, p)
+	if scoo.Read >= coo.Read {
+		t.Fatal("sorted COO read should beat the scan")
+	}
+	if scoo.Build <= coo.Build {
+		t.Fatal("sorted COO build should cost more than O(1)")
+	}
+	if scoo.SpaceWords != coo.SpaceWords {
+		t.Fatal("sorting does not change COO's footprint")
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if _, err := For(core.Kind(77), params()); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestTableIRows(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 5 {
+		t.Fatalf("Table I has %d rows", len(rows))
+	}
+	want := []core.Kind{core.COO, core.Linear, core.GCSR, core.GCSC, core.CSF}
+	for i, k := range want {
+		if rows[i].Kind != k {
+			t.Fatalf("row %d is %v, want %v", i, rows[i].Kind, k)
+		}
+		if rows[i].Build == "" || rows[i].Read == "" || rows[i].Space == "" {
+			t.Fatalf("row %d has empty cells", i)
+		}
+	}
+	if rows[0].Build != "O(1)" {
+		t.Fatalf("COO build = %q", rows[0].Build)
+	}
+}

@@ -1,0 +1,42 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip: every codec must reproduce any input exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte("hello world, twelve bytes+"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		for _, c := range All() {
+			enc := c.Encode(src)
+			dec, err := c.Decode(enc)
+			if err != nil {
+				t.Fatalf("%s: decode of own encoding: %v", c.Name(), err)
+			}
+			if !bytes.Equal(dec, src) {
+				t.Fatalf("%s: round trip mismatch", c.Name())
+			}
+		}
+	})
+}
+
+// FuzzDecodeGarbage: decoders must reject or accept garbage without
+// panicking or allocating unbounded memory.
+func FuzzDecodeGarbage(f *testing.F) {
+	f.Add(uint8(1), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Add(uint8(2), []byte{0x80})
+	f.Fuzz(func(t *testing.T, idSel uint8, junk []byte) {
+		c, err := Get(ID(idSel % 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Decode(junk)
+		if err == nil && len(out) > maxDecodedSize {
+			t.Fatalf("%s: decoded %d bytes past the limit", c.Name(), len(out))
+		}
+	})
+}

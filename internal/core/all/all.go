@@ -1,0 +1,14 @@
+// Package all registers every storage organization with the core
+// registry. Importing it (usually blank) is how the storage engine,
+// benchmark harness, and tools make all five of the paper's formats —
+// plus the sorted-COO and HiCOO-style BCOO extensions — available
+// through core.Get.
+package all
+
+import (
+	_ "sparseart/internal/core/bcoo"
+	_ "sparseart/internal/core/coo"
+	_ "sparseart/internal/core/csf"
+	_ "sparseart/internal/core/gcs"
+	_ "sparseart/internal/core/linearfmt"
+)

@@ -1,0 +1,142 @@
+package coo
+
+import (
+	"testing"
+
+	"sparseart/internal/core"
+	"sparseart/internal/core/coretest"
+	"sparseart/internal/tensor"
+)
+
+func TestConformanceUnsorted(t *testing.T) {
+	coretest.RunConformance(t, New())
+}
+
+func TestConformanceSorted(t *testing.T) {
+	coretest.RunConformance(t, NewSorted())
+}
+
+func TestKinds(t *testing.T) {
+	if New().Kind() != core.COO {
+		t.Fatal("unsorted kind")
+	}
+	if NewSorted().Kind() != core.COOSorted {
+		t.Fatal("sorted kind")
+	}
+}
+
+func TestUnsortedPreservesInputOrder(t *testing.T) {
+	// §II-A: the unsorted baseline serializes the input as-is, so the
+	// permutation is identity (nil) and the payload stores the points
+	// in input order.
+	shape, c := coretest.PaperExample()
+	built, err := New().Build(c, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Perm != nil {
+		t.Fatal("unsorted COO returned a non-identity perm")
+	}
+	r, err := New().Open(built.Payload, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.Len(); i++ {
+		slot, ok := r.Lookup(c.At(i))
+		if !ok || slot != i {
+			t.Fatalf("point %d at slot %d (ok=%v)", i, slot, ok)
+		}
+	}
+}
+
+func TestSortedOrdersByLinearAddress(t *testing.T) {
+	shape := tensor.Shape{4, 4}
+	c := tensor.NewCoords(2, 0)
+	c.Append(3, 3) // addr 15
+	c.Append(0, 1) // addr 1
+	c.Append(2, 0) // addr 8
+	built, err := NewSorted().Build(c, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input order (15, 1, 8) sorts to (1, 8, 15): perm = {2, 0, 1}.
+	want := []int{2, 0, 1}
+	for i, p := range built.Perm {
+		if p != want[i] {
+			t.Fatalf("perm = %v, want %v", built.Perm, want)
+		}
+	}
+}
+
+func TestSortedRejectsUnsortedPayloadAndViceVersa(t *testing.T) {
+	shape, c := coretest.PaperExample()
+	unsorted, err := New().Build(c, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSorted().Open(unsorted.Payload, shape); err == nil {
+		t.Fatal("sorted format opened an unsorted payload")
+	}
+	sorted, err := NewSorted().Build(c, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New().Open(sorted.Payload, shape); err == nil {
+		t.Fatal("unsorted format opened a sorted payload")
+	}
+}
+
+func TestOpenRejectsDimsMismatch(t *testing.T) {
+	shape, c := coretest.PaperExample()
+	built, err := New().Build(c, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New().Open(built.Payload, tensor.Shape{3, 3}); err == nil {
+		t.Fatal("payload opened under wrong rank")
+	}
+}
+
+func TestIndexWordsMatchesTableI(t *testing.T) {
+	// Table I: COO space is O(n x d) — exactly n*d words here.
+	shape, c := coretest.PaperExample()
+	built, err := New().Build(c, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New().Open(built.Payload, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := r.(core.PayloadSizer).IndexWords(); w != c.Len()*shape.Dims() {
+		t.Fatalf("IndexWords = %d, want %d", w, c.Len()*shape.Dims())
+	}
+}
+
+func TestDuplicatePointsLookupFindsOne(t *testing.T) {
+	shape := tensor.Shape{4, 4}
+	c := tensor.NewCoords(2, 0)
+	c.Append(1, 1)
+	c.Append(1, 1)
+	c.Append(2, 2)
+	for _, f := range []Format{New(), NewSorted()} {
+		built, err := f.Build(c, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := f.Open(built.Payload, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := r.Lookup([]uint64{1, 1}); !ok {
+			t.Fatalf("sorted=%v: duplicate point not found", f.Sorted)
+		}
+		if r.NNZ() != 3 {
+			t.Fatalf("sorted=%v: NNZ = %d", f.Sorted, r.NNZ())
+		}
+	}
+}
+
+func FuzzOpenUnsorted(f *testing.F) { coretest.FuzzOpen(f, New()) }
+
+func FuzzOpenSorted(f *testing.F) { coretest.FuzzOpen(f, NewSorted()) }

@@ -1,0 +1,400 @@
+// Package coretest is a conformance battery for storage organizations:
+// every Format implementation must pass RunConformance. It checks the
+// Build/Open/Lookup contract — payload self-description, the map-vector
+// permutation semantics of Algorithms 1–3, found/not-found correctness
+// against a brute-force model, determinism, parallel-build equivalence,
+// and corrupt-payload rejection.
+package coretest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sparseart/internal/core"
+	"sparseart/internal/tensor"
+)
+
+// PaperExample returns the 3x3x3 tensor of the paper's Fig. 1 with its
+// five points in the paper's order.
+func PaperExample() (tensor.Shape, *tensor.Coords) {
+	shape := tensor.Shape{3, 3, 3}
+	c := tensor.NewCoords(3, 5)
+	c.Append(0, 0, 1)
+	c.Append(0, 1, 1)
+	c.Append(0, 1, 2)
+	c.Append(2, 2, 1)
+	c.Append(2, 2, 2)
+	return shape, c
+}
+
+// randomDataset draws n distinct points inside shape, in random order.
+func randomDataset(rng *rand.Rand, shape tensor.Shape, n int) *tensor.Coords {
+	lin, err := tensor.NewLinearizer(shape, tensor.RowMajor)
+	if err != nil {
+		panic(err)
+	}
+	vol, _ := shape.Volume()
+	if uint64(n) > vol {
+		n = int(vol)
+	}
+	seen := map[uint64]bool{}
+	c := tensor.NewCoords(shape.Dims(), n)
+	p := make([]uint64, shape.Dims())
+	for len(seen) < n {
+		addr := uint64(rng.Int63n(int64(vol)))
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		lin.Delinearize(addr, p)
+		c.Append(p...)
+	}
+	return c
+}
+
+// checkRoundTrip builds the dataset, reopens the payload, and verifies
+// that every stored point is found at the slot its permutation
+// dictates and that absent probes miss.
+func checkRoundTrip(t *testing.T, f core.Format, shape tensor.Shape, c *tensor.Coords) {
+	t.Helper()
+	built, err := f.Build(c, shape)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	n := c.Len()
+	if built.Perm != nil {
+		if len(built.Perm) != n {
+			t.Fatalf("perm length %d for %d points", len(built.Perm), n)
+		}
+		if err := tensor.CheckPerm(built.Perm); err != nil {
+			t.Fatalf("perm invalid: %v", err)
+		}
+	}
+	r, err := f.Open(built.Payload, shape)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if r.NNZ() != n {
+		t.Fatalf("NNZ = %d, want %d", r.NNZ(), n)
+	}
+	// Every stored point must be found at the permuted slot.
+	for i := 0; i < n; i++ {
+		slot, ok := r.Lookup(c.At(i))
+		if !ok {
+			t.Fatalf("point %v (index %d) not found", c.At(i), i)
+		}
+		want := i
+		if built.Perm != nil {
+			want = built.Perm[i]
+		}
+		if slot != want {
+			t.Fatalf("point %v: slot %d, want %d", c.At(i), slot, want)
+		}
+	}
+	// Probe points that are not stored.
+	lin, err := tensor.NewLinearizer(shape, tensor.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		present[lin.Linearize(c.At(i))] = true
+	}
+	vol, _ := shape.Volume()
+	p := make([]uint64, shape.Dims())
+	misses := 0
+	for addr := uint64(0); addr < vol && misses < 200; addr++ {
+		if present[addr] {
+			continue
+		}
+		misses++
+		lin.Delinearize(addr, p)
+		if _, ok := r.Lookup(p); ok {
+			t.Fatalf("absent point %v reported found", p)
+		}
+	}
+	// Out-of-shape and wrong-rank probes must miss, not panic.
+	if _, ok := r.Lookup(append([]uint64(nil), shape...)); ok {
+		t.Fatal("out-of-shape probe found")
+	}
+	if _, ok := r.Lookup(make([]uint64, shape.Dims()+1)); ok {
+		t.Fatal("wrong-rank probe found")
+	}
+	if sz, ok := r.(core.PayloadSizer); ok {
+		if w := sz.IndexWords(); n > 0 && w <= 0 {
+			t.Fatalf("IndexWords = %d", w)
+		}
+	}
+}
+
+// RunConformance exercises the full battery against f. minDims is the
+// smallest dimensionality the format supports (2 for TSP-style formats
+// that require pairs; 1 for all of the paper's organizations).
+func RunConformance(t *testing.T, f core.Format) {
+	t.Run("PaperExample", func(t *testing.T) {
+		shape, c := PaperExample()
+		checkRoundTrip(t, f, shape, c)
+	})
+
+	t.Run("Empty", func(t *testing.T) {
+		shape := tensor.Shape{4, 4}
+		built, err := f.Build(tensor.NewCoords(2, 0), shape)
+		if err != nil {
+			t.Fatalf("Build of empty tensor: %v", err)
+		}
+		r, err := f.Open(built.Payload, shape)
+		if err != nil {
+			t.Fatalf("Open of empty payload: %v", err)
+		}
+		if r.NNZ() != 0 {
+			t.Fatalf("NNZ = %d", r.NNZ())
+		}
+		if _, ok := r.Lookup([]uint64{1, 1}); ok {
+			t.Fatal("empty tensor found a point")
+		}
+	})
+
+	t.Run("SinglePoint", func(t *testing.T) {
+		shape := tensor.Shape{5, 5, 5, 5}
+		c := tensor.NewCoords(4, 1)
+		c.Append(4, 0, 3, 2)
+		checkRoundTrip(t, f, shape, c)
+	})
+
+	t.Run("OneDimensional", func(t *testing.T) {
+		shape := tensor.Shape{64}
+		c := tensor.NewCoords(1, 0)
+		for _, x := range []uint64{5, 0, 63, 17} {
+			c.Append(x)
+		}
+		checkRoundTrip(t, f, shape, c)
+	})
+
+	t.Run("FullTensor", func(t *testing.T) {
+		shape := tensor.Shape{3, 3}
+		c := tensor.NewCoords(2, 9)
+		for i := uint64(0); i < 3; i++ {
+			for j := uint64(0); j < 3; j++ {
+				c.Append(i, j)
+			}
+		}
+		checkRoundTrip(t, f, shape, c)
+	})
+
+	t.Run("RandomDatasets", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(7))
+		shapes := []tensor.Shape{
+			{50, 50},
+			{16, 16, 16},
+			{8, 8, 8, 8},
+			{100, 3},        // strongly anisotropic
+			{2, 1000},       // minimum extent first
+			{5, 4, 3, 2, 2}, // 5-dimensional
+		}
+		for _, shape := range shapes {
+			for _, n := range []int{1, 17, 300} {
+				c := randomDataset(rng, shape, n)
+				t.Run(fmt.Sprintf("%v_n%d", shape, c.Len()), func(t *testing.T) {
+					checkRoundTrip(t, f, shape, c)
+				})
+			}
+		}
+	})
+
+	t.Run("Deterministic", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(11))
+		shape := tensor.Shape{20, 20, 20}
+		c := randomDataset(rng, shape, 200)
+		a, err := f.Build(c, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := f.Build(c.Clone(), shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Payload, b.Payload) {
+			t.Fatal("two builds of the same input differ")
+		}
+	})
+
+	t.Run("ParallelBuildEqualsSerial", func(t *testing.T) {
+		setter, ok := f.(core.OptionSetter)
+		if !ok {
+			t.Skip("format has no options")
+		}
+		rng := rand.New(rand.NewSource(13))
+		shape := tensor.Shape{30, 30, 30}
+		c := randomDataset(rng, shape, 5000)
+		serial, err := setter.WithOptions(core.Options{Parallelism: 1}).Build(c, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := setter.WithOptions(core.Options{Parallelism: 8}).Build(c, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(serial.Payload, parallel.Payload) {
+			t.Fatal("parallel build payload differs from serial")
+		}
+		if (serial.Perm == nil) != (parallel.Perm == nil) {
+			t.Fatal("perm presence differs")
+		}
+		for i := range serial.Perm {
+			if serial.Perm[i] != parallel.Perm[i] {
+				t.Fatalf("perm differs at %d", i)
+			}
+		}
+	})
+
+	t.Run("IteratorVisitsEveryPointOnce", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(17))
+		shape := tensor.Shape{9, 7, 8}
+		c := randomDataset(rng, shape, 120)
+		built, err := f.Build(c, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := f.Open(built.Payload, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, ok := r.(core.Iterator)
+		if !ok {
+			t.Fatal("reader does not implement core.Iterator")
+		}
+		lin, err := tensor.NewLinearizer(shape, tensor.RowMajor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[uint64]int{} // addr -> expected slot
+		for i := 0; i < c.Len(); i++ {
+			slot := i
+			if built.Perm != nil {
+				slot = built.Perm[i]
+			}
+			want[lin.Linearize(c.At(i))] = slot
+		}
+		slotSeen := make([]bool, c.Len())
+		visited := 0
+		it.Each(func(p []uint64, slot int) bool {
+			visited++
+			addr := lin.Linearize(p)
+			wantSlot, ok := want[addr]
+			if !ok {
+				t.Fatalf("Each visited point %v that was never stored", p)
+			}
+			if slot != wantSlot {
+				t.Fatalf("point %v: Each slot %d, want %d", p, slot, wantSlot)
+			}
+			if slot < 0 || slot >= c.Len() || slotSeen[slot] {
+				t.Fatalf("slot %d out of range or repeated", slot)
+			}
+			slotSeen[slot] = true
+			return true
+		})
+		if visited != c.Len() {
+			t.Fatalf("Each visited %d of %d points", visited, c.Len())
+		}
+		// Early termination stops the walk.
+		calls := 0
+		it.Each(func(p []uint64, slot int) bool {
+			calls++
+			return calls < 5
+		})
+		if calls != 5 {
+			t.Fatalf("early stop visited %d points, want 5", calls)
+		}
+	})
+
+	t.Run("RegionScanMatchesFilter", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(23))
+		shape := tensor.Shape{10, 10, 10}
+		c := randomDataset(rng, shape, 200)
+		built, err := f.Build(c, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := f.Open(built.Payload, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, ok := r.(core.Iterator)
+		if !ok {
+			t.Skip("no iterator")
+		}
+		region, err := tensor.NewRegion(shape, []uint64{2, 3, 0}, []uint64{5, 4, 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int]bool{}
+		it.Each(func(p []uint64, slot int) bool {
+			if region.Contains(p) {
+				want[slot] = true
+			}
+			return true
+		})
+		scanner, ok := r.(core.RegionScanner)
+		if !ok {
+			return // generic fallback is exactly the filter above
+		}
+		got := map[int]bool{}
+		scanner.ScanRegion(region, func(p []uint64, slot int) bool {
+			if !region.Contains(p) {
+				t.Fatalf("ScanRegion emitted %v outside the region", p)
+			}
+			got[slot] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("ScanRegion found %d points, filter found %d", len(got), len(want))
+		}
+		for slot := range want {
+			if !got[slot] {
+				t.Fatalf("ScanRegion missed slot %d", slot)
+			}
+		}
+	})
+
+	t.Run("BuildDoesNotMutateInput", func(t *testing.T) {
+		shape, c := PaperExample()
+		before := c.Clone()
+		if _, err := f.Build(c, shape); err != nil {
+			t.Fatal(err)
+		}
+		if !c.Equal(before) {
+			t.Fatal("Build mutated its input")
+		}
+	})
+
+	t.Run("Errors", func(t *testing.T) {
+		shape := tensor.Shape{4, 4}
+		c := tensor.NewCoords(3, 1)
+		c.Append(1, 1, 1)
+		if _, err := f.Build(c, shape); err == nil {
+			t.Error("dims mismatch accepted")
+		}
+		if _, err := f.Build(tensor.NewCoords(2, 0), tensor.Shape{0, 4}); err == nil {
+			t.Error("invalid shape accepted")
+		}
+		if _, err := f.Open([]byte{1, 2, 3}, shape); err == nil {
+			t.Error("garbage payload accepted")
+		}
+		if _, err := f.Open(nil, shape); err == nil {
+			t.Error("nil payload accepted")
+		}
+		// A valid payload truncated mid-body must be rejected.
+		_, pc := PaperExample()
+		built, err := f.Build(pc, tensor.Shape{3, 3, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(built.Payload) > 10 {
+			if _, err := f.Open(built.Payload[:len(built.Payload)-7], tensor.Shape{3, 3, 3}); err == nil {
+				t.Error("truncated payload accepted")
+			}
+		}
+	})
+}

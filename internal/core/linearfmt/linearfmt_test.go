@@ -1,0 +1,119 @@
+package linearfmt
+
+import (
+	"testing"
+
+	"sparseart/internal/buf"
+	"sparseart/internal/core"
+	"sparseart/internal/core/coretest"
+	"sparseart/internal/tensor"
+)
+
+func TestConformance(t *testing.T) {
+	coretest.RunConformance(t, New())
+}
+
+func TestKind(t *testing.T) {
+	if New().Kind() != core.Linear {
+		t.Fatal("kind")
+	}
+}
+
+func TestPaperFig1Addresses(t *testing.T) {
+	// Fig. 1(a): the example's five points linearize to 1,4,5,25,26.
+	shape, c := coretest.PaperExample()
+	built, err := New().Build(c, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := buf.NewReader(built.Payload)
+	r.U32() // magic
+	r.U16() // dims
+	r.U16()
+	n := r.U64()
+	addrs := r.RawU64s(n)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	want := []uint64{1, 4, 5, 25, 26}
+	for i, a := range addrs {
+		if a != want[i] {
+			t.Fatalf("addresses = %v, want %v", addrs, want)
+		}
+	}
+	if built.Perm != nil {
+		t.Fatal("LINEAR must preserve input order (identity perm)")
+	}
+}
+
+func TestIndexWordsMatchesTableI(t *testing.T) {
+	// Table I: LINEAR space is O(n) — exactly n words.
+	shape, c := coretest.PaperExample()
+	built, err := New().Build(c, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New().Open(built.Payload, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := r.(core.PayloadSizer).IndexWords(); w != c.Len() {
+		t.Fatalf("IndexWords = %d, want %d", w, c.Len())
+	}
+}
+
+func TestRejectsOverflowShape(t *testing.T) {
+	// §II-B names overflow as LINEAR's risk; the format must refuse
+	// rather than wrap.
+	shape := tensor.Shape{1 << 32, 1 << 33}
+	c := tensor.NewCoords(2, 1)
+	c.Append(0, 0)
+	if _, err := New().Build(c, shape); err == nil {
+		t.Fatal("overflowing shape accepted")
+	}
+}
+
+func TestRejectsOutOfShapePoint(t *testing.T) {
+	shape := tensor.Shape{4, 4}
+	c := tensor.NewCoords(2, 1)
+	c.Append(4, 0)
+	if _, err := New().Build(c, shape); err == nil {
+		t.Fatal("out-of-shape point accepted")
+	}
+}
+
+func TestOpenRejectsWrongRank(t *testing.T) {
+	shape, c := coretest.PaperExample()
+	built, err := New().Build(c, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New().Open(built.Payload, tensor.Shape{9, 9}); err == nil {
+		t.Fatal("payload opened under wrong rank")
+	}
+}
+
+func TestLookupUsesShapeGeometry(t *testing.T) {
+	// The same payload opened under the build shape must resolve
+	// points by address, so a probe whose address collides with a
+	// stored address but whose coordinates differ cannot exist.
+	shape := tensor.Shape{4, 8}
+	c := tensor.NewCoords(2, 0)
+	c.Append(1, 2) // addr 10
+	built, err := New().Build(c, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New().Open(built.Payload, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot, ok := r.Lookup([]uint64{1, 2}); !ok || slot != 0 {
+		t.Fatalf("Lookup = %d,%v", slot, ok)
+	}
+	if _, ok := r.Lookup([]uint64{2, 2}); ok {
+		t.Fatal("wrong point found")
+	}
+}
+
+func FuzzOpen(f *testing.F) { coretest.FuzzOpen(f, New()) }

@@ -1,0 +1,169 @@
+// Package dataio reads and writes sparse-tensor datasets as standalone
+// files, the interchange format between the sparsegen, sparseadvise,
+// and example programs. Two encodings are supported: a line-oriented
+// text form ("c1 c2 ... cd value" per point, '#' comments) compatible
+// with common COO dumps, and a compact binary form.
+package dataio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sparseart/internal/buf"
+	"sparseart/internal/tensor"
+)
+
+const binaryMagic = 0x31544453 // "SDT1"
+
+// Tensor is a dataset: a shape, its points, and one value per point.
+type Tensor struct {
+	Shape  tensor.Shape
+	Coords *tensor.Coords
+	Values []float64
+}
+
+func (t *Tensor) validate() error {
+	if err := t.Shape.Validate(); err != nil {
+		return err
+	}
+	if t.Coords.Dims() != t.Shape.Dims() {
+		return fmt.Errorf("dataio: %d-dim coords for %d-dim shape", t.Coords.Dims(), t.Shape.Dims())
+	}
+	if t.Coords.Len() != len(t.Values) {
+		return fmt.Errorf("dataio: %d points with %d values", t.Coords.Len(), len(t.Values))
+	}
+	return nil
+}
+
+// WriteText writes the dataset in the line-oriented text form. The
+// header line "# shape: m1 m2 ..." makes the file self-describing.
+func WriteText(w io.Writer, t *Tensor) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# sparseart dataset: %d points\n", t.Coords.Len())
+	fmt.Fprint(bw, "# shape:")
+	for _, m := range t.Shape {
+		fmt.Fprintf(bw, " %d", m)
+	}
+	fmt.Fprintln(bw)
+	for i, n := 0, t.Coords.Len(); i < n; i++ {
+		for _, c := range t.Coords.At(i) {
+			fmt.Fprintf(bw, "%d ", c)
+		}
+		fmt.Fprintf(bw, "%g\n", t.Values[i])
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text form. A "# shape:" header is required so the
+// tensor extent does not have to be guessed from the data.
+func ReadText(r io.Reader) (*Tensor, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var shape tensor.Shape
+	var coords *tensor.Coords
+	var values []float64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# shape:"); ok {
+				for _, f := range strings.Fields(rest) {
+					m, err := strconv.ParseUint(f, 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("dataio: line %d: bad shape extent %q", lineNo, f)
+					}
+					shape = append(shape, m)
+				}
+			}
+			continue
+		}
+		if shape == nil {
+			return nil, fmt.Errorf("dataio: line %d: data before '# shape:' header", lineNo)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != len(shape)+1 {
+			return nil, fmt.Errorf("dataio: line %d: want %d coordinates + value, got %d fields",
+				lineNo, len(shape), len(fields))
+		}
+		if coords == nil {
+			coords = tensor.NewCoords(len(shape), 0)
+		}
+		p := make([]uint64, len(shape))
+		for i := 0; i < len(shape); i++ {
+			c, err := strconv.ParseUint(fields[i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataio: line %d: bad coordinate %q", lineNo, fields[i])
+			}
+			p[i] = c
+		}
+		v, err := strconv.ParseFloat(fields[len(shape)], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataio: line %d: bad value %q", lineNo, fields[len(shape)])
+		}
+		coords.Append(p...)
+		values = append(values, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if shape == nil {
+		return nil, fmt.Errorf("dataio: missing '# shape:' header")
+	}
+	if coords == nil {
+		coords = tensor.NewCoords(len(shape), 0)
+	}
+	t := &Tensor{Shape: shape, Coords: coords, Values: values}
+	return t, t.validate()
+}
+
+// WriteBinary writes the compact binary form.
+func WriteBinary(w io.Writer, t *Tensor) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	bw := buf.NewWriter(32 + 8*(len(t.Shape)+len(t.Coords.Flat())+len(t.Values)))
+	bw.U32(binaryMagic)
+	bw.U16(uint16(t.Shape.Dims()))
+	bw.U16(0)
+	bw.RawU64s(t.Shape)
+	bw.U64(uint64(t.Coords.Len()))
+	bw.RawU64s(t.Coords.Flat())
+	bw.F64s(t.Values)
+	_, err := w.Write(bw.Bytes())
+	return err
+}
+
+// ReadBinary parses the binary form.
+func ReadBinary(r io.Reader) (*Tensor, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	br := buf.NewReader(data)
+	br.Expect(binaryMagic, "dataset")
+	dims := int(br.U16())
+	br.U16()
+	shape := tensor.Shape(br.RawU64s(uint64(dims)))
+	n := br.U64()
+	flat := br.RawU64s(n * uint64(dims))
+	values := br.F64s()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	coords, err := tensor.FromFlat(dims, flat)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tensor{Shape: shape, Coords: coords, Values: values}
+	return t, t.validate()
+}

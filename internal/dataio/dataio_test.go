@@ -1,0 +1,174 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sparseart/internal/tensor"
+)
+
+func sample() *Tensor {
+	c := tensor.NewCoords(3, 0)
+	c.Append(0, 0, 1)
+	c.Append(2, 2, 2)
+	return &Tensor{
+		Shape:  tensor.Shape{3, 3, 3},
+		Coords: c,
+		Values: []float64{1.5, -2.25},
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if !got.Shape.Equal(want.Shape) || !got.Coords.Equal(want.Coords) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range want.Values {
+		if got.Values[i] != want.Values[i] {
+			t.Fatalf("values = %v", got.Values)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if !got.Shape.Equal(want.Shape) || !got.Coords.Equal(want.Coords) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadTextTolerantFormat(t *testing.T) {
+	in := `
+# a comment
+# shape: 4 4
+
+1 2 3.5
+0 0 -1
+`
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Coords.Len() != 2 || got.Values[0] != 3.5 || got.Values[1] != -1 {
+		t.Fatalf("parsed %+v", got)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":       "1 2 3\n",
+		"bad extent":      "# shape: x 4\n",
+		"bad coordinate":  "# shape: 4 4\na 1 2\n",
+		"bad value":       "# shape: 4 4\n1 1 z\n",
+		"field count":     "# shape: 4 4\n1 2 3 4\n",
+		"missing header2": "# shape:\n1 2 3\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestReadTextEmptyDataset(t *testing.T) {
+	got, err := ReadText(strings.NewReader("# shape: 5 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Coords.Len() != 0 || !got.Shape.Equal(tensor.Shape{5, 5}) {
+		t.Fatalf("empty dataset: %+v", got)
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("garbage accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-4])); err == nil {
+		t.Error("truncated binary accepted")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	bad := sample()
+	bad.Values = bad.Values[:1]
+	var buf bytes.Buffer
+	if err := WriteText(&buf, bad); err == nil {
+		t.Error("value count mismatch accepted")
+	}
+	if err := WriteBinary(&buf, bad); err == nil {
+		t.Error("value count mismatch accepted (binary)")
+	}
+	bad2 := sample()
+	bad2.Shape = tensor.Shape{3}
+	if err := WriteText(&buf, bad2); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+}
+
+// TestRoundTripQuick property-tests both encodings on random tensors.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(pts [][2]uint16, useBinary bool) bool {
+		c := tensor.NewCoords(2, len(pts))
+		vals := make([]float64, len(pts))
+		for i, p := range pts {
+			c.Append(uint64(p[0])%100, uint64(p[1])%100)
+			vals[i] = float64(i) * 0.5
+		}
+		in := &Tensor{Shape: tensor.Shape{100, 100}, Coords: c, Values: vals}
+		var buf bytes.Buffer
+		var err error
+		if useBinary {
+			err = WriteBinary(&buf, in)
+		} else {
+			err = WriteText(&buf, in)
+		}
+		if err != nil {
+			return false
+		}
+		var out *Tensor
+		if useBinary {
+			out, err = ReadBinary(&buf)
+		} else {
+			out, err = ReadText(&buf)
+		}
+		if err != nil {
+			return false
+		}
+		if !out.Coords.Equal(in.Coords) || !out.Shape.Equal(in.Shape) {
+			return false
+		}
+		for i := range vals {
+			if out.Values[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText: arbitrary text must parse or be rejected without panic,
+// and whatever parses must re-serialize and re-parse to the same
+// tensor.
+func FuzzReadText(f *testing.F) {
+	f.Add("# shape: 4 4\n1 2 3.5\n")
+	f.Add("# shape: 2\n0 1\n1 -2\n")
+	f.Add("")
+	f.Add("# shape: 18446744073709551615\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tn, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, tn); err != nil {
+			t.Fatalf("accepted tensor does not serialize: %v", err)
+		}
+		again, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("own output does not parse: %v", err)
+		}
+		if !again.Coords.Equal(tn.Coords) || !again.Shape.Equal(tn.Shape) {
+			t.Fatal("text round trip mismatch")
+		}
+	})
+}
+
+// FuzzReadBinary: arbitrary bytes must never panic the binary reader.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sample()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("SDT1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tn, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if tn.Coords.Len() != len(tn.Values) {
+			t.Fatal("accepted inconsistent tensor")
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package dataio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sparseart/internal/tensor"
+)
+
+// This file reads and writes the Matrix Market coordinate format, the
+// interchange format of the SuiteSparse collection the paper draws its
+// dataset survey from (§III, [25]). Supported: `matrix coordinate` with
+// real/integer/pattern fields and general/symmetric/skew-symmetric
+// symmetry; 1-based indices per the specification.
+
+// ReadMatrixMarket parses a Matrix Market coordinate file into a 2D
+// tensor. Symmetric and skew-symmetric inputs are expanded to their
+// full (general) point sets.
+func ReadMatrixMarket(r io.Reader) (*Tensor, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dataio: empty Matrix Market input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) != 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("dataio: bad Matrix Market header %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("dataio: only coordinate (sparse) matrices are supported, got %q", header[2])
+	}
+	field, symmetry := header[3], header[4]
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("dataio: unsupported field type %q", field)
+	}
+	switch symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return nil, fmt.Errorf("dataio: unsupported symmetry %q", symmetry)
+	}
+
+	// Size line (after comments).
+	var rows, cols, nnz uint64
+	for {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("dataio: missing size line")
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("dataio: bad size line %q", line)
+		}
+		var err error
+		if rows, err = strconv.ParseUint(fields[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("dataio: bad row count %q", fields[0])
+		}
+		if cols, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("dataio: bad column count %q", fields[1])
+		}
+		if nnz, err = strconv.ParseUint(fields[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("dataio: bad entry count %q", fields[2])
+		}
+		break
+	}
+	shape := tensor.Shape{rows, cols}
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+
+	wantFields := 3
+	if field == "pattern" {
+		wantFields = 2
+	}
+	coords := tensor.NewCoords(2, int(nnz))
+	var values []float64
+	entries := uint64(0)
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != wantFields {
+			return nil, fmt.Errorf("dataio: line %d: want %d fields, got %d", lineNo, wantFields, len(fields))
+		}
+		i, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil || i == 0 || i > rows {
+			return nil, fmt.Errorf("dataio: line %d: bad row index %q", lineNo, fields[0])
+		}
+		j, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil || j == 0 || j > cols {
+			return nil, fmt.Errorf("dataio: line %d: bad column index %q", lineNo, fields[1])
+		}
+		v := 1.0
+		if field != "pattern" {
+			if v, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, fmt.Errorf("dataio: line %d: bad value %q", lineNo, fields[2])
+			}
+		}
+		coords.Append(i-1, j-1)
+		values = append(values, v)
+		if symmetry != "general" && i != j {
+			coords.Append(j-1, i-1)
+			if symmetry == "skew-symmetric" {
+				values = append(values, -v)
+			} else {
+				values = append(values, v)
+			}
+		}
+		entries++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if entries != nnz {
+		return nil, fmt.Errorf("dataio: header declares %d entries, file has %d", nnz, entries)
+	}
+	t := &Tensor{Shape: shape, Coords: coords, Values: values}
+	return t, t.validate()
+}
+
+// WriteMatrixMarket writes a 2D tensor in `matrix coordinate real
+// general` form.
+func WriteMatrixMarket(w io.Writer, t *Tensor) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	if t.Shape.Dims() != 2 {
+		return fmt.Errorf("dataio: Matrix Market holds 2D tensors, got %dD", t.Shape.Dims())
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general")
+	fmt.Fprintln(bw, "% written by sparseart")
+	fmt.Fprintf(bw, "%d %d %d\n", t.Shape[0], t.Shape[1], t.Coords.Len())
+	for i, n := 0, t.Coords.Len(); i < n; i++ {
+		p := t.Coords.At(i)
+		fmt.Fprintf(bw, "%d %d %g\n", p[0]+1, p[1]+1, t.Values[i])
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,163 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const mmGeneral = `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 2.5
+3 4 -1
+2 2 7
+`
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	got, err := ReadMatrixMarket(strings.NewReader(mmGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shape[0] != 3 || got.Shape[1] != 4 {
+		t.Fatalf("shape %v", got.Shape)
+	}
+	if got.Coords.Len() != 3 {
+		t.Fatalf("%d points", got.Coords.Len())
+	}
+	// 1-based (1,1) becomes 0-based (0,0).
+	if p := got.Coords.At(0); p[0] != 0 || p[1] != 0 || got.Values[0] != 2.5 {
+		t.Fatalf("first entry %v %v", p, got.Values[0])
+	}
+	if p := got.Coords.At(1); p[0] != 2 || p[1] != 3 || got.Values[1] != -1 {
+		t.Fatalf("second entry %v %v", p, got.Values[1])
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 2
+2 1 5
+2 2 9
+`
+	got, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2,1) expands to (1,2); the diagonal does not.
+	if got.Coords.Len() != 3 {
+		t.Fatalf("%d points after expansion", got.Coords.Len())
+	}
+	found := map[[2]uint64]float64{}
+	for i := 0; i < got.Coords.Len(); i++ {
+		p := got.Coords.At(i)
+		found[[2]uint64{p[0], p[1]}] = got.Values[i]
+	}
+	if found[[2]uint64{1, 0}] != 5 || found[[2]uint64{0, 1}] != 5 || found[[2]uint64{1, 1}] != 9 {
+		t.Fatalf("expanded entries %v", found)
+	}
+}
+
+func TestReadMatrixMarketSkewSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+3 3 1
+3 1 4
+`
+	got, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[[2]uint64]float64{}
+	for i := 0; i < got.Coords.Len(); i++ {
+		p := got.Coords.At(i)
+		found[[2]uint64{p[0], p[1]}] = got.Values[i]
+	}
+	if found[[2]uint64{2, 0}] != 4 || found[[2]uint64{0, 2}] != -4 {
+		t.Fatalf("skew expansion %v", found)
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	got, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Values[0] != 1 || got.Values[1] != 1 {
+		t.Fatalf("pattern values %v", got.Values)
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "%%NotMatrixMarket matrix coordinate real general\n1 1 0\n",
+		"dense":          "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"bad field":      "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+		"bad symmetry":   "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+		"no size":        "%%MatrixMarket matrix coordinate real general\n",
+		"bad size":       "%%MatrixMarket matrix coordinate real general\n2 2\n",
+		"row overflow":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"col overflow":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 3 1\n",
+		"zero index":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n",
+		"bad value":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 x\n",
+		"count mismatch": "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1\n",
+		"zero extent":    "%%MatrixMarket matrix coordinate real general\n0 2 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	got, err := ReadMatrixMarket(strings.NewReader(mmGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Coords.Equal(got.Coords) || !again.Shape.Equal(got.Shape) {
+		t.Fatal("round trip mismatch")
+	}
+	for i := range got.Values {
+		if again.Values[i] != got.Values[i] {
+			t.Fatal("values mismatch")
+		}
+	}
+}
+
+func TestWriteMatrixMarketRejectsNon2D(t *testing.T) {
+	bad := sample() // 3D
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, bad); err == nil {
+		t.Fatal("3D tensor accepted")
+	}
+}
+
+// FuzzReadMatrixMarket: arbitrary text must never panic the parser.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add(mmGeneral)
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		tn, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if tn.Coords.Len() != len(tn.Values) {
+			t.Fatal("accepted inconsistent tensor")
+		}
+	})
+}

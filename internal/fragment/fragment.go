@@ -1,0 +1,191 @@
+// Package fragment defines the on-disk unit of the storage engine: one
+// immutable file holding a packed coordinate index (an organization's
+// payload) concatenated with the reorganized value buffer, as produced
+// by line 6 of Algorithm 3's WRITE ("b_frag <- b_coor_new + b_data").
+//
+// The header carries what Algorithm 3's READ needs before unpacking:
+// the organization kind, the tensor shape, the point count, and the
+// bounding box used for the fragment-overlap search ("Find all fragments
+// containing b_coor"). A CRC32 over the whole encoding detects
+// corruption, and the index payload may be compressed with any codec
+// from internal/compress.
+package fragment
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"sparseart/internal/buf"
+	"sparseart/internal/compress"
+	"sparseart/internal/core"
+	"sparseart/internal/tensor"
+)
+
+const (
+	magic   = 0x46415053 // "SPAF"
+	version = 1
+)
+
+// ErrCorrupt reports a fragment that fails structural or checksum
+// validation.
+var ErrCorrupt = fmt.Errorf("fragment: corrupt fragment")
+
+// Header is the fragment metadata, available without decoding the
+// payload.
+type Header struct {
+	Kind  core.Kind
+	Codec compress.ID
+	Shape tensor.Shape
+	NNZ   uint64
+	BBox  tensor.BBox // inclusive; undefined when NNZ == 0 and not a tombstone
+	// Tombstone marks a deletion fragment: it carries no points, and
+	// its payload is the deleted region. Cells covered by a tombstone
+	// are dead unless rewritten by a later fragment.
+	Tombstone bool
+	Bytes     int64    // total encoded size
+	Stored    struct { // section sizes inside the file
+		Payload int64 // possibly compressed
+		Values  int64
+	}
+}
+
+// Fragment is a decoded fragment.
+type Fragment struct {
+	Header
+	Payload []byte    // decompressed organization payload
+	Values  []float64 // values in packed (permuted) order
+}
+
+// Encode serializes a fragment. The payload is compressed with the
+// header's codec; values are stored raw.
+func Encode(f *Fragment) ([]byte, error) {
+	if !f.Kind.Valid() {
+		return nil, fmt.Errorf("fragment: invalid kind %v", f.Kind)
+	}
+	if err := f.Shape.Validate(); err != nil {
+		return nil, err
+	}
+	if uint64(len(f.Values)) != f.NNZ {
+		return nil, fmt.Errorf("fragment: %d values for %d points", len(f.Values), f.NNZ)
+	}
+	codec, err := compress.Get(f.Codec)
+	if err != nil {
+		return nil, err
+	}
+	stored := codec.Encode(f.Payload)
+
+	d := f.Shape.Dims()
+	w := buf.NewWriter(64 + 16*d + len(stored) + 8*len(f.Values))
+	var flags uint16
+	if f.Tombstone {
+		flags |= 1
+	}
+	w.U32(magic)
+	w.U16(version)
+	w.U8(uint8(f.Kind))
+	w.U8(uint8(f.Codec))
+	w.U16(uint16(d))
+	w.U16(flags)
+	w.RawU64s(f.Shape)
+	w.U64(f.NNZ)
+	if f.NNZ > 0 || f.Tombstone {
+		if f.BBox.Dims() != d {
+			return nil, fmt.Errorf("fragment: bbox rank %d for %d-dim shape", f.BBox.Dims(), d)
+		}
+		w.RawU64s(f.BBox.Min)
+		w.RawU64s(f.BBox.Max)
+	} else {
+		w.RawU64s(make([]uint64, 2*d))
+	}
+	w.Bytes32(stored)
+	w.F64s(f.Values)
+	w.U32(crc32.ChecksumIEEE(w.Bytes()))
+	return w.Bytes(), nil
+}
+
+// DecodeHeader parses only the fragment metadata. It does not verify the
+// checksum (which would require reading the full body).
+func DecodeHeader(b []byte) (*Header, error) {
+	h, _, err := decodeHeader(b)
+	return h, err
+}
+
+// decodeHeader parses the metadata and returns the offset of the first
+// section after it.
+func decodeHeader(b []byte) (*Header, *buf.Reader, error) {
+	r := buf.NewReader(b)
+	r.Expect(magic, "fragment")
+	ver := r.U16()
+	kind := core.Kind(r.U8())
+	codecID := compress.ID(r.U8())
+	d := int(r.U16())
+	flags := r.U16()
+	shape := tensor.Shape(r.RawU64s(uint64(d)))
+	nnz := r.U64()
+	bmin := r.RawU64s(uint64(d))
+	bmax := r.RawU64s(uint64(d))
+	if err := r.Err(); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if ver != version {
+		return nil, nil, fmt.Errorf("%w: version %d (want %d)", ErrCorrupt, ver, version)
+	}
+	if !kind.Valid() {
+		return nil, nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, uint8(kind))
+	}
+	if err := shape.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	h := &Header{
+		Kind:      kind,
+		Codec:     codecID,
+		Shape:     shape,
+		NNZ:       nnz,
+		Tombstone: flags&1 != 0,
+		BBox:      tensor.BBox{Min: bmin, Max: bmax},
+		Bytes:     int64(len(b)),
+	}
+	if h.Tombstone && nnz != 0 {
+		return nil, nil, fmt.Errorf("%w: tombstone with %d points", ErrCorrupt, nnz)
+	}
+	return h, r, nil
+}
+
+// Decode parses and verifies a full fragment.
+func Decode(b []byte) (*Fragment, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: too short", ErrCorrupt)
+	}
+	body, sum := b[:len(b)-4], b[len(b)-4:]
+	want := uint32(sum[0]) | uint32(sum[1])<<8 | uint32(sum[2])<<16 | uint32(sum[3])<<24
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %#x want %#x)", ErrCorrupt, got, want)
+	}
+	h, r, err := decodeHeader(body)
+	if err != nil {
+		return nil, err
+	}
+	stored := r.Bytes32()
+	values := r.F64s()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Remaining())
+	}
+	if uint64(len(values)) != h.NNZ {
+		return nil, fmt.Errorf("%w: %d values for %d points", ErrCorrupt, len(values), h.NNZ)
+	}
+	codec, err := compress.Get(h.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	payload, err := codec.Decode(stored)
+	if err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	h.Bytes = int64(len(b))
+	h.Stored.Payload = int64(len(stored))
+	h.Stored.Values = int64(8 * len(values))
+	return &Fragment{Header: *h, Payload: payload, Values: values}, nil
+}

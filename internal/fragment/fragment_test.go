@@ -1,0 +1,240 @@
+package fragment
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparseart/internal/compress"
+	"sparseart/internal/core"
+	_ "sparseart/internal/core/all"
+	"sparseart/internal/tensor"
+)
+
+func sample() *Fragment {
+	f := &Fragment{
+		Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8, 9},
+		Values:  []float64{1.5, -2, 0},
+	}
+	f.Kind = core.Linear
+	f.Codec = compress.None
+	f.Shape = tensor.Shape{8, 8}
+	f.NNZ = 3
+	f.BBox = tensor.BBox{Min: []uint64{0, 1}, Max: []uint64{5, 7}}
+	return f
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := sample()
+	data, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != f.Kind || got.NNZ != f.NNZ || !got.Shape.Equal(f.Shape) {
+		t.Fatalf("header mismatch: %+v", got.Header)
+	}
+	if string(got.Payload) != string(f.Payload) {
+		t.Fatal("payload mismatch")
+	}
+	for i, v := range f.Values {
+		if got.Values[i] != v {
+			t.Fatal("values mismatch")
+		}
+	}
+	for d := 0; d < 2; d++ {
+		if got.BBox.Min[d] != f.BBox.Min[d] || got.BBox.Max[d] != f.BBox.Max[d] {
+			t.Fatal("bbox mismatch")
+		}
+	}
+	if got.Bytes != int64(len(data)) {
+		t.Fatalf("Bytes = %d, want %d", got.Bytes, len(data))
+	}
+}
+
+func TestDecodeHeaderOnly(t *testing.T) {
+	f := sample()
+	data, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := DecodeHeader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Kind != f.Kind || h.NNZ != 3 || !h.Shape.Equal(f.Shape) {
+		t.Fatalf("header = %+v", h)
+	}
+}
+
+func TestEveryCodecRoundTrips(t *testing.T) {
+	for _, c := range compress.All() {
+		f := sample()
+		f.Codec = c.ID()
+		// A payload the codecs can shrink: sorted u64-ish bytes.
+		f.Payload = make([]byte, 800)
+		for i := range f.Payload {
+			f.Payload[i] = byte(i / 64)
+		}
+		data, err := Encode(f)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if string(got.Payload) != string(f.Payload) {
+			t.Fatalf("%s: payload mismatch", c.Name())
+		}
+		if got.Codec != c.ID() {
+			t.Fatalf("%s: codec id lost", c.Name())
+		}
+	}
+}
+
+func TestEmptyFragment(t *testing.T) {
+	f := &Fragment{}
+	f.Kind = core.COO
+	f.Shape = tensor.Shape{4, 4}
+	data, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ != 0 || len(got.Values) != 0 || len(got.Payload) != 0 {
+		t.Fatalf("decoded empty fragment: %+v", got)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	f := sample()
+	f.Kind = core.Kind(77)
+	if _, err := Encode(f); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	f = sample()
+	f.NNZ = 5 // != len(Values)
+	if _, err := Encode(f); err == nil {
+		t.Error("nnz/values mismatch accepted")
+	}
+	f = sample()
+	f.Shape = tensor.Shape{0}
+	if _, err := Encode(f); err == nil {
+		t.Error("invalid shape accepted")
+	}
+	f = sample()
+	f.BBox = tensor.BBox{Min: []uint64{0}, Max: []uint64{1}}
+	if _, err := Encode(f); err == nil {
+		t.Error("bbox rank mismatch accepted")
+	}
+	f = sample()
+	f.Codec = compress.ID(99)
+	if _, err := Encode(f); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data, err := Encode(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every single-byte flip must be caught by the CRC (or by
+	// structural validation before it).
+	for i := 0; i < len(data); i += 7 {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x40
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+	// Truncations.
+	for _, cut := range []int{1, 4, len(data) / 2, len(data) - 1} {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	// Trailing garbage.
+	if _, err := Decode(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("nil input: %v", err)
+	}
+}
+
+func TestDecodeHeaderRejectsBadVersionAndKind(t *testing.T) {
+	data, err := Encode(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[4] = 0xFF // version low byte
+	if _, err := DecodeHeader(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	bad = append([]byte(nil), data...)
+	bad[6] = 0xEE // kind
+	if _, err := DecodeHeader(bad); err == nil {
+		t.Error("bad kind accepted")
+	}
+}
+
+// TestRoundTripQuick property-tests encode/decode over random fragments.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, nnz8 uint8, payload []byte, codecSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nnz := int(nnz8) % 50
+		frag := &Fragment{Payload: payload, Values: make([]float64, nnz)}
+		frag.Kind = core.PaperKinds()[rng.Intn(5)]
+		frag.Codec = compress.ID(codecSel % 3)
+		frag.Shape = tensor.Shape{16, 16, 16}
+		frag.NNZ = uint64(nnz)
+		if nnz > 0 {
+			frag.BBox = tensor.BBox{Min: []uint64{0, 0, 0}, Max: []uint64{15, 15, 15}}
+			for i := range frag.Values {
+				frag.Values[i] = rng.NormFloat64()
+			}
+		}
+		data, err := Encode(frag)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		if got.Kind != frag.Kind || got.NNZ != frag.NNZ || string(got.Payload) != string(frag.Payload) {
+			return false
+		}
+		for i := range frag.Values {
+			if got.Values[i] != frag.Values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeGarbageNeverPanicsQuick: random bytes must error, not panic.
+func TestDecodeGarbageNeverPanicsQuick(t *testing.T) {
+	f := func(junk []byte) bool {
+		_, _ = Decode(junk)
+		_, _ = DecodeHeader(junk)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package fsim
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the default failure returned by FaultFS.
+var ErrInjected = errors.New("fsim: injected fault")
+
+// FaultFS wraps another FS and fails operations on command, for testing
+// the storage engine's error paths. The zero configuration never fails;
+// set FailAfter to allow that many successful operations and fail every
+// one after, or use FailOn to fail operations touching names containing
+// a substring. A CostReporter inner FS is forwarded.
+type FaultFS struct {
+	Inner FS
+	// FailAfter fails every operation once this many (across all
+	// kinds) have succeeded. Negative means never.
+	FailAfter int
+	// FailOn fails any operation whose name contains this substring
+	// (empty means no name-based failures).
+	FailOn string
+	// Err is the error to inject; nil means ErrInjected.
+	Err error
+
+	mu  sync.Mutex
+	ops int
+}
+
+// NewFaultFS wraps inner with no failures armed.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{Inner: inner, FailAfter: -1}
+}
+
+func (f *FaultFS) check(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	inject := false
+	if f.FailOn != "" && contains(name, f.FailOn) {
+		inject = true
+	}
+	if f.FailAfter >= 0 && f.ops >= f.FailAfter {
+		inject = true
+	}
+	if inject {
+		if f.Err != nil {
+			return f.Err
+		}
+		return ErrInjected
+	}
+	f.ops++
+	return nil
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Ops returns the number of operations that have succeeded.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// WriteFile implements FS.
+func (f *FaultFS) WriteFile(name string, data []byte) error {
+	if err := f.check(name); err != nil {
+		return err
+	}
+	return f.Inner.WriteFile(name, data)
+}
+
+// ReadFile implements FS.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.check(name); err != nil {
+		return nil, err
+	}
+	return f.Inner.ReadFile(name)
+}
+
+// List implements FS.
+func (f *FaultFS) List(prefix string) ([]string, error) {
+	if err := f.check(prefix); err != nil {
+		return nil, err
+	}
+	return f.Inner.List(prefix)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.check(name); err != nil {
+		return err
+	}
+	return f.Inner.Remove(name)
+}
+
+// Size implements FS.
+func (f *FaultFS) Size(name string) (int64, error) {
+	if err := f.check(name); err != nil {
+		return 0, err
+	}
+	return f.Inner.Size(name)
+}
+
+// TakeCost forwards to the inner cost model when present.
+func (f *FaultFS) TakeCost() Cost {
+	if cr, ok := f.Inner.(CostReporter); ok {
+		return cr.TakeCost()
+	}
+	return Cost{}
+}
+
+var (
+	_ FS           = (*FaultFS)(nil)
+	_ CostReporter = (*FaultFS)(nil)
+)

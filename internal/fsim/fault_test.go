@@ -1,0 +1,77 @@
+package fsim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultFSNeverFailsByDefault(t *testing.T) {
+	f := NewFaultFS(NewPerlmutterSim())
+	for i := 0; i < 10; i++ {
+		if err := f.WriteFile("x", []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Ops() != 10 {
+		t.Fatalf("ops = %d", f.Ops())
+	}
+}
+
+func TestFaultFSFailAfter(t *testing.T) {
+	f := NewFaultFS(NewPerlmutterSim())
+	f.FailAfter = 2
+	if err := f.WriteFile("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadFile("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteFile("b", nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third op: %v", err)
+	}
+	if _, err := f.List(""); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fourth op: %v", err)
+	}
+}
+
+func TestFaultFSFailOnName(t *testing.T) {
+	f := NewFaultFS(NewPerlmutterSim())
+	f.FailOn = "frag-0001"
+	custom := errors.New("disk on fire")
+	f.Err = custom
+	if err := f.WriteFile("store/frag-0000", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteFile("store/frag-0001", nil); !errors.Is(err, custom) {
+		t.Fatalf("matching name: %v", err)
+	}
+	if _, err := f.ReadFile("store/frag-0001"); !errors.Is(err, custom) {
+		t.Fatalf("matching read: %v", err)
+	}
+	if err := f.Remove("store/frag-0000"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Size("store/frag-0001"); !errors.Is(err, custom) {
+		t.Fatalf("matching stat: %v", err)
+	}
+}
+
+func TestFaultFSForwardsCost(t *testing.T) {
+	sim := NewPerlmutterSim()
+	f := NewFaultFS(sim)
+	if err := f.WriteFile("x", make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if f.TakeCost().Total() == 0 {
+		t.Fatal("cost not forwarded")
+	}
+	// Wrapping a model-less FS reports zero cost rather than panicking.
+	osfs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := NewFaultFS(osfs)
+	if f2.TakeCost().Total() != 0 {
+		t.Fatal("phantom cost")
+	}
+}

@@ -1,0 +1,241 @@
+package fsim
+
+import (
+	"errors"
+	"io/fs"
+	"testing"
+	"time"
+)
+
+func testFSBehavior(t *testing.T, f FS) {
+	t.Helper()
+	// Write, read back.
+	if err := f.WriteFile("a/b/one", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.ReadFile("a/b/one")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	// Overwrite replaces.
+	if err := f.WriteFile("a/b/one", []byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := f.ReadFile("a/b/one"); string(data) != "bye" {
+		t.Fatalf("overwrite: got %q", data)
+	}
+	// Size.
+	if n, err := f.Size("a/b/one"); err != nil || n != 3 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	// List is sorted and prefix-filtered.
+	if err := f.WriteFile("a/b/two", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteFile("c/other", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := f.List("a/b/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a/b/one" || names[1] != "a/b/two" {
+		t.Fatalf("List = %v", names)
+	}
+	all, err := f.List("")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("List(\"\") = %v, %v", all, err)
+	}
+	// Remove.
+	if err := f.Remove("a/b/one"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadFile("a/b/one"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("read after remove: %v", err)
+	}
+	if err := f.Remove("a/b/one"); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+	// Missing-file errors.
+	if _, err := f.ReadFile("nope"); err == nil {
+		t.Fatal("read of missing file succeeded")
+	}
+	if _, err := f.Size("nope"); err == nil {
+		t.Fatal("stat of missing file succeeded")
+	}
+}
+
+func TestSimFSBehavior(t *testing.T) {
+	testFSBehavior(t, NewPerlmutterSim())
+}
+
+func TestOSFSBehavior(t *testing.T) {
+	f, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testFSBehavior(t, f)
+}
+
+func TestSimFSIsolation(t *testing.T) {
+	f := NewPerlmutterSim()
+	src := []byte{1, 2, 3}
+	if err := f.WriteFile("x", src); err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 9
+	got, _ := f.ReadFile("x")
+	if got[0] != 1 {
+		t.Fatal("SimFS aliases writer's buffer")
+	}
+	got[1] = 9
+	again, _ := f.ReadFile("x")
+	if again[1] != 2 {
+		t.Fatal("SimFS aliases reader's buffer")
+	}
+}
+
+func TestSimFSStats(t *testing.T) {
+	f := NewPerlmutterSim()
+	if err := f.WriteFile("x", make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadFile("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Size("x"); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.WriteOps != 1 || st.ReadOps != 1 || st.MetaOps != 1 {
+		t.Fatalf("ops = %+v", st)
+	}
+	if st.BytesWritten != 1000 || st.BytesRead != 1000 {
+		t.Fatalf("bytes = %+v", st)
+	}
+	if st.Modeled.Total() == 0 {
+		t.Fatal("no modeled cost accumulated")
+	}
+	f.ResetStats()
+	if f.Stats().WriteOps != 0 || f.Stats().Modeled.Total() != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestSimFSTakeCost(t *testing.T) {
+	f := NewPerlmutterSim()
+	if err := f.WriteFile("x", make([]byte, 185_000_000/10)); err != nil { // ~0.1 s at 185 MB/s
+		t.Fatal(err)
+	}
+	c := f.TakeCost()
+	if c.Write < 90*time.Millisecond || c.Write > 110*time.Millisecond {
+		t.Fatalf("modeled write = %v, want ~100ms", c.Write)
+	}
+	if c.Meta != PerlmutterLustre().OpLatency {
+		t.Fatalf("modeled meta = %v", c.Meta)
+	}
+	// Drained: the next take is empty.
+	if f.TakeCost().Total() != 0 {
+		t.Fatal("TakeCost did not drain")
+	}
+	// Stats keep the cumulative view.
+	if f.Stats().Modeled.Write != c.Write {
+		t.Fatal("cumulative modeled cost lost")
+	}
+}
+
+// TestSimFSTableIIICalibration checks the calibration claim in the
+// package comment: the paper's 4D MSP COO fragment (~22.5 MB) should
+// model to ~0.12 s and the LINEAR fragment (~9 MB) to ~0.05 s.
+func TestSimFSTableIIICalibration(t *testing.T) {
+	m := PerlmutterLustre()
+	coo := m.transferTime(22_500_000)
+	if coo < 100*time.Millisecond || coo > 140*time.Millisecond {
+		t.Fatalf("COO-sized transfer = %v, paper says 0.1217s", coo)
+	}
+	linear := m.transferTime(9_000_000)
+	if linear < 40*time.Millisecond || linear > 60*time.Millisecond {
+		t.Fatalf("LINEAR-sized transfer = %v, paper says 0.0504s", linear)
+	}
+}
+
+func TestCostModelStriping(t *testing.T) {
+	base := CostModel{OpLatency: 0, Bandwidth: 1e6, Stripes: 1, StripeUnit: 1 << 20}
+	striped := base
+	striped.Stripes = 4
+	n := int64(8 << 20)
+	t1 := base.transferTime(n)
+	t4 := striped.transferTime(n)
+	if t4 >= t1 {
+		t.Fatalf("striping did not speed up: %v vs %v", t1, t4)
+	}
+	if t1 < 7*t4/2 || t1 > 9*t4/2 {
+		t.Fatalf("4 stripes should be ~4x: %v vs %v", t1, t4)
+	}
+	// Transfers under one stripe unit see single-stripe bandwidth.
+	small := int64(1000)
+	if striped.transferTime(small) != base.transferTime(small) {
+		t.Fatal("small transfer should not stripe")
+	}
+	if base.transferTime(0) != 0 || base.transferTime(-5) != 0 {
+		t.Fatal("non-positive sizes must cost nothing")
+	}
+}
+
+func TestNewSimFSRejectsBadModel(t *testing.T) {
+	bad := []CostModel{
+		{OpLatency: -1, Bandwidth: 1, Stripes: 1, StripeUnit: 1},
+		{OpLatency: 0, Bandwidth: 0, Stripes: 1, StripeUnit: 1},
+		{OpLatency: 0, Bandwidth: 1, Stripes: 0, StripeUnit: 1},
+		{OpLatency: 0, Bandwidth: 1, Stripes: 1, StripeUnit: 0},
+	}
+	for i, m := range bad {
+		if _, err := NewSimFS(m); err == nil {
+			t.Errorf("model %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestOSFSListSkipsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	f, err := NewOSFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteFile("keep", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := f.List("")
+	if err != nil || len(names) != 1 || names[0] != "keep" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+}
+
+func TestSimFSConcurrentAccess(t *testing.T) {
+	f := NewPerlmutterSim()
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			name := string(rune('a' + g))
+			for i := 0; i < 50; i++ {
+				if err := f.WriteFile(name, []byte{byte(i)}); err != nil {
+					done <- err
+					return
+				}
+				if _, err := f.ReadFile(name); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := f.Stats(); st.WriteOps != 400 || st.ReadOps != 400 {
+		t.Fatalf("stats after concurrency: %+v", st)
+	}
+}

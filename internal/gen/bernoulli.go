@@ -1,0 +1,130 @@
+package gen
+
+import (
+	"math"
+
+	"sparseart/internal/psort"
+	"sparseart/internal/tensor"
+)
+
+// geometricSkip emits the positions of Bernoulli(p) successes over
+// [0, n) by sampling the geometric gaps between them, visiting O(p·n)
+// positions instead of n.
+func geometricSkip(r *rng, p float64, n uint64, emit func(pos uint64)) {
+	if p <= 0 || n == 0 {
+		return
+	}
+	if p >= 1 {
+		for pos := uint64(0); pos < n; pos++ {
+			emit(pos)
+		}
+		return
+	}
+	lg := math.Log1p(-p)
+	pos := uint64(0)
+	for {
+		g := math.Log1p(-r.float()) / lg
+		if g >= float64(n-pos) {
+			return
+		}
+		pos += uint64(g)
+		emit(pos)
+		pos++
+		if pos >= n {
+			return
+		}
+	}
+}
+
+// generateBernoulli emits GSP (uniform background only) and MSP
+// (background plus a denser cluster block). Each first-dimension row
+// draws from its own substreams, so the output is deterministic in the
+// seed regardless of worker count, and points come out in row-major
+// order: per row, the background and cluster position streams are both
+// increasing in the row-local address and are merged with
+// deduplication — which realizes an exact union of the two independent
+// Bernoulli fields inside the cluster.
+func generateBernoulli(cfg Config) *tensor.Coords {
+	shape := cfg.Shape
+	d := shape.Dims()
+	rowShape := tensor.Shape(shape[1:])
+
+	var rowLin *tensor.Linearizer
+	var rowVol uint64 = 1
+	if d > 1 {
+		var err error
+		rowLin, err = tensor.NewLinearizer(rowShape, tensor.RowMajor)
+		if err != nil {
+			panic(err) // cfg.validate checked the full volume already
+		}
+		rowVol, _ = rowShape.Volume()
+	}
+
+	cluster := cfg.Pattern == MSP && cfg.ClusterProb > 0
+	var clusterRowShape tensor.Shape
+	var clusterRowLin *tensor.Linearizer
+	var clusterRowVol uint64 = 1
+	if cluster && d > 1 {
+		clusterRowShape = tensor.Shape(cfg.ClusterSize[1:])
+		var err error
+		clusterRowLin, err = tensor.NewLinearizer(clusterRowShape, tensor.RowMajor)
+		if err != nil {
+			panic(err)
+		}
+		clusterRowVol, _ = clusterRowShape.Volume()
+	}
+
+	workers := psort.Workers(cfg.Workers)
+	return slabConcat(shape, workers, func(i0, i1 uint64, out *tensor.Coords) {
+		p := make([]uint64, d)
+		offs := make([]uint64, d-1)
+		var bg, cl []uint64
+		for i := i0; i < i1; i++ {
+			bg = bg[:0]
+			bgRNG := derive(cfg.Seed, 2*i)
+			geometricSkip(bgRNG, cfg.Prob, rowVol, func(pos uint64) { bg = append(bg, pos) })
+
+			cl = cl[:0]
+			if cluster && i >= cfg.ClusterStart[0] && i < cfg.ClusterStart[0]+cfg.ClusterSize[0] {
+				clRNG := derive(cfg.Seed^0xC1C1C1C1C1C1C1C1, 2*i+1)
+				geometricSkip(clRNG, cfg.ClusterProb, clusterRowVol, func(pos uint64) {
+					if d == 1 {
+						cl = append(cl, 0)
+						return
+					}
+					clusterRowLin.Delinearize(pos, offs)
+					g := make([]uint64, d-1)
+					for j := range offs {
+						g[j] = cfg.ClusterStart[j+1] + offs[j]
+					}
+					cl = append(cl, rowLin.Linearize(g))
+				})
+			}
+
+			p[0] = i
+			emit := func(addr uint64) {
+				if d > 1 {
+					rowLin.Delinearize(addr, p[1:])
+				}
+				out.Append(p...)
+			}
+			// Merge the two increasing streams, deduplicating cells
+			// hit by both.
+			bi, ci := 0, 0
+			for bi < len(bg) || ci < len(cl) {
+				switch {
+				case ci >= len(cl) || (bi < len(bg) && bg[bi] < cl[ci]):
+					emit(bg[bi])
+					bi++
+				case bi >= len(bg) || cl[ci] < bg[bi]:
+					emit(cl[ci])
+					ci++
+				default: // equal
+					emit(bg[bi])
+					bi++
+					ci++
+				}
+			}
+		}
+	})
+}

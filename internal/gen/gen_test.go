@@ -1,0 +1,369 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"sparseart/internal/tensor"
+)
+
+func mustGenerate(t *testing.T, cfg Config) *Dataset {
+	t.Helper()
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestPatternStringsAndParse(t *testing.T) {
+	for _, p := range Patterns() {
+		got, err := ParsePattern(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePattern(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	// The paper's Table II calls GSP "CGP"; both must parse.
+	if p, err := ParsePattern("CGP"); err != nil || p != GSP {
+		t.Errorf("ParsePattern(CGP) = %v, %v", p, err)
+	}
+	if _, err := ParsePattern("XYZ"); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestScaleStringsAndParse(t *testing.T) {
+	for _, s := range []Scale{Small, Medium, Paper} {
+		got, err := ParseScale(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScale(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScale("giant"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestShapeFor(t *testing.T) {
+	s, err := ShapeFor(2, Paper)
+	if err != nil || !s.Equal(tensor.Shape{8192, 8192}) {
+		t.Fatalf("ShapeFor(2, Paper) = %v, %v", s, err)
+	}
+	s, err = ShapeFor(4, Small)
+	if err != nil || !s.Equal(tensor.Shape{32, 32, 32, 32}) {
+		t.Fatalf("ShapeFor(4, Small) = %v, %v", s, err)
+	}
+	if _, err := ShapeFor(5, Small); err == nil {
+		t.Error("5 dims accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good, err := TableIIConfig(GSP, 3, Small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Prob = 1.5
+	if _, err := Generate(bad); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	bad = good
+	bad.Shape = tensor.Shape{0, 4}
+	if _, err := Generate(bad); err == nil {
+		t.Error("invalid shape accepted")
+	}
+	bad = good
+	bad.Pattern = Pattern(42)
+	if _, err := Generate(bad); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	tsp1d := Config{Pattern: TSP, Shape: tensor.Shape{64}}
+	if _, err := Generate(tsp1d); err == nil {
+		t.Error("1D TSP accepted")
+	}
+	msp := Config{Pattern: MSP, Shape: tensor.Shape{9, 9}, Prob: 0.1,
+		ClusterProb: 0.5, ClusterStart: []uint64{3}, ClusterSize: []uint64{3}}
+	if _, err := Generate(msp); err == nil {
+		t.Error("MSP cluster rank mismatch accepted")
+	}
+}
+
+// TestTableIIDensityCalibration: the calibrated configs must land near
+// the paper's densities at the paper's own scale (checked at small
+// scale here against the small-scale analytic expectation, and at
+// paper scale for the cheap patterns).
+func TestTableIIDensityCalibration(t *testing.T) {
+	// At small scale the integer rounding of the TSP band width skews
+	// densities; allow a generous band. GSP and MSP are probabilistic
+	// and land close everywhere.
+	for _, c := range []struct {
+		p    Pattern
+		dims int
+		tol  float64 // relative tolerance
+	}{
+		{TSP, 2, 0.25}, {TSP, 3, 0.5}, {TSP, 4, 0.35},
+		{GSP, 2, 0.1}, {GSP, 3, 0.1}, {GSP, 4, 0.15},
+		{MSP, 2, 0.2}, {MSP, 3, 0.2}, {MSP, 4, 0.35},
+	} {
+		cfg, err := TableIIConfig(c.p, c.dims, Small, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := mustGenerate(t, cfg)
+		want, _ := TableIIDensity(c.p, c.dims)
+		got := ds.Density()
+		if math.Abs(got-want)/want > c.tol {
+			t.Errorf("%v %dD: density %.4f%%, Table II %.4f%% (tol %.0f%%)",
+				c.p, c.dims, 100*got, 100*want, 100*c.tol)
+		}
+	}
+}
+
+// TestTSPPaperScaleBandWidth: at the paper's scale the calibration must
+// recover the band the paper describes — half-width 4 (a band of 9
+// diagonals) for the 3D case.
+func TestTSPPaperScaleBandWidth(t *testing.T) {
+	cfg, err := TableIIConfig(TSP, 3, Paper, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BandHalfWidth != 4 {
+		t.Fatalf("3D paper-scale band half-width = %d, want 4", cfg.BandHalfWidth)
+	}
+	cfg2, err := TableIIConfig(TSP, 2, Paper, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.BandHalfWidth < 60 || cfg2.BandHalfWidth > 75 {
+		t.Fatalf("2D paper-scale band half-width = %d, want ~68", cfg2.BandHalfWidth)
+	}
+}
+
+func TestRowMajorOrderAndInShape(t *testing.T) {
+	for _, p := range Patterns() {
+		cfg, err := TableIIConfig(p, 3, Small, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := mustGenerate(t, cfg)
+		lin, err := tensor.NewLinearizer(cfg.Shape, tensor.RowMajor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev uint64
+		for i := 0; i < ds.Coords.Len(); i++ {
+			pt := ds.Coords.At(i)
+			if !cfg.Shape.Contains(pt) {
+				t.Fatalf("%v: point %v outside shape", p, pt)
+			}
+			addr := lin.Linearize(pt)
+			if i > 0 && addr <= prev {
+				t.Fatalf("%v: output not strictly increasing at %d (%d after %d)", p, i, addr, prev)
+			}
+			prev = addr
+		}
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	for _, p := range Patterns() {
+		cfg, err := TableIIConfig(p, 3, Small, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Workers = 1
+		serial := mustGenerate(t, cfg)
+		for _, workers := range []int{2, 5, 16} {
+			cfg.Workers = workers
+			parallel := mustGenerate(t, cfg)
+			if !serial.Coords.Equal(parallel.Coords) {
+				t.Fatalf("%v: %d workers produced different points than serial", p, workers)
+			}
+		}
+	}
+}
+
+func TestSeedChangesRandomPatterns(t *testing.T) {
+	for _, p := range []Pattern{GSP, MSP} {
+		a, err := TableIIConfig(p, 2, Small, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := a
+		b.Seed = 2
+		if mustGenerate(t, a).Coords.Equal(mustGenerate(t, b).Coords) {
+			t.Errorf("%v: different seeds gave identical datasets", p)
+		}
+	}
+}
+
+func TestValuesMatchValueAt(t *testing.T) {
+	cfg, err := TableIIConfig(MSP, 2, Small, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := mustGenerate(t, cfg)
+	for i := 0; i < ds.Coords.Len(); i++ {
+		if ds.Values[i] != ValueAt(ds.Coords.At(i)) {
+			t.Fatalf("value %d does not match ValueAt", i)
+		}
+	}
+}
+
+// TestTSPMatchesBruteForce checks the optimized band enumerator against
+// a full predicate scan on a small tensor.
+func TestTSPMatchesBruteForce(t *testing.T) {
+	shape := tensor.Shape{9, 7, 8}
+	k := uint64(1)
+	cfg := Config{Pattern: TSP, Shape: shape, BandHalfWidth: k, Workers: 3}
+	ds := mustGenerate(t, cfg)
+	got := map[[3]uint64]bool{}
+	for i := 0; i < ds.Coords.Len(); i++ {
+		p := ds.Coords.At(i)
+		key := [3]uint64{p[0], p[1], p[2]}
+		if got[key] {
+			t.Fatalf("duplicate point %v", p)
+		}
+		got[key] = true
+	}
+	count := 0
+	for a := uint64(0); a < shape[0]; a++ {
+		for b := uint64(0); b < shape[1]; b++ {
+			for c := uint64(0); c < shape[2]; c++ {
+				inBand := within(a, b, k) || within(b, c, k)
+				if inBand != got[[3]uint64{a, b, c}] {
+					t.Fatalf("cell (%d,%d,%d): generator %v, predicate %v",
+						a, b, c, got[[3]uint64{a, b, c}], inBand)
+				}
+				if inBand {
+					count++
+				}
+			}
+		}
+	}
+	if count != ds.NNZ() {
+		t.Fatalf("generator emitted %d, predicate counts %d", ds.NNZ(), count)
+	}
+}
+
+func TestMSPClusterIsDenser(t *testing.T) {
+	cfg, err := TableIIConfig(MSP, 2, Small, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := mustGenerate(t, cfg)
+	cluster, _ := tensor.NewRegion(cfg.Shape, cfg.ClusterStart, cfg.ClusterSize)
+	in, out := 0, 0
+	for i := 0; i < ds.Coords.Len(); i++ {
+		if cluster.Contains(ds.Coords.At(i)) {
+			in++
+		} else {
+			out++
+		}
+	}
+	cvol, _ := cluster.Volume()
+	tvol, _ := cfg.Shape.Volume()
+	inDensity := float64(in) / float64(cvol)
+	outDensity := float64(out) / float64(tvol-cvol)
+	if inDensity < 3*outDensity {
+		t.Fatalf("cluster density %.5f not clearly above background %.5f", inDensity, outDensity)
+	}
+}
+
+func TestGSPDensityTracksProb(t *testing.T) {
+	cfg := Config{Pattern: GSP, Shape: tensor.Shape{256, 256}, Prob: 0.05, Seed: 4}
+	ds := mustGenerate(t, cfg)
+	got := ds.Density()
+	if math.Abs(got-0.05) > 0.005 {
+		t.Fatalf("density %.4f, want ~0.05", got)
+	}
+	// Prob 0 and 1 are exact.
+	cfg.Prob = 0
+	if mustGenerate(t, cfg).NNZ() != 0 {
+		t.Fatal("p=0 produced points")
+	}
+	cfg.Prob = 1
+	cfg.Shape = tensor.Shape{8, 8}
+	if mustGenerate(t, cfg).NNZ() != 64 {
+		t.Fatal("p=1 did not fill the tensor")
+	}
+}
+
+func TestGeometricSkipStatistics(t *testing.T) {
+	r := derive(123, 0)
+	n := uint64(200000)
+	p := 0.01
+	count := 0
+	last := int64(-1)
+	geometricSkip(r, p, n, func(pos uint64) {
+		if int64(pos) <= last {
+			t.Fatalf("positions not strictly increasing: %d after %d", pos, last)
+		}
+		last = int64(pos)
+		count++
+	})
+	want := float64(n) * p
+	if math.Abs(float64(count)-want) > want*0.15 {
+		t.Fatalf("emitted %d positions, want ~%.0f", count, want)
+	}
+}
+
+func TestGeometricSkipEdges(t *testing.T) {
+	r := derive(1, 1)
+	called := 0
+	geometricSkip(r, 0.5, 0, func(uint64) { called++ })
+	if called != 0 {
+		t.Fatal("n=0 emitted positions")
+	}
+	geometricSkip(r, -1, 100, func(uint64) { called++ })
+	if called != 0 {
+		t.Fatal("p<0 emitted positions")
+	}
+	geometricSkip(r, 2, 3, func(uint64) { called++ })
+	if called != 3 {
+		t.Fatalf("p>=1 emitted %d of 3", called)
+	}
+}
+
+func TestReadRegionFor(t *testing.T) {
+	r, err := ReadRegionFor(tensor.Shape{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Start[0] != 50 || r.Size[0] != 10 {
+		t.Fatalf("region = %+v", r)
+	}
+	// Tiny extents clamp the size to one cell.
+	r, err = ReadRegionFor(tensor.Shape{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size[0] != 1 {
+		t.Fatalf("clamped region = %+v", r)
+	}
+}
+
+func TestTableIIDensityLookup(t *testing.T) {
+	if _, err := TableIIDensity(TSP, 5); err == nil {
+		t.Error("missing cell accepted")
+	}
+	d, err := TableIIDensity(MSP, 4)
+	if err != nil || d != 0.0021 {
+		t.Errorf("TableIIDensity(MSP,4) = %v, %v", d, err)
+	}
+}
+
+func TestDatasetAccessors(t *testing.T) {
+	cfg, err := TableIIConfig(GSP, 2, Small, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := mustGenerate(t, cfg)
+	if ds.NNZ() != ds.Coords.Len() || ds.NNZ() != len(ds.Values) {
+		t.Fatal("NNZ inconsistent")
+	}
+	if ds.Density() <= 0 || ds.Density() > 1 {
+		t.Fatalf("density = %v", ds.Density())
+	}
+}

@@ -1,0 +1,31 @@
+package gen
+
+// rng is a splitmix64 generator. Generation is deterministic in the
+// configured seed and independent of worker count because every
+// first-dimension slab re-seeds from (seed, slab index).
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// derive builds an independent stream for a substream index, mixing the
+// index through one splitmix64 step so adjacent substreams decorrelate.
+func derive(seed, substream uint64) *rng {
+	r := newRNG(seed ^ (substream+1)*0x9E3779B97F4A7C15)
+	r.next()
+	return r
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform draw in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

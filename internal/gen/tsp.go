@@ -1,0 +1,70 @@
+package gen
+
+import (
+	"sparseart/internal/psort"
+	"sparseart/internal/tensor"
+)
+
+// generateTSP emits the tridiagonal band pattern: a cell is occupied
+// when some adjacent dimension pair lies within the band half-width k.
+// Rather than testing every cell, the generator walks the (d-1)-prefix
+// space: a prefix already inside the band contributes its whole last-
+// dimension row, otherwise only the last pair (c_{d-2}, c_{d-1}) can put
+// cells in the band, which pins the last coordinate to [c_{d-2}-k,
+// c_{d-2}+k]. Output is in row-major order.
+func generateTSP(cfg Config) *tensor.Coords {
+	shape := cfg.Shape
+	d := shape.Dims()
+	k := cfg.BandHalfWidth
+	last := shape[d-1]
+	workers := psort.Workers(cfg.Workers)
+	return slabConcat(shape, workers, func(i0, i1 uint64, out *tensor.Coords) {
+		p := make([]uint64, d)
+		var walk func(dim int, inBand bool)
+		walk = func(dim int, inBand bool) {
+			if dim == d-1 {
+				if inBand {
+					for j := uint64(0); j < last; j++ {
+						p[d-1] = j
+						out.Append(p...)
+					}
+					return
+				}
+				prev := p[d-2]
+				lo := uint64(0)
+				if prev > k {
+					lo = prev - k
+				}
+				hi := prev + k
+				if hi >= last {
+					hi = last - 1
+				}
+				for j := lo; j <= hi; j++ {
+					p[d-1] = j
+					out.Append(p...)
+				}
+				return
+			}
+			for c := uint64(0); c < shape[dim]; c++ {
+				p[dim] = c
+				next := inBand
+				if !next && dim > 0 {
+					next = within(p[dim-1], c, k)
+				}
+				walk(dim+1, next)
+			}
+		}
+		for i := i0; i < i1; i++ {
+			p[0] = i
+			walk(1, false)
+		}
+	})
+}
+
+// within reports |a − b| <= k without underflow.
+func within(a, b, k uint64) bool {
+	if a > b {
+		return a-b <= k
+	}
+	return b-a <= k
+}

@@ -1,0 +1,73 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// CGResult reports a conjugate-gradient solve.
+type CGResult struct {
+	X          []float64
+	Iterations int
+	Residual   float64 // final ||b - A·x||₂
+	Converged  bool
+}
+
+// CG solves A·x = b for a symmetric positive-definite operator given as
+// a matrix-vector product, stopping when the residual norm falls below
+// tol or after maxIter iterations. This is the solver loop of the HPCG
+// benchmark the paper cites as a TSP workload, driven entirely through
+// a storage organization's reader.
+func CG(apply func(x []float64) ([]float64, error), b []float64, maxIter int, tol float64) (*CGResult, error) {
+	if maxIter < 1 {
+		return nil, fmt.Errorf("linalg: maxIter %d", maxIter)
+	}
+	n := len(b)
+	x := make([]float64, n)
+	r := append([]float64(nil), b...) // r = b - A·0
+	p := append([]float64(nil), b...)
+	rs := dot(r, r)
+
+	res := &CGResult{X: x}
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		if math.Sqrt(rs) <= tol {
+			res.Converged = true
+			break
+		}
+		ap, err := apply(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(ap) != n {
+			return nil, fmt.Errorf("linalg: operator returned %d entries for %d", len(ap), n)
+		}
+		pap := dot(p, ap)
+		if pap == 0 {
+			break // breakdown: p in the null space
+		}
+		alpha := rs / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rsNew := dot(r, r)
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	res.Residual = math.Sqrt(rs)
+	if res.Residual <= tol {
+		res.Converged = true
+	}
+	return res, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

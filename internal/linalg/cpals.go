@@ -1,0 +1,341 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"sparseart/internal/core"
+	"sparseart/internal/tensor"
+)
+
+// This file implements CP-ALS — canonical polyadic decomposition by
+// alternating least squares — for 3-way sparse tensors, the application
+// the paper's citations anchor sparse-tensor storage to (SPLATT,
+// GigaTensor; the MTTKRP kernel dominates its runtime). The tensor is
+// approximated as a sum of rank-1 terms
+//
+//	T[i,j,k] ≈ Σ_r λ_r · A[i,r] · B[j,r] · C[k,r]
+//
+// and each factor is updated in turn by
+//
+//	A ← MTTKRP_0(T; B, C) · (BᵀB ∘ CᵀC)⁺
+//
+// where ∘ is the elementwise (Hadamard) product and ⁺ a solve against
+// the R×R Gram matrix. All tensor access goes through the storage
+// organization's reader.
+
+// CPResult holds a rank-R decomposition of a 3-way tensor.
+type CPResult struct {
+	// Factors are the mode factor matrices A, B, C with unit-norm
+	// columns.
+	Factors [3]*Dense
+	// Lambdas are the per-component weights.
+	Lambdas []float64
+	// Fit is 1 - ||T - T̂||/||T||, in (−∞, 1]; 1 is exact.
+	Fit float64
+	// Iterations actually run.
+	Iterations int
+}
+
+// CPALSOptions tunes the decomposition.
+type CPALSOptions struct {
+	Rank    int
+	MaxIter int     // default 50
+	Tol     float64 // stop when fit improves less than this; default 1e-6
+	Seed    uint64  // factor initialization
+}
+
+// CPALS decomposes a 3-way sparse tensor.
+func (t *Tensor) CPALS(opts CPALSOptions) (*CPResult, error) {
+	if t.Shape.Dims() != 3 {
+		return nil, fmt.Errorf("linalg: CPALS implemented for 3-way tensors, got %d-way", t.Shape.Dims())
+	}
+	rank := opts.Rank
+	if rank < 1 {
+		return nil, fmt.Errorf("linalg: rank %d", rank)
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+
+	// Deterministic pseudo-random initialization.
+	state := opts.Seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	next := func() float64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		return float64(z>>11)/(1<<53) + 0.1 // keep away from zero
+	}
+	var factors [3]*Dense
+	for m := 0; m < 3; m++ {
+		f := NewDense(int(t.Shape[m]), rank)
+		for i := range f.Data {
+			f.Data[i] = next()
+		}
+		factors[m] = f
+	}
+
+	var normT float64
+	for _, v := range t.Values {
+		normT += v * v
+	}
+	normT = math.Sqrt(normT)
+	if normT == 0 {
+		return nil, fmt.Errorf("linalg: CPALS of an all-zero tensor")
+	}
+
+	lambdas := make([]float64, rank)
+	res := &CPResult{Factors: factors, Lambdas: lambdas}
+	prevFit := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		var mttkrpLast *Dense
+		for mode := 0; mode < 3; mode++ {
+			others := [][2]int{{1, 2}, {0, 2}, {0, 1}}[mode]
+			m, err := t.MTTKRP(mode, [2]*Dense{factors[others[0]], factors[others[1]]})
+			if err != nil {
+				return nil, err
+			}
+			// Gram = (FᵀF of one other factor) ∘ (of the second).
+			gram := hadamard(gramMatrix(factors[others[0]]), gramMatrix(factors[others[1]]))
+			updated, err := solveGram(gram, m)
+			if err != nil {
+				return nil, err
+			}
+			// Normalize columns into lambdas.
+			for r := 0; r < rank; r++ {
+				var norm float64
+				for i := 0; i < updated.Rows; i++ {
+					norm += updated.At(i, r) * updated.At(i, r)
+				}
+				norm = math.Sqrt(norm)
+				lambdas[r] = norm
+				if norm > 0 {
+					for i := 0; i < updated.Rows; i++ {
+						updated.Set(i, r, updated.At(i, r)/norm)
+					}
+				}
+			}
+			factors[mode] = updated
+			if mode == 2 {
+				mttkrpLast = m
+			}
+		}
+		res.Factors = factors
+
+		// Fit via the standard identity:
+		// ||T-T̂||² = ||T||² - 2<T, T̂> + ||T̂||², with
+		// <T, T̂> = Σ_r λ_r Σ_i M[i,r]·C[i,r] (M the last MTTKRP) and
+		// ||T̂||² = λᵀ (AᵀA ∘ BᵀB ∘ CᵀC) λ.
+		inner := 0.0
+		C := factors[2]
+		for r := 0; r < rank; r++ {
+			var s float64
+			for i := 0; i < C.Rows; i++ {
+				s += mttkrpLast.At(i, r) * C.At(i, r)
+			}
+			inner += lambdas[r] * s
+		}
+		gramAll := hadamard(hadamard(gramMatrix(factors[0]), gramMatrix(factors[1])), gramMatrix(factors[2]))
+		var normHatSq float64
+		for r := 0; r < rank; r++ {
+			for s := 0; s < rank; s++ {
+				normHatSq += lambdas[r] * lambdas[s] * gramAll.At(r, s)
+			}
+		}
+		residSq := normT*normT - 2*inner + normHatSq
+		if residSq < 0 {
+			residSq = 0
+		}
+		res.Fit = 1 - math.Sqrt(residSq)/normT
+		if res.Fit-prevFit < tol && iter > 0 {
+			break
+		}
+		prevFit = res.Fit
+	}
+	res.Lambdas = lambdas
+	return res, nil
+}
+
+// maxImputeVolume bounds the dense working set of CPALSImpute.
+const maxImputeVolume = 1 << 24
+
+// CPALSImpute performs CP *completion* by expectation-maximization:
+// plain CPALS treats unobserved cells as zeros, which is right for
+// physically-sparse data but wrong for partially-observed data (a
+// ratings tensor). Here the unobserved cells are imputed from the
+// current model, the decomposition is refit on the densified tensor,
+// and the cycle repeats. The tensor's full volume must fit in memory
+// (<= 2^24 cells); observed cells always keep their true values.
+func (t *Tensor) CPALSImpute(opts CPALSOptions, outer int) (*CPResult, error) {
+	if t.Shape.Dims() != 3 {
+		return nil, fmt.Errorf("linalg: CPALSImpute implemented for 3-way tensors, got %d-way", t.Shape.Dims())
+	}
+	if outer < 1 {
+		return nil, fmt.Errorf("linalg: outer iterations %d", outer)
+	}
+	vol, ok := t.Shape.Volume()
+	if !ok || vol > maxImputeVolume {
+		return nil, fmt.Errorf("linalg: volume %d too large for dense imputation", vol)
+	}
+	it, okIt := t.Reader.(core.Iterator)
+	if !okIt {
+		return nil, fmt.Errorf("linalg: reader cannot iterate")
+	}
+	lin, err := tensor.NewLinearizer(t.Shape, tensor.RowMajor)
+	if err != nil {
+		return nil, err
+	}
+
+	// Dense working copy, unobserved cells seeded with the observed
+	// mean.
+	dense := make([]float64, vol)
+	observed := make([]bool, vol)
+	var mean float64
+	it.Each(func(p []uint64, slot int) bool {
+		addr := lin.Linearize(p)
+		dense[addr] = t.Values[slot]
+		observed[addr] = true
+		mean += t.Values[slot]
+		return true
+	})
+	if t.Reader.NNZ() == 0 {
+		return nil, fmt.Errorf("linalg: CPALSImpute of an empty tensor")
+	}
+	mean /= float64(t.Reader.NNZ())
+	for a := range dense {
+		if !observed[a] {
+			dense[a] = mean
+		}
+	}
+
+	allCoords := tensor.NewCoords(3, int(vol))
+	p := make([]uint64, 3)
+	for a := uint64(0); a < vol; a++ {
+		lin.Delinearize(a, p)
+		allCoords.Append(p...)
+	}
+
+	var res *CPResult
+	for round := 0; round < outer; round++ {
+		full, err := TensorFrom(core.COO, t.Shape, allCoords, dense)
+		if err != nil {
+			return nil, err
+		}
+		res, err = full.CPALS(opts)
+		if err != nil {
+			return nil, err
+		}
+		// E-step: re-impute the unobserved cells from the new model.
+		for a := uint64(0); a < vol; a++ {
+			if !observed[a] {
+				lin.Delinearize(a, p)
+				dense[a] = res.Reconstruct(p)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Reconstruct evaluates the CP model at a point.
+func (r *CPResult) Reconstruct(p []uint64) float64 {
+	var v float64
+	for c := 0; c < len(r.Lambdas); c++ {
+		v += r.Lambdas[c] *
+			r.Factors[0].At(int(p[0]), c) *
+			r.Factors[1].At(int(p[1]), c) *
+			r.Factors[2].At(int(p[2]), c)
+	}
+	return v
+}
+
+// gramMatrix computes FᵀF (R×R).
+func gramMatrix(f *Dense) *Dense {
+	g := NewDense(f.Cols, f.Cols)
+	for i := 0; i < f.Rows; i++ {
+		row := f.Data[i*f.Cols : (i+1)*f.Cols]
+		for r := 0; r < f.Cols; r++ {
+			for s := r; s < f.Cols; s++ {
+				g.Data[r*f.Cols+s] += row[r] * row[s]
+			}
+		}
+	}
+	for r := 0; r < f.Cols; r++ {
+		for s := 0; s < r; s++ {
+			g.Data[r*f.Cols+s] = g.Data[s*f.Cols+r]
+		}
+	}
+	return g
+}
+
+// hadamard multiplies two equally-sized dense matrices elementwise.
+func hadamard(a, b *Dense) *Dense {
+	out := NewDense(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// solveGram solves X·G = M for X (i.e. X = M·G⁻¹) via Cholesky with a
+// small ridge for rank-deficient Grams.
+func solveGram(g, m *Dense) (*Dense, error) {
+	n := g.Rows
+	// Ridge regularization keeps the factorization alive when factors
+	// collide.
+	ridge := 1e-12
+	var trace float64
+	for i := 0; i < n; i++ {
+		trace += g.At(i, i)
+	}
+	if trace > 0 {
+		ridge *= trace / float64(n)
+	}
+	L := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := g.At(i, j)
+			if i == j {
+				sum += ridge
+			}
+			for k := 0; k < j; k++ {
+				sum -= L.At(i, k) * L.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("linalg: Gram matrix not positive definite")
+				}
+				L.Set(i, i, math.Sqrt(sum))
+			} else {
+				L.Set(i, j, sum/L.At(j, j))
+			}
+		}
+	}
+	// Solve G xᵀ = mᵀ row by row: L y = b, Lᵀ x = y.
+	out := NewDense(m.Rows, m.Cols)
+	y := make([]float64, n)
+	for row := 0; row < m.Rows; row++ {
+		for i := 0; i < n; i++ {
+			sum := m.At(row, i)
+			for k := 0; k < i; k++ {
+				sum -= L.At(i, k) * y[k]
+			}
+			y[i] = sum / L.At(i, i)
+		}
+		for i := n - 1; i >= 0; i-- {
+			sum := y[i]
+			for k := i + 1; k < n; k++ {
+				sum -= L.At(k, i) * out.At(row, k)
+			}
+			out.Set(row, i, sum/L.At(i, i))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,317 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"sparseart/internal/core"
+	_ "sparseart/internal/core/all"
+	"sparseart/internal/tensor"
+)
+
+// rank2Tensor synthesizes an exactly rank-2 tensor with every cell
+// populated — logically dense but carried through the sparse storage
+// formats, so CP-ALS must recover the structure exactly. (Dropping
+// cells to zero would destroy the low-rank property: an implicit zero
+// is a real value in the CP model.)
+func rank2Tensor(t *testing.T, kind core.Kind) *Tensor {
+	t.Helper()
+	a := [][2]float64{}
+	for i := 0; i < 12; i++ {
+		a = append(a, [2]float64{math.Sin(float64(i)) + 1.2, math.Cos(float64(i)) + 1.2})
+	}
+	b := [][2]float64{}
+	for j := 0; j < 10; j++ {
+		b = append(b, [2]float64{float64(j%3) + 0.5, float64(j%5) + 0.25})
+	}
+	cfac := [][2]float64{}
+	for k := 0; k < 8; k++ {
+		cfac = append(cfac, [2]float64{float64(k)/4 + 0.3, 1.5 - float64(k)/8})
+	}
+	coords := tensor.NewCoords(3, 0)
+	var vals []float64
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 10; j++ {
+			for k := 0; k < 8; k++ {
+				v := a[i][0]*b[j][0]*cfac[k][0] + a[i][1]*b[j][1]*cfac[k][1]
+				coords.Append(uint64(i), uint64(j), uint64(k))
+				vals = append(vals, v)
+			}
+		}
+	}
+	tn, err := TensorFrom(kind, tensor.Shape{12, 10, 8}, coords, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tn
+}
+
+func TestCPALSRecoversLowRankStructure(t *testing.T) {
+	tn := rank2Tensor(t, core.CSF)
+	res, err := tn.CPALS(CPALSOptions{Rank: 2, MaxIter: 200, Tol: 1e-10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit < 0.9999 {
+		t.Fatalf("fit = %v after %d iterations", res.Fit, res.Iterations)
+	}
+	// Factor columns are unit-norm.
+	for m, f := range res.Factors {
+		for r := 0; r < 2; r++ {
+			var norm float64
+			for i := 0; i < f.Rows; i++ {
+				norm += f.At(i, r) * f.At(i, r)
+			}
+			if math.Abs(math.Sqrt(norm)-1) > 1e-6 {
+				t.Fatalf("factor %d column %d norm %v", m, r, math.Sqrt(norm))
+			}
+		}
+	}
+	if len(res.Lambdas) != 2 || res.Lambdas[0] <= 0 {
+		t.Fatalf("lambdas = %v", res.Lambdas)
+	}
+}
+
+func TestCPALSSameAcrossFormats(t *testing.T) {
+	// The decomposition depends only on the tensor's contents, so
+	// every storage organization must produce the same fit.
+	var fits []float64
+	for _, kind := range []core.Kind{core.COO, core.GCSR, core.CSF} {
+		tn := rank2Tensor(t, kind)
+		res, err := tn.CPALS(CPALSOptions{Rank: 2, MaxIter: 60, Seed: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		fits = append(fits, res.Fit)
+	}
+	for i := 1; i < len(fits); i++ {
+		if math.Abs(fits[i]-fits[0]) > 1e-9 {
+			t.Fatalf("fits differ across formats: %v", fits)
+		}
+	}
+}
+
+func TestCPALSReconstructionError(t *testing.T) {
+	tn := rank2Tensor(t, core.GCSR)
+	res, err := tn.CPALS(CPALSOptions{Rank: 2, MaxIter: 200, Tol: 1e-12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point-wise reconstruction tracks the stored values.
+	var num, den float64
+	it := tn.Reader.(core.Iterator)
+	it.Each(func(p []uint64, slot int) bool {
+		diff := res.Reconstruct(p) - tn.Values[slot]
+		num += diff * diff
+		den += tn.Values[slot] * tn.Values[slot]
+		return true
+	})
+	if rel := math.Sqrt(num / den); rel > 0.05 {
+		t.Fatalf("relative reconstruction error %v", rel)
+	}
+}
+
+// TestCPALSOnSparseSupport: with most cells implicitly zero the tensor
+// is no longer rank-2, but ALS must still improve the fit monotonically
+// and capture a meaningful share of the mass.
+func TestCPALSOnSparseSupport(t *testing.T) {
+	dense := rank2Tensor(t, core.CSF)
+	coords := tensor.NewCoords(3, 0)
+	var vals []float64
+	it := dense.Reader.(core.Iterator)
+	it.Each(func(p []uint64, slot int) bool {
+		if (p[0]+p[1]+p[2])%3 == 0 {
+			coords.Append(p...)
+			vals = append(vals, dense.Values[slot])
+		}
+		return true
+	})
+	tn, err := TensorFrom(core.CSF, tensor.Shape{12, 10, 8}, coords, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	few, err := tn.CPALS(CPALSOptions{Rank: 4, MaxIter: 3, Tol: 1e-15, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := tn.CPALS(CPALSOptions{Rank: 4, MaxIter: 80, Tol: 1e-15, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Fit < few.Fit {
+		t.Fatalf("fit regressed with more iterations: %v -> %v", few.Fit, many.Fit)
+	}
+	if many.Fit < 0.3 {
+		t.Fatalf("fit = %v, expected a meaningful share of the mass", many.Fit)
+	}
+}
+
+// TestCPALSImputeCompletesMissingCells: EM imputation must predict
+// held-out cells of a low-rank tensor far better than zero-filled ALS.
+func TestCPALSImputeCompletesMissingCells(t *testing.T) {
+	dense := rank2Tensor(t, core.CSF)
+	lin, err := tensor.NewLinearizer(dense.Shape, tensor.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[uint64]float64{}
+	coords := tensor.NewCoords(3, 0)
+	var vals []float64
+	var heldOut []uint64
+	it := dense.Reader.(core.Iterator)
+	it.Each(func(p []uint64, slot int) bool {
+		addr := lin.Linearize(p)
+		truth[addr] = dense.Values[slot]
+		// Hold out a scattered ~quarter (a structured pattern like
+		// addr%4 would delete whole mode-2 slices, which no method
+		// can recover).
+		if (addr*2654435761)%16 < 4 {
+			heldOut = append(heldOut, addr)
+		} else {
+			coords.Append(p...)
+			vals = append(vals, dense.Values[slot])
+		}
+		return true
+	})
+	tn, err := TensorFrom(core.CSF, dense.Shape, coords, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := CPALSOptions{Rank: 2, MaxIter: 40, Tol: 1e-10, Seed: 4}
+
+	zeroFilled, err := tn.CPALS(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imputed, err := tn.CPALSImpute(opts, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errOf := func(r *CPResult) float64 {
+		var se float64
+		p := make([]uint64, 3)
+		for _, addr := range heldOut {
+			lin.Delinearize(addr, p)
+			d := r.Reconstruct(p) - truth[addr]
+			se += d * d
+		}
+		return math.Sqrt(se / float64(len(heldOut)))
+	}
+	zf, im := errOf(zeroFilled), errOf(imputed)
+	if im > zf/3 {
+		t.Fatalf("imputed RMSE %v not clearly below zero-filled %v", im, zf)
+	}
+	if im > 0.1 {
+		t.Fatalf("imputed RMSE %v too high for an exactly low-rank tensor", im)
+	}
+}
+
+func TestCPALSImputeValidation(t *testing.T) {
+	tn := rank2Tensor(t, core.COO)
+	if _, err := tn.CPALSImpute(CPALSOptions{Rank: 1}, 0); err == nil {
+		t.Error("0 outer iterations accepted")
+	}
+	shape2 := tensor.Shape{4, 4}
+	c := tensor.NewCoords(2, 1)
+	c.Append(1, 1)
+	tn2, err := TensorFrom(core.COO, shape2, c, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn2.CPALSImpute(CPALSOptions{Rank: 1}, 1); err == nil {
+		t.Error("2-way tensor accepted")
+	}
+	// Oversized volumes are refused rather than exhausting memory.
+	big := tensor.NewCoords(3, 1)
+	big.Append(0, 0, 0)
+	tb, err := TensorFrom(core.COO, tensor.Shape{1 << 10, 1 << 10, 1 << 10}, big, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.CPALSImpute(CPALSOptions{Rank: 1}, 1); err == nil {
+		t.Error("oversized volume accepted")
+	}
+}
+
+func TestCPALSFitImprovesWithRank(t *testing.T) {
+	tn := rank2Tensor(t, core.CSF)
+	fit1, err := tn.CPALS(CPALSOptions{Rank: 1, MaxIter: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit2, err := tn.CPALS(CPALSOptions{Rank: 2, MaxIter: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit2.Fit <= fit1.Fit {
+		t.Fatalf("rank 2 fit %v not above rank 1 fit %v", fit2.Fit, fit1.Fit)
+	}
+}
+
+func TestCPALSValidation(t *testing.T) {
+	tn := rank2Tensor(t, core.COO)
+	if _, err := tn.CPALS(CPALSOptions{Rank: 0}); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	shape2 := tensor.Shape{4, 4}
+	c := tensor.NewCoords(2, 1)
+	c.Append(1, 1)
+	tn2, err := TensorFrom(core.COO, shape2, c, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn2.CPALS(CPALSOptions{Rank: 1}); err == nil {
+		t.Error("2-way tensor accepted")
+	}
+	// All-zero tensors have no decomposition.
+	c3 := tensor.NewCoords(3, 1)
+	c3.Append(0, 0, 0)
+	tz, err := TensorFrom(core.COO, tensor.Shape{2, 2, 2}, c3, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tz.CPALS(CPALSOptions{Rank: 1}); err == nil {
+		t.Error("zero tensor accepted")
+	}
+}
+
+func TestGramAndHadamardHelpers(t *testing.T) {
+	f := NewDense(3, 2)
+	copy(f.Data, []float64{1, 2, 3, 4, 5, 6})
+	g := gramMatrix(f)
+	// FᵀF = [[35, 44], [44, 56]].
+	want := []float64{35, 44, 44, 56}
+	for i, v := range want {
+		if g.Data[i] != v {
+			t.Fatalf("gram = %v, want %v", g.Data, want)
+		}
+	}
+	h := hadamard(g, g)
+	if h.Data[0] != 35*35 || h.Data[3] != 56*56 {
+		t.Fatalf("hadamard = %v", h.Data)
+	}
+}
+
+func TestSolveGramKnownSystem(t *testing.T) {
+	// G = [[4,2],[2,3]], M = row [8, 7]: X = M G⁻¹ = [ (8*3-7*2)/8, (7*4-8*2)/8 ] = [1.25, 1.5].
+	g := NewDense(2, 2)
+	copy(g.Data, []float64{4, 2, 2, 3})
+	m := NewDense(1, 2)
+	copy(m.Data, []float64{8, 7})
+	x, err := solveGram(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x.At(0, 0)-1.25) > 1e-9 || math.Abs(x.At(0, 1)-1.5) > 1e-9 {
+		t.Fatalf("solve = %v", x.Data)
+	}
+}
+
+func TestSolveGramRejectsIndefinite(t *testing.T) {
+	g := NewDense(2, 2)
+	copy(g.Data, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	m := NewDense(1, 2)
+	if _, err := solveGram(g, m); err == nil {
+		t.Fatal("indefinite Gram accepted")
+	}
+}

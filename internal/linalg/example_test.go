@@ -1,0 +1,79 @@
+package linalg_test
+
+import (
+	"fmt"
+	"log"
+
+	"sparseart/internal/core"
+	_ "sparseart/internal/core/all"
+	"sparseart/internal/linalg"
+	"sparseart/internal/tensor"
+)
+
+// ExampleMatrix_SpMV multiplies a sparse matrix, stored as a CSF
+// payload, by a dense vector.
+func ExampleMatrix_SpMV() {
+	shape := tensor.Shape{3, 3}
+	c := tensor.NewCoords(2, 0)
+	c.Append(0, 0)
+	c.Append(1, 2)
+	c.Append(2, 1)
+	m, err := linalg.MatrixFrom(core.CSF, shape, c, []float64{2, 3, 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	y, err := m.SpMV([]float64{1, 10, 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(y)
+	// Output:
+	// [2 300 40]
+}
+
+// ExampleTensor_TTV contracts a 3-way tensor with a vector along its
+// last mode.
+func ExampleTensor_TTV() {
+	shape := tensor.Shape{2, 2, 2}
+	c := tensor.NewCoords(3, 0)
+	c.Append(0, 0, 0)
+	c.Append(0, 0, 1)
+	c.Append(1, 1, 1)
+	tn, err := linalg.TensorFrom(core.GCSR, shape, c, []float64{1, 2, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, outShape, err := tn.TTV(2, []float64{10, 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(outShape, out)
+	// Output:
+	// 2x2 [210 0 0 300]
+}
+
+// ExampleCG solves a tridiagonal SPD system through a stored operator.
+func ExampleCG() {
+	shape := tensor.Shape{3, 3}
+	c := tensor.NewCoords(2, 0)
+	vals := []float64{}
+	add := func(i, j uint64, v float64) { c.Append(i, j); vals = append(vals, v) }
+	add(0, 0, 2)
+	add(0, 1, -1)
+	add(1, 0, -1)
+	add(1, 1, 2)
+	add(1, 2, -1)
+	add(2, 1, -1)
+	add(2, 2, 2)
+	m, err := linalg.MatrixFrom(core.Linear, shape, c, vals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := linalg.CG(m.SpMV, []float64{0, 2, 0}, 10, 1e-12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("x = [%.0f %.0f %.0f], converged=%v\n", res.X[0], res.X[1], res.X[2], res.Converged)
+	// Output:
+	// x = [1 2 1], converged=true
+}

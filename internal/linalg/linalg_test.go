@@ -1,0 +1,431 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparseart/internal/core"
+	_ "sparseart/internal/core/all"
+	"sparseart/internal/tensor"
+)
+
+// buildAll packages the same dataset in every organization and returns
+// (reader, packed values) per kind.
+func buildAll(t *testing.T, shape tensor.Shape, c *tensor.Coords, vals []float64) map[core.Kind]struct {
+	r core.Reader
+	v []float64
+} {
+	t.Helper()
+	out := map[core.Kind]struct {
+		r core.Reader
+		v []float64
+	}{}
+	for _, kind := range core.PaperKinds() {
+		f, err := core.Get(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		built, err := f.Build(c, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := f.Open(built.Payload, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[kind] = struct {
+			r core.Reader
+			v []float64
+		}{r, tensor.ApplyPermValues(vals, built.Perm)}
+	}
+	return out
+}
+
+func randomSparse(rng *rand.Rand, shape tensor.Shape, n int) (*tensor.Coords, []float64) {
+	lin, _ := tensor.NewLinearizer(shape, tensor.RowMajor)
+	vol, _ := shape.Volume()
+	seen := map[uint64]bool{}
+	c := tensor.NewCoords(shape.Dims(), n)
+	var vals []float64
+	p := make([]uint64, shape.Dims())
+	for len(seen) < n {
+		a := uint64(rng.Int63n(int64(vol)))
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		lin.Delinearize(a, p)
+		c.Append(p...)
+		vals = append(vals, rng.NormFloat64())
+	}
+	return c, vals
+}
+
+// dense materializes the sparse matrix for reference computations.
+func dense(shape tensor.Shape, c *tensor.Coords, vals []float64) [][]float64 {
+	m := make([][]float64, shape[0])
+	for i := range m {
+		m[i] = make([]float64, shape[1])
+	}
+	for i := 0; i < c.Len(); i++ {
+		m[c.Get(i, 0)][c.Get(i, 1)] = vals[i]
+	}
+	return m
+}
+
+func TestSpMVMatchesDenseAcrossAllFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shape := tensor.Shape{20, 15}
+	c, vals := randomSparse(rng, shape, 60)
+	x := make([]float64, shape[1])
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ref := dense(shape, c, vals)
+	want := make([]float64, shape[0])
+	for i := range want {
+		for j := range x {
+			want[i] += ref[i][j] * x[j]
+		}
+	}
+	for kind, built := range buildAll(t, shape, c, vals) {
+		m, err := NewMatrix(shape, built.r, built.v)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		got, err := m.SpMV(x)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("%v: y[%d] = %v, want %v", kind, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSpMVTMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	shape := tensor.Shape{12, 9}
+	c, vals := randomSparse(rng, shape, 40)
+	x := make([]float64, shape[0])
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ref := dense(shape, c, vals)
+	want := make([]float64, shape[1])
+	for j := range want {
+		for i := range x {
+			want[j] += ref[i][j] * x[i]
+		}
+	}
+	built := buildAll(t, shape, c, vals)[core.GCSC]
+	m, err := NewMatrix(shape, built.r, built.v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.SpMVT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-9 {
+			t.Fatalf("y[%d] = %v, want %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestMatrixValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shape := tensor.Shape{4, 4}
+	c, vals := randomSparse(rng, shape, 5)
+	built := buildAll(t, shape, c, vals)[core.COO]
+	if _, err := NewMatrix(tensor.Shape{4, 4, 4}, built.r, built.v); err == nil {
+		t.Error("3D matrix accepted")
+	}
+	if _, err := NewMatrix(shape, built.r, built.v[:2]); err == nil {
+		t.Error("value count mismatch accepted")
+	}
+	m, err := NewMatrix(shape, built.r, built.v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpMV(make([]float64, 3)); err == nil {
+		t.Error("wrong x length accepted")
+	}
+	if _, err := m.SpMVT(make([]float64, 3)); err == nil {
+		t.Error("wrong x length accepted (transpose)")
+	}
+}
+
+func TestTTVMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	shape := tensor.Shape{6, 5, 4}
+	c, vals := randomSparse(rng, shape, 40)
+	for mode := 0; mode < 3; mode++ {
+		v := make([]float64, shape[mode])
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		for kind, built := range buildAll(t, shape, c, vals) {
+			tn, err := NewTensor(shape, built.r, built.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, outShape, err := tn.TTV(mode, v)
+			if err != nil {
+				t.Fatalf("%v mode %d: %v", kind, mode, err)
+			}
+			lin, _ := tensor.NewLinearizer(outShape, tensor.RowMajor)
+			want := make([]float64, len(got))
+			q := make([]uint64, 2)
+			for i := 0; i < c.Len(); i++ {
+				p := c.At(i)
+				k := 0
+				for d, coord := range p {
+					if d == mode {
+						continue
+					}
+					q[k] = coord
+					k++
+				}
+				want[lin.Linearize(q)] += vals[i] * v[p[mode]]
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9 {
+					t.Fatalf("%v mode %d: out[%d] = %v, want %v", kind, mode, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTTVValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	shape := tensor.Shape{4, 4, 4}
+	c, vals := randomSparse(rng, shape, 5)
+	built := buildAll(t, shape, c, vals)[core.CSF]
+	tn, err := NewTensor(shape, built.r, built.v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tn.TTV(3, make([]float64, 4)); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if _, _, err := tn.TTV(0, make([]float64, 3)); err == nil {
+		t.Error("wrong vector length accepted")
+	}
+}
+
+func TestMTTKRPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	shape := tensor.Shape{5, 6, 7}
+	c, vals := randomSparse(rng, shape, 50)
+	const rank = 3
+	for mode := 0; mode < 3; mode++ {
+		others := [][2]int{{1, 2}, {0, 2}, {0, 1}}[mode]
+		var factors [2]*Dense
+		for fi, m := range others {
+			f := NewDense(int(shape[m]), rank)
+			for i := range f.Data {
+				f.Data[i] = rng.NormFloat64()
+			}
+			factors[fi] = f
+		}
+		want := NewDense(int(shape[mode]), rank)
+		for i := 0; i < c.Len(); i++ {
+			p := c.At(i)
+			for r := 0; r < rank; r++ {
+				want.Data[int(p[mode])*rank+r] += vals[i] *
+					factors[0].At(int(p[others[0]]), r) *
+					factors[1].At(int(p[others[1]]), r)
+			}
+		}
+		for kind, built := range buildAll(t, shape, c, vals) {
+			tn, err := NewTensor(shape, built.r, built.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tn.MTTKRP(mode, factors)
+			if err != nil {
+				t.Fatalf("%v mode %d: %v", kind, mode, err)
+			}
+			for i := range want.Data {
+				if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+					t.Fatalf("%v mode %d: M[%d] = %v, want %v",
+						kind, mode, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMTTKRPValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shape := tensor.Shape{4, 4, 4}
+	c, vals := randomSparse(rng, shape, 5)
+	built := buildAll(t, shape, c, vals)[core.GCSR]
+	tn, err := NewTensor(shape, built.r, built.v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := [2]*Dense{NewDense(4, 2), NewDense(4, 2)}
+	if _, err := tn.MTTKRP(3, good); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if _, err := tn.MTTKRP(0, [2]*Dense{NewDense(4, 2), NewDense(4, 3)}); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	if _, err := tn.MTTKRP(0, [2]*Dense{NewDense(3, 2), NewDense(4, 2)}); err == nil {
+		t.Error("factor extent mismatch accepted")
+	}
+	shape2 := tensor.Shape{4, 4}
+	c2, vals2 := randomSparse(rng, shape2, 4)
+	built2 := buildAll(t, shape2, c2, vals2)[core.COO]
+	tn2, err := NewTensor(shape2, built2.r, built2.v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn2.MTTKRP(0, good); err == nil {
+		t.Error("2-way MTTKRP accepted")
+	}
+}
+
+// laplacian1D builds the SPD tridiagonal operator [-1 2 -1] of size n
+// in the given organization.
+func laplacian1D(t *testing.T, n int, kind core.Kind) *Matrix {
+	t.Helper()
+	shape := tensor.Shape{uint64(n), uint64(n)}
+	c := tensor.NewCoords(2, 0)
+	var vals []float64
+	for i := 0; i < n; i++ {
+		c.Append(uint64(i), uint64(i))
+		vals = append(vals, 2)
+		if i > 0 {
+			c.Append(uint64(i), uint64(i-1))
+			vals = append(vals, -1)
+		}
+		if i < n-1 {
+			c.Append(uint64(i), uint64(i+1))
+			vals = append(vals, -1)
+		}
+	}
+	f, err := core.Get(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := f.Build(c, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.Open(built.Payload, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMatrix(shape, r, tensor.ApplyPermValues(vals, built.Perm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCGSolvesLaplacianInEveryFormat(t *testing.T) {
+	const n = 50
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	for _, kind := range core.PaperKinds() {
+		m := laplacian1D(t, n, kind)
+		res, err := CG(m.SpMV, b, 500, 1e-9)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v: CG did not converge (residual %v after %d iters)",
+				kind, res.Residual, res.Iterations)
+		}
+		// Verify A·x = b directly.
+		ax, err := m.SpMV(res.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-6 {
+				t.Fatalf("%v: (A·x)[%d] = %v, want %v", kind, i, ax[i], b[i])
+			}
+		}
+	}
+}
+
+func TestCGExactAfterNIterations(t *testing.T) {
+	// CG on an n-dim SPD system converges within n iterations in exact
+	// arithmetic; allow slack for floating point.
+	m := laplacian1D(t, 16, core.CSF)
+	b := make([]float64, 16)
+	b[0], b[15] = 1, -1
+	res, err := CG(m.SpMV, b, 32, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations > 20 {
+		t.Fatalf("CG took %d iterations (converged=%v)", res.Iterations, res.Converged)
+	}
+}
+
+func TestCGValidation(t *testing.T) {
+	apply := func(x []float64) ([]float64, error) { return x, nil } // identity
+	if _, err := CG(apply, []float64{1}, 0, 1e-9); err == nil {
+		t.Error("maxIter 0 accepted")
+	}
+	bad := func(x []float64) ([]float64, error) { return x[:0], nil }
+	if _, err := CG(bad, []float64{1, 2}, 5, 1e-9); err == nil {
+		t.Error("wrong operator output length accepted")
+	}
+	// Identity system solves in one iteration.
+	res, err := CG(apply, []float64{3, -4}, 5, 1e-12)
+	if err != nil || !res.Converged || math.Abs(res.X[0]-3) > 1e-9 {
+		t.Fatalf("identity solve: %+v, %v", res, err)
+	}
+}
+
+// TestSpMVLinearityQuick property-tests SpMV linearity:
+// A(ax + by) = a·Ax + b·Ay.
+func TestSpMVLinearityQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	shape := tensor.Shape{10, 10}
+	c, vals := randomSparse(rng, shape, 30)
+	built := buildAll(t, shape, c, vals)[core.GCSR]
+	m, err := NewMatrix(shape, built.r, built.v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(xs, ys [10]int8, a, b int8) bool {
+		x := make([]float64, 10)
+		y := make([]float64, 10)
+		mix := make([]float64, 10)
+		for i := range x {
+			x[i], y[i] = float64(xs[i]), float64(ys[i])
+			mix[i] = float64(a)*x[i] + float64(b)*y[i]
+		}
+		ax, err1 := m.SpMV(x)
+		ay, err2 := m.SpMV(y)
+		amix, err3 := m.SpMV(mix)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for i := range amix {
+			want := float64(a)*ax[i] + float64(b)*ay[i]
+			if math.Abs(amix[i]-want) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package psort provides the parallel primitives used on the build path
+// of the storage organizations: a parallel-for over index ranges and a
+// parallel merge sort that produces a permutation rather than moving the
+// data. Sorting dominates the build cost of GCSR++/GCSC++/CSF (the
+// n·log n term in Table I), so this is the module's main lever for
+// exploiting the many cores of an HPC node.
+package psort
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// serialCutoff is the problem size below which parallelism is pure
+// overhead.
+const serialCutoff = 1 << 13
+
+// Workers normalizes a worker-count request: values < 1 mean "use all
+// available cores".
+func Workers(requested int) int {
+	if requested < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// ParallelFor runs fn over [0, n) split into contiguous chunks, one per
+// worker, and waits for completion. With workers <= 1 (or a small n) it
+// degrades to a direct call.
+func ParallelFor(n, workers int, fn func(start, end int)) {
+	workers = Workers(workers)
+	if workers == 1 || n < serialCutoff {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		start := w * n / workers
+		end := (w + 1) * n / workers
+		go func(s, e int) {
+			defer wg.Done()
+			if s < e {
+				fn(s, e)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// SortPerm sorts the virtual sequence [0, n) under less and returns the
+// resulting order: out[k] is the input index of the k-th smallest
+// element. The input is never moved; callers turn the result into the
+// paper's "map" vector by inverting it (map[input] = slot).
+//
+// For determinism under parallel execution, less must be a strict total
+// order — break ties on the index itself.
+func SortPerm(n int, workers int, less func(i, j int) bool) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	workers = Workers(workers)
+	if workers == 1 || n < serialCutoff {
+		sort.Slice(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+		return idx
+	}
+
+	// Chunk-sort in parallel, then merge pairs of runs in log rounds.
+	chunks := workers
+	if chunks > n {
+		chunks = n
+	}
+	bounds := make([]int, chunks+1)
+	for c := 0; c <= chunks; c++ {
+		bounds[c] = c * n / chunks
+	}
+	ParallelFor(chunks, workers, func(cs, ce int) {
+		for c := cs; c < ce; c++ {
+			part := idx[bounds[c]:bounds[c+1]]
+			sort.Slice(part, func(a, b int) bool { return less(part[a], part[b]) })
+		}
+	})
+
+	tmp := make([]int, n)
+	src, dst := idx, tmp
+	for len(bounds) > 2 {
+		newBounds := make([]int, 0, len(bounds)/2+1)
+		newBounds = append(newBounds, 0)
+		var wg sync.WaitGroup
+		for b := 0; b+2 < len(bounds); b += 2 {
+			lo, mid, hi := bounds[b], bounds[b+1], bounds[b+2]
+			newBounds = append(newBounds, hi)
+			wg.Add(1)
+			go func(lo, mid, hi int) {
+				defer wg.Done()
+				merge(src, dst, lo, mid, hi, less)
+			}(lo, mid, hi)
+		}
+		if len(bounds)%2 == 0 {
+			// Odd run count: the trailing run is copied through as-is.
+			lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
+			copy(dst[lo:hi], src[lo:hi])
+			newBounds = append(newBounds, hi)
+		}
+		wg.Wait()
+		src, dst = dst, src
+		bounds = newBounds
+	}
+	return src
+}
+
+// merge merges the sorted runs src[lo:mid] and src[mid:hi] into
+// dst[lo:hi].
+func merge(src, dst []int, lo, mid, hi int, less func(i, j int) bool) {
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		if less(src[j], src[i]) {
+			dst[k] = src[j]
+			j++
+		} else {
+			dst[k] = src[i]
+			i++
+		}
+		k++
+	}
+	copy(dst[k:hi], src[i:mid])
+	copy(dst[k+(mid-i):hi], src[j:hi])
+}
+
+// SortPermByKey sorts [0, n) by a uint64 key with index tie-breaking, the
+// common case for the organizations (sort by row, by column, by linear
+// address). It is deterministic regardless of worker count.
+func SortPermByKey(n, workers int, key func(i int) uint64) []int {
+	return SortPerm(n, workers, func(i, j int) bool {
+		ki, kj := key(i), key(j)
+		if ki != kj {
+			return ki < kj
+		}
+		return i < j
+	})
+}

@@ -1,0 +1,165 @@
+package psort
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must normalize to >= 1")
+	}
+	if Workers(7) != 7 {
+		t.Fatalf("Workers(7) = %d", Workers(7))
+	}
+}
+
+func TestParallelForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 1000} {
+		for _, n := range []int{0, 1, 5, serialCutoff - 1, serialCutoff + 3} {
+			hits := make([]int32, n)
+			ParallelFor(n, workers, func(start, end int) {
+				for i := start; i < end; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForChunksAreOrderedAndDisjoint(t *testing.T) {
+	n := serialCutoff * 4
+	var total int64
+	ParallelFor(n, 7, func(start, end int) {
+		if start >= end {
+			t.Errorf("empty chunk [%d,%d)", start, end)
+		}
+		atomic.AddInt64(&total, int64(end-start))
+	})
+	if total != int64(n) {
+		t.Fatalf("chunks cover %d of %d", total, n)
+	}
+}
+
+func sortedByKey(keys []uint64, perm []int) bool {
+	for i := 1; i < len(perm); i++ {
+		ka, kb := keys[perm[i-1]], keys[perm[i]]
+		if ka > kb {
+			return false
+		}
+		if ka == kb && perm[i-1] > perm[i] {
+			return false // tie-break by index must hold
+		}
+	}
+	return true
+}
+
+func TestSortPermMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 100, serialCutoff + 500} {
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(50)) // many duplicates
+		}
+		for _, workers := range []int{1, 2, 5, 16} {
+			got := SortPermByKey(n, workers, func(i int) uint64 { return keys[i] })
+			if len(got) != n {
+				t.Fatalf("n=%d workers=%d: perm length %d", n, workers, len(got))
+			}
+			if !sortedByKey(keys, got) {
+				t.Fatalf("n=%d workers=%d: not sorted", n, workers)
+			}
+			seen := make([]bool, n)
+			for _, idx := range got {
+				if idx < 0 || idx >= n || seen[idx] {
+					t.Fatalf("n=%d workers=%d: invalid permutation", n, workers)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+}
+
+func TestSortPermDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := serialCutoff * 3
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(100))
+	}
+	ref := SortPermByKey(n, 1, func(i int) uint64 { return keys[i] })
+	for _, workers := range []int{2, 3, 4, 9} {
+		got := SortPermByKey(n, workers, func(i int) uint64 { return keys[i] })
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d differs from serial at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestSortPermOddChunkCount(t *testing.T) {
+	// Three workers exercise the odd-run copy-through path of the merge
+	// rounds.
+	n := serialCutoff * 3
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64((i * 7919) % 1000)
+	}
+	got := SortPerm(n, 3, func(i, j int) bool {
+		if keys[i] != keys[j] {
+			return keys[i] < keys[j]
+		}
+		return i < j
+	})
+	if !sortedByKey(keys, got) {
+		t.Fatal("not sorted with 3 workers")
+	}
+}
+
+func TestSortPermAlreadySorted(t *testing.T) {
+	n := serialCutoff * 2
+	got := SortPermByKey(n, 4, func(i int) uint64 { return uint64(i) })
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("sorted input should give identity, got[%d]=%d", i, idx)
+		}
+	}
+}
+
+// TestSortPermQuick property-tests agreement with sort.SliceStable on
+// random inputs across worker counts.
+func TestSortPermQuick(t *testing.T) {
+	f := func(seed int64, wsel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3000)
+		workers := int(wsel)%8 + 1
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(20))
+		}
+		got := SortPermByKey(n, workers, func(i int) uint64 { return keys[i] })
+		want := make([]int, n)
+		for i := range want {
+			want[i] = i
+		}
+		sort.SliceStable(want, func(a, b int) bool { return keys[want[a]] < keys[want[b]] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package stats provides the small summary-statistics toolkit the
+// benchmark harness uses for multi-trial measurements: location
+// (mean/median), spread, and order statistics over float64 samples and
+// time.Duration series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+	P25, P75, P95    float64
+}
+
+// Summarize computes a Summary; it returns the zero value for an empty
+// sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Median = Quantile(sorted, 0.5)
+	s.P25 = Quantile(sorted, 0.25)
+	s.P75 = Quantile(sorted, 0.75)
+	s.P95 = Quantile(sorted, 0.95)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(len(sorted))
+	if len(sorted) > 1 {
+		var ss float64
+		for _, x := range sorted {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	return s
+}
+
+// Quantile interpolates the q-th quantile (q in [0,1]) of a sorted
+// sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// MedianDuration returns the median of a duration sample (zero for an
+// empty sample).
+func MedianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d)
+	}
+	sort.Float64s(xs)
+	return time.Duration(Quantile(xs, 0.5))
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g±%.2g min=%.4g p50=%.4g p95=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.P95, s.Max)
+}

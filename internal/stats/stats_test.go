@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	want := math.Sqrt(2.5) // sample variance of 1..5 is 2.5
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+}
+
+func TestSummarizeEdges(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.P95 != 7 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {0.25, 17.5}, {-1, 10}, {2, 40},
+	}
+	for _, tc := range cases {
+		if got := Quantile(sorted, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile")
+	}
+}
+
+func TestMedianDuration(t *testing.T) {
+	ds := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	if got := MedianDuration(ds); got != 2*time.Second {
+		t.Fatalf("median = %v", got)
+	}
+	if MedianDuration(nil) != 0 {
+		t.Fatal("empty median")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if s := Summarize([]float64{1, 2}).String(); s == "" {
+		t.Fatal("empty string")
+	}
+}
+
+// TestSummarizeQuick property-tests the ordering invariants
+// min <= p25 <= median <= p75 <= p95 <= max and mean within [min, max].
+func TestSummarizeQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			// Drop non-finite draws and clamp magnitudes so the mean
+			// cannot overflow — the accumulation itself is not under
+			// test here.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		ordered := s.Min <= s.P25 && s.P25 <= s.Median && s.Median <= s.P75 &&
+			s.P75 <= s.P95 && s.P95 <= s.Max
+		meanOK := s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+		// Summarize must not reorder the caller's slice.
+		return ordered && meanOK && !sort.Float64sAreSorted(clean) ||
+			ordered && meanOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 4}
+	Summarize(xs)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 4 {
+		t.Fatal("input reordered")
+	}
+}

@@ -1,0 +1,152 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"sparseart/internal/complexity"
+	"sparseart/internal/core"
+	"sparseart/internal/tensor"
+)
+
+// This file implements the cost-model-driven region read: the Table I
+// complexity model, evaluated per fragment, decides between the paper's
+// probe strategy (one existence query per region cell) and the scan
+// strategy (one pass over the fragment's stored points). Probing wins
+// when the region is small relative to the fragment; scanning wins for
+// the scan-read organizations (COO, LINEAR) on any sizable window.
+
+// scanFragment answers a region query from one fragment in scan mode.
+func scanFragment(kind core.Kind, reader core.Reader, region tensor.Region,
+	visit func(p []uint64, slot int) bool) error {
+	switch r := reader.(type) {
+	case core.RegionScanner:
+		r.ScanRegion(region, visit)
+	case core.Iterator:
+		r.Each(func(p []uint64, slot int) bool {
+			if region.Contains(p) {
+				return visit(p, slot)
+			}
+			return true
+		})
+	default:
+		return fmt.Errorf("store: %v reader cannot scan", kind)
+	}
+	return nil
+}
+
+// preferScan applies Table I: compare the model's marginal probe cost
+// for nRead queries against the O(n) scan pass over one fragment of n
+// points. The marginal cost is taken as the slope of the model's read
+// formula (its n_read-independent terms, like GCS's one-off transform
+// pass, belong to both strategies).
+//
+// The decision is deliberately the *worst-case* Table I slope: GCS row
+// probes usually early-exit well before n/min{m} comparisons, so the
+// model errs toward scanning for mid-sized windows. That conservatism
+// is cheap — a scan is never catastrophic, while quadratic probing of a
+// large window is.
+func preferScan(kind core.Kind, shape tensor.Shape, n, nRead uint64) bool {
+	params := complexity.Params{
+		N:        float64(max64(n, 1)),
+		NRead:    float64(max64(nRead, 1)),
+		Shape:    shape,
+		CSFShare: 0.5,
+	}
+	e1, err := complexity.For(kind, params)
+	if err != nil {
+		return false // unknown organization: keep the paper's strategy
+	}
+	params.NRead *= 2
+	e2, err := complexity.For(kind, params)
+	if err != nil {
+		return false
+	}
+	probeCost := e2.Read - e1.Read // slope × nRead
+	return probeCost > float64(n)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ReadRegionAuto reads a rectangular region, choosing probe or scan
+// mode per fragment by the Table I cost model. Results are identical to
+// ReadRegion and ReadRegionScan; only the time to produce them differs.
+// The report's Scans field tells how many fragments were scanned.
+func (s *Store) ReadRegionAuto(region tensor.Region) (*Result, *ReadReport, error) {
+	rep := &ReadReport{}
+	if region.Dims() != s.shape.Dims() {
+		return nil, nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), s.shape.Dims())
+	}
+	s.takeCost()
+	queryBox := region.BBox()
+	vol, ok := region.Volume()
+	if !ok {
+		return nil, nil, fmt.Errorf("store: %w: region %v", tensor.ErrOverflow, region)
+	}
+
+	var probe *tensor.Coords // materialized lazily, only if some fragment probes
+	var hits []hit
+	for fi, fr := range s.frags {
+		if fr.nnz == 0 || !fr.bbox.Overlaps(queryBox) {
+			continue
+		}
+		rep.Fragments++
+
+		t := time.Now()
+		data, err := s.fs.ReadFile(fr.name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: read fragment %s: %w", fr.name, err)
+		}
+		wall := time.Since(t)
+		if cost, ok := s.takeCost(); ok {
+			rep.IO += wall + cost.Read + cost.Write
+			rep.Extract += cost.Meta
+		} else {
+			rep.IO += wall
+		}
+
+		t = time.Now()
+		frag, reader, err := s.decodeFragment(fr.name, data)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Extract += time.Since(t)
+
+		t = time.Now()
+		if preferScan(s.kind, s.shape, fr.nnz, vol) {
+			err := scanFragment(s.kind, reader, region, func(p []uint64, slot int) bool {
+				rep.Probed++
+				hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: frag.Values[slot]})
+				return true
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			rep.Scans++
+		} else {
+			if probe == nil {
+				probe = region.Coords()
+			}
+			for i, n := 0, probe.Len(); i < n; i++ {
+				p := probe.At(i)
+				if !fr.bbox.Contains(p) {
+					continue
+				}
+				rep.Probed++
+				if slot, ok := reader.Lookup(p); ok {
+					hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: frag.Values[slot]})
+				}
+			}
+		}
+		rep.Probe += time.Since(t)
+	}
+	res, mergeDur := mergeHits(s, hits, s.tombstonesBefore(len(s.frags)))
+	rep.Merge = mergeDur
+	rep.Found = res.Coords.Len()
+	return res, rep, nil
+}

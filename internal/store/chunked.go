@@ -1,0 +1,353 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sparseart/internal/compress"
+	"sparseart/internal/core"
+	"sparseart/internal/fsim"
+	"sparseart/internal/tensor"
+)
+
+// Chunked is the paper's remedy for linear-address overflow (§II-B): "a
+// practical solution … is to break large tensors into small blocks" and
+// linearize against each block's local boundary. It partitions the
+// domain into fixed tiles, keeps one Store per non-empty tile, and
+// translates coordinates between the global frame and each tile's local
+// frame. The global shape may have a volume far beyond uint64; only
+// each tile's volume must fit.
+type Chunked struct {
+	fs     fsim.FS
+	prefix string
+	kind   core.Kind
+	shape  tensor.Shape // global extents
+	tile   tensor.Shape // tile extents
+	codec  compress.ID
+	stores map[string]*Store
+}
+
+// NewChunked creates a chunked store with the given tile extents. Each
+// tile's volume must fit in uint64.
+func NewChunked(fs fsim.FS, prefix string, kind core.Kind, shape, tile tensor.Shape, opts ...Option) (*Chunked, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tile.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tile) != len(shape) {
+		return nil, fmt.Errorf("store: tile rank %d != shape rank %d", len(tile), len(shape))
+	}
+	if _, ok := tile.Volume(); !ok {
+		return nil, fmt.Errorf("store: %w: tile %v", tensor.ErrOverflow, tile)
+	}
+	if _, err := core.Get(kind); err != nil {
+		return nil, err
+	}
+	c := &Chunked{
+		fs: fs, prefix: prefix, kind: kind,
+		shape: shape.Clone(), tile: tile.Clone(),
+		stores: map[string]*Store{},
+	}
+	for _, o := range opts {
+		var probe Store
+		o(&probe)
+		c.codec = probe.codec
+	}
+	return c, nil
+}
+
+// Shape returns the global shape.
+func (c *Chunked) Shape() tensor.Shape { return c.shape }
+
+// Tiles returns the number of non-empty tiles.
+func (c *Chunked) Tiles() int { return len(c.stores) }
+
+// TotalBytes sums fragment bytes across all tiles.
+func (c *Chunked) TotalBytes() int64 {
+	var total int64
+	for _, s := range c.stores {
+		total += s.TotalBytes()
+	}
+	return total
+}
+
+// tileIndex returns the per-dimension tile index of a global point.
+func (c *Chunked) tileIndex(p []uint64) []uint64 {
+	idx := make([]uint64, len(p))
+	for d := range p {
+		idx[d] = p[d] / c.tile[d]
+	}
+	return idx
+}
+
+func tileKey(idx []uint64) string {
+	var b strings.Builder
+	b.WriteString("t")
+	for _, v := range idx {
+		fmt.Fprintf(&b, "-%d", v)
+	}
+	return b.String()
+}
+
+// tileShape returns the (edge-clipped) extents of the tile at idx.
+func (c *Chunked) tileShape(idx []uint64) tensor.Shape {
+	s := make(tensor.Shape, len(idx))
+	for d := range idx {
+		origin := idx[d] * c.tile[d]
+		s[d] = c.tile[d]
+		if origin+s[d] > c.shape[d] {
+			s[d] = c.shape[d] - origin
+		}
+	}
+	return s
+}
+
+func (c *Chunked) tileStore(idx []uint64) (*Store, error) {
+	key := tileKey(idx)
+	if s, ok := c.stores[key]; ok {
+		return s, nil
+	}
+	s, err := Create(c.fs, c.prefix+"/"+key, c.kind, c.tileShape(idx), WithCodec(c.codec))
+	if err != nil {
+		return nil, err
+	}
+	c.stores[key] = s
+	return s, nil
+}
+
+// Write partitions the points by tile and writes one fragment per
+// non-empty tile, translating to tile-local coordinates so every linear
+// address stays within uint64.
+func (c *Chunked) Write(coords *tensor.Coords, vals []float64) (*WriteReport, error) {
+	if coords.Len() != len(vals) {
+		return nil, fmt.Errorf("store: %d points with %d values", coords.Len(), len(vals))
+	}
+	if coords.Dims() != c.shape.Dims() {
+		return nil, fmt.Errorf("store: %d-dim coords for %d-dim store", coords.Dims(), c.shape.Dims())
+	}
+	type group struct {
+		idx    []uint64
+		coords *tensor.Coords
+		vals   []float64
+	}
+	groups := map[string]*group{}
+	var keys []string
+	local := make([]uint64, coords.Dims())
+	for i, n := 0, coords.Len(); i < n; i++ {
+		p := coords.At(i)
+		if !c.shape.Contains(p) {
+			return nil, fmt.Errorf("store: point %v outside shape %v", p, c.shape)
+		}
+		idx := c.tileIndex(p)
+		key := tileKey(idx)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{idx: idx, coords: tensor.NewCoords(coords.Dims(), 0)}
+			groups[key] = g
+			keys = append(keys, key)
+		}
+		for d := range p {
+			local[d] = p[d] - idx[d]*c.tile[d]
+		}
+		g.coords.Append(local...)
+		g.vals = append(g.vals, vals[i])
+	}
+	sort.Strings(keys) // deterministic tile order
+	total := &WriteReport{NNZ: coords.Len()}
+	for _, key := range keys {
+		g := groups[key]
+		s, err := c.tileStore(g.idx)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := s.Write(g.coords, g.vals)
+		if err != nil {
+			return nil, err
+		}
+		total.Build += rep.Build
+		total.Reorg += rep.Reorg
+		total.Write += rep.Write
+		total.Others += rep.Others
+		total.Bytes += rep.Bytes
+	}
+	return total, nil
+}
+
+// Read probes global points across the tiles they fall in and returns
+// the found points sorted by global lexicographic (row-major) order.
+func (c *Chunked) Read(probe *tensor.Coords) (*Result, *ReadReport, error) {
+	if probe.Dims() != c.shape.Dims() {
+		return nil, nil, fmt.Errorf("store: %d-dim probe for %d-dim store", probe.Dims(), c.shape.Dims())
+	}
+	type part struct {
+		idx    []uint64
+		coords *tensor.Coords
+	}
+	parts := map[string]*part{}
+	var keys []string
+	local := make([]uint64, probe.Dims())
+	for i, n := 0, probe.Len(); i < n; i++ {
+		p := probe.At(i)
+		if !c.shape.Contains(p) {
+			continue
+		}
+		idx := c.tileIndex(p)
+		key := tileKey(idx)
+		if _, ok := c.stores[key]; !ok {
+			continue
+		}
+		g, ok := parts[key]
+		if !ok {
+			g = &part{idx: idx, coords: tensor.NewCoords(probe.Dims(), 0)}
+			parts[key] = g
+			keys = append(keys, key)
+		}
+		for d := range p {
+			local[d] = p[d] - idx[d]*c.tile[d]
+		}
+		g.coords.Append(local...)
+	}
+	sort.Strings(keys)
+
+	rep := &ReadReport{}
+	type globalHit struct {
+		p   []uint64
+		val float64
+	}
+	var hits []globalHit
+	for _, key := range keys {
+		g := parts[key]
+		res, r, err := c.stores[key].Read(g.coords)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.IO += r.IO
+		rep.Extract += r.Extract
+		rep.Probe += r.Probe
+		rep.Merge += r.Merge
+		rep.Fragments += r.Fragments
+		rep.Probed += r.Probed
+		for i, n := 0, res.Coords.Len(); i < n; i++ {
+			lp := res.Coords.At(i)
+			gp := make([]uint64, len(lp))
+			for d := range lp {
+				gp[d] = lp[d] + g.idx[d]*c.tile[d]
+			}
+			hits = append(hits, globalHit{p: gp, val: res.Values[i]})
+		}
+	}
+
+	t := time.Now()
+	sort.Slice(hits, func(a, b int) bool {
+		pa, pb := hits[a].p, hits[b].p
+		for d := range pa {
+			if pa[d] != pb[d] {
+				return pa[d] < pb[d]
+			}
+		}
+		return false
+	})
+	out := &Result{Coords: tensor.NewCoords(c.shape.Dims(), len(hits))}
+	for _, h := range hits {
+		out.Coords.Append(h.p...)
+		out.Values = append(out.Values, h.val)
+	}
+	rep.Merge += time.Since(t)
+	rep.Found = len(hits)
+	return out, rep, nil
+}
+
+// ReadRegion reads a rectangular global region.
+func (c *Chunked) ReadRegion(region tensor.Region) (*Result, *ReadReport, error) {
+	if region.Dims() != c.shape.Dims() {
+		return nil, nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), c.shape.Dims())
+	}
+	return c.Read(region.Coords())
+}
+
+// DeleteRegion writes tombstones over the region in every existing tile
+// it intersects (tiles with no data need none).
+func (c *Chunked) DeleteRegion(region tensor.Region) (*WriteReport, error) {
+	if region.Dims() != c.shape.Dims() {
+		return nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), c.shape.Dims())
+	}
+	for d := range region.Start {
+		if region.Size[d] == 0 || region.Start[d] >= c.shape[d] ||
+			region.Start[d]+region.Size[d] > c.shape[d] {
+			return nil, fmt.Errorf("store: region outside shape in dim %d", d)
+		}
+	}
+	total := &WriteReport{}
+	box := region.BBox()
+	var keys []string
+	for key := range c.stores {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		st := c.stores[key]
+		idx := c.tileIndexFromKey(key)
+		if idx == nil {
+			return nil, fmt.Errorf("store: corrupt tile key %q", key)
+		}
+		// Intersect the global region with this tile's frame.
+		tileShape := st.Shape()
+		local := tensor.Region{
+			Start: make([]uint64, len(idx)),
+			Size:  make([]uint64, len(idx)),
+		}
+		overlaps := true
+		for d := range idx {
+			origin := idx[d] * c.tile[d]
+			lo := box.Min[d]
+			if origin > lo {
+				lo = origin
+			}
+			hi := box.Max[d]
+			if end := origin + tileShape[d] - 1; end < hi {
+				hi = end
+			}
+			if lo > hi {
+				overlaps = false
+				break
+			}
+			local.Start[d] = lo - origin
+			local.Size[d] = hi - lo + 1
+		}
+		if !overlaps {
+			continue
+		}
+		rep, err := st.DeleteRegion(local)
+		if err != nil {
+			return nil, err
+		}
+		total.Write += rep.Write
+		total.Others += rep.Others
+		total.Bytes += rep.Bytes
+	}
+	return total, nil
+}
+
+// tileIndexFromKey parses a "t-1-2-3" tile key back to indices.
+func (c *Chunked) tileIndexFromKey(key string) []uint64 {
+	parts := strings.Split(key, "-")
+	if len(parts) != c.shape.Dims()+1 || parts[0] != "t" {
+		return nil
+	}
+	idx := make([]uint64, c.shape.Dims())
+	for d, p := range parts[1:] {
+		var v uint64
+		for _, ch := range p {
+			if ch < '0' || ch > '9' {
+				return nil
+			}
+			v = v*10 + uint64(ch-'0')
+		}
+		idx[d] = v
+	}
+	return idx
+}

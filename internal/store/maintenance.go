@@ -1,0 +1,134 @@
+package store
+
+import (
+	"fmt"
+
+	"sparseart/internal/core"
+	"sparseart/internal/fragment"
+	"sparseart/internal/fsim"
+	"sparseart/internal/tensor"
+)
+
+// This file holds the engine's maintenance operations, built on the
+// core.Iterator contract every organization's reader implements:
+// fragment consolidation (the TileDB-style answer to the fragment
+// accumulation Algorithm 3's append-only WRITE causes), whole-store
+// export, and conversion between organizations.
+
+// openFragment fetches and decodes one fragment and opens its index.
+func (s *Store) openFragment(fr fragRef) (*fragment.Fragment, core.Reader, error) {
+	data, err := s.fs.ReadFile(fr.name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: read fragment %s: %w", fr.name, err)
+	}
+	return s.decodeFragment(fr.name, data)
+}
+
+// decodeFragment parses already-fetched fragment bytes and opens the
+// index.
+func (s *Store) decodeFragment(name string, data []byte) (*fragment.Fragment, core.Reader, error) {
+	frag, err := fragment.Decode(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: fragment %s: %w", name, err)
+	}
+	reader, err := s.format.Open(frag.Payload, s.shape)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: fragment %s: %w", name, err)
+	}
+	return frag, reader, nil
+}
+
+// ExportAll returns the store's full logical contents — every live
+// cell after overlap and tombstone resolution — sorted by linear
+// address.
+func (s *Store) ExportAll() (*tensor.Coords, []float64, error) {
+	var hits []hit
+	for fi, fr := range s.frags {
+		if fr.nnz == 0 {
+			continue
+		}
+		frag, reader, err := s.openFragment(fr)
+		if err != nil {
+			return nil, nil, err
+		}
+		it, ok := reader.(core.Iterator)
+		if !ok {
+			return nil, nil, fmt.Errorf("store: %v reader cannot iterate", s.kind)
+		}
+		it.Each(func(p []uint64, slot int) bool {
+			hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: frag.Values[slot]})
+			return true
+		})
+	}
+	res, _ := mergeHits(s, hits, s.tombstonesBefore(len(s.frags)))
+	return res.Coords, res.Values, nil
+}
+
+// CompactReport summarizes a consolidation.
+type CompactReport struct {
+	FragmentsBefore, FragmentsAfter int
+	PointsBefore, PointsAfter       int // PointsBefore counts duplicates across fragments
+	BytesBefore, BytesAfter         int64
+}
+
+// Compact consolidates all fragments into one, resolving overlapping
+// writes (newest wins) and reclaiming the space of superseded cells.
+// A store with zero or one fragment is returned unchanged.
+func (s *Store) Compact() (*CompactReport, error) {
+	rep := &CompactReport{
+		FragmentsBefore: len(s.frags),
+		BytesBefore:     s.TotalBytes(),
+	}
+	for _, fr := range s.frags {
+		rep.PointsBefore += int(fr.nnz)
+	}
+	if len(s.frags) <= 1 {
+		rep.FragmentsAfter = len(s.frags)
+		rep.PointsAfter = rep.PointsBefore
+		rep.BytesAfter = rep.BytesBefore
+		return rep, nil
+	}
+	coords, vals, err := s.ExportAll()
+	if err != nil {
+		return nil, err
+	}
+	old := s.frags
+	s.frags = nil
+	wrep, err := s.Write(coords, vals)
+	if err != nil {
+		s.frags = old // the old fragments remain intact on failure
+		return nil, err
+	}
+	for _, fr := range old {
+		if err := s.fs.Remove(fr.name); err != nil {
+			return nil, fmt.Errorf("store: remove %s: %w", fr.name, err)
+		}
+	}
+	if err := s.writeManifest(); err != nil {
+		return nil, err
+	}
+	rep.FragmentsAfter = 1
+	rep.PointsAfter = wrep.NNZ
+	rep.BytesAfter = s.TotalBytes()
+	return rep, nil
+}
+
+// Convert writes the store's full contents into a new store under a
+// different organization (or codec), the migration path between
+// formats.
+func Convert(src *Store, fs fsim.FS, prefix string, kind core.Kind, opts ...Option) (*Store, error) {
+	coords, vals, err := src.ExportAll()
+	if err != nil {
+		return nil, err
+	}
+	dst, err := Create(fs, prefix, kind, src.Shape(), opts...)
+	if err != nil {
+		return nil, err
+	}
+	if coords.Len() > 0 {
+		if _, err := dst.Write(coords, vals); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}

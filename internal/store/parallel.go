@@ -1,0 +1,119 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sparseart/internal/psort"
+	"sparseart/internal/tensor"
+)
+
+// ReadParallel answers a probe list like Read but processes the
+// overlapping fragments in a bounded worker pool — the multi-fragment
+// analogue of parallel I/O on an HPC node. Results are identical to
+// Read; only wall-clock time differs (on real file systems).
+//
+// Reporting semantics under concurrency: the per-phase durations are
+// summed across workers, so they measure aggregate work, not elapsed
+// wall time, and on a cost-modeled backend all modeled I/O lands in the
+// IO phase without per-fragment attribution.
+func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadReport, error) {
+	workers = psort.Workers(workers)
+	if workers <= 1 {
+		return s.Read(probe)
+	}
+	rep := &ReadReport{}
+	if probe.Dims() != s.shape.Dims() {
+		return nil, nil, fmt.Errorf("store: %d-dim probe for %d-dim store", probe.Dims(), s.shape.Dims())
+	}
+	s.takeCost()
+	queryBox, any := probe.Bounds()
+	if !any {
+		return &Result{Coords: tensor.NewCoords(s.shape.Dims(), 0)}, rep, nil
+	}
+
+	var overlapping []int
+	for fi, fr := range s.frags {
+		if fr.nnz > 0 && fr.bbox.Overlaps(queryBox) {
+			overlapping = append(overlapping, fi)
+		}
+	}
+	rep.Fragments = len(overlapping)
+
+	var (
+		mu    sync.Mutex
+		hits  []hit
+		first error
+	)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, fi := range overlapping {
+		fi := fi
+		fr := s.frags[fi]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+
+			t0 := time.Now()
+			data, err := s.fs.ReadFile(fr.name)
+			if err != nil {
+				mu.Lock()
+				if first == nil {
+					first = fmt.Errorf("store: read fragment %s: %w", fr.name, err)
+				}
+				mu.Unlock()
+				return
+			}
+			ioDur := time.Since(t0)
+
+			t0 = time.Now()
+			frag, reader, err := s.decodeFragment(fr.name, data)
+			if err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+				return
+			}
+			extractDur := time.Since(t0)
+
+			t0 = time.Now()
+			var local []hit
+			probed := 0
+			for i, n := 0, probe.Len(); i < n; i++ {
+				p := probe.At(i)
+				if !fr.bbox.Contains(p) {
+					continue
+				}
+				probed++
+				if slot, ok := reader.Lookup(p); ok {
+					local = append(local, hit{addr: s.lin.Linearize(p), frag: fi, val: frag.Values[slot]})
+				}
+			}
+			probeDur := time.Since(t0)
+
+			mu.Lock()
+			hits = append(hits, local...)
+			rep.IO += ioDur
+			rep.Extract += extractDur
+			rep.Probe += probeDur
+			rep.Probed += probed
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, nil, first
+	}
+	if cost, ok := s.takeCost(); ok {
+		rep.IO += cost.Total()
+	}
+	res, mergeDur := mergeHits(s, hits, s.tombstonesBefore(len(s.frags)))
+	rep.Merge = mergeDur
+	rep.Found = res.Coords.Len()
+	return res, rep, nil
+}

@@ -1,0 +1,636 @@
+// Package store implements the benchmark's storage engine, Algorithm 3
+// of the paper: WRITE packages a coordinate buffer with a chosen
+// organization, reorganizes the value buffer by the returned map,
+// concatenates both into a fragment, and writes it to the file system;
+// READ finds the fragments overlapping a query, probes each with the
+// organization's read algorithm, and merges the results sorted by
+// linear address.
+//
+// The engine reports a per-phase time breakdown for both directions.
+// The write breakdown (Build / Reorg / Write / Others) is exactly the
+// row structure of the paper's Table III; when the backing file system
+// has a cost model (fsim.CostReporter) the I/O phases report modeled
+// time, which is how the harness reproduces Lustre numbers
+// deterministically.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sparseart/internal/buf"
+	"sparseart/internal/compress"
+	"sparseart/internal/core"
+	"sparseart/internal/fragment"
+	"sparseart/internal/fsim"
+	"sparseart/internal/tensor"
+)
+
+const (
+	manifestName  = "MANIFEST"
+	manifestMagic = 0x314e4d53 // "SMN1"
+)
+
+// ErrNotFound reports a missing store.
+var ErrNotFound = errors.New("store: store not found")
+
+// Option configures a store at creation.
+type Option func(*Store)
+
+// WithCodec compresses fragment payloads with the given codec.
+func WithCodec(id compress.ID) Option {
+	return func(s *Store) { s.codec = id }
+}
+
+// WithBuildOptions overrides the organization's build options (e.g. to
+// enable parallel builds; the default is the paper's serial setting).
+func WithBuildOptions(o core.Options) Option {
+	return func(s *Store) { s.buildOpts = &o }
+}
+
+type fragRef struct {
+	name  string
+	nnz   uint64
+	bytes int64
+	bbox  tensor.BBox // undefined when nnz == 0 and not a tombstone
+	// tomb marks a deletion fragment covering tombRegion: cells inside
+	// it are dead unless rewritten by a later fragment.
+	tomb       bool
+	tombRegion tensor.Region
+}
+
+// tombstoneRef is a deletion fragment's position in the write order.
+type tombstoneRef struct {
+	idx    int
+	region tensor.Region
+}
+
+// tombstonesBefore lists the deletion fragments among the first limit
+// fragments.
+func (s *Store) tombstonesBefore(limit int) []tombstoneRef {
+	var out []tombstoneRef
+	for i := 0; i < limit && i < len(s.frags); i++ {
+		if s.frags[i].tomb {
+			out = append(out, tombstoneRef{idx: i, region: s.frags[i].tombRegion})
+		}
+	}
+	return out
+}
+
+// Store is a single-tensor fragment store bound to one organization.
+type Store struct {
+	fs        fsim.FS
+	prefix    string
+	kind      core.Kind
+	format    core.Format
+	shape     tensor.Shape
+	lin       *tensor.Linearizer
+	codec     compress.ID
+	buildOpts *core.Options
+	frags     []fragRef
+	nextID    uint64
+}
+
+// Create initializes an empty store under prefix on fs. The shape's
+// volume must fit in uint64 (use Chunked past that).
+func Create(fs fsim.FS, prefix string, kind core.Kind, shape tensor.Shape, opts ...Option) (*Store, error) {
+	f, err := core.Get(kind)
+	if err != nil {
+		return nil, err
+	}
+	lin, err := tensor.NewLinearizer(shape, tensor.RowMajor)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{fs: fs, prefix: prefix, kind: kind, format: f, shape: shape.Clone(), lin: lin}
+	for _, o := range opts {
+		o(s)
+	}
+	if _, err := compress.Get(s.codec); err != nil {
+		return nil, err
+	}
+	if err := s.writeManifest(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open loads an existing store's manifest from fs.
+func Open(fs fsim.FS, prefix string) (*Store, error) {
+	data, err := fs.ReadFile(prefix + "/" + manifestName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, err)
+	}
+	r := buf.NewReader(data)
+	r.Expect(manifestMagic, "store manifest")
+	kind := core.Kind(r.U8())
+	codec := compress.ID(r.U8())
+	dims := int(r.U16())
+	shape := tensor.Shape(r.RawU64s(uint64(dims)))
+	nextID := r.U64()
+	count := r.U64()
+	// Each manifest entry takes well over one byte, so a count beyond
+	// the remaining payload is corruption — and must not drive the
+	// decode loop below (a fuzzer-found hang).
+	if count > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("store: manifest declares %d fragments in %d bytes", count, r.Remaining())
+	}
+	frags := make([]fragRef, 0, count)
+	for i := uint64(0); i < count && r.Err() == nil; i++ {
+		var fr fragRef
+		fr.name = string(r.Bytes32())
+		fr.nnz = r.U64()
+		fr.bytes = int64(r.U64())
+		fr.bbox.Min = r.RawU64s(uint64(dims))
+		fr.bbox.Max = r.RawU64s(uint64(dims))
+		if r.U8()&1 != 0 {
+			fr.tomb = true
+			fr.tombRegion.Start = r.RawU64s(uint64(dims))
+			fr.tombRegion.Size = r.RawU64s(uint64(dims))
+		}
+		frags = append(frags, fr)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("store: manifest: %w", err)
+	}
+	f, err := core.Get(kind)
+	if err != nil {
+		return nil, err
+	}
+	lin, err := tensor.NewLinearizer(shape, tensor.RowMajor)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{
+		fs: fs, prefix: prefix, kind: kind, format: f, shape: shape,
+		lin: lin, codec: codec, frags: frags, nextID: nextID,
+	}, nil
+}
+
+func (s *Store) writeManifest() error {
+	w := buf.NewWriter(64 + len(s.frags)*(48+16*s.shape.Dims()))
+	w.U32(manifestMagic)
+	w.U8(uint8(s.kind))
+	w.U8(uint8(s.codec))
+	w.U16(uint16(s.shape.Dims()))
+	w.RawU64s(s.shape)
+	w.U64(s.nextID)
+	w.U64(uint64(len(s.frags)))
+	for _, fr := range s.frags {
+		w.Bytes32([]byte(fr.name))
+		w.U64(fr.nnz)
+		w.U64(uint64(fr.bytes))
+		if fr.nnz > 0 || fr.tomb {
+			w.RawU64s(fr.bbox.Min)
+			w.RawU64s(fr.bbox.Max)
+		} else {
+			w.RawU64s(make([]uint64, 2*s.shape.Dims()))
+		}
+		if fr.tomb {
+			w.U8(1)
+			w.RawU64s(fr.tombRegion.Start)
+			w.RawU64s(fr.tombRegion.Size)
+		} else {
+			w.U8(0)
+		}
+	}
+	return s.fs.WriteFile(s.prefix+"/"+manifestName, w.Bytes())
+}
+
+// Kind returns the store's organization.
+func (s *Store) Kind() core.Kind { return s.kind }
+
+// Shape returns the tensor shape.
+func (s *Store) Shape() tensor.Shape { return s.shape }
+
+// Fragments returns the number of fragments written so far.
+func (s *Store) Fragments() int { return len(s.frags) }
+
+// TotalBytes returns the cumulative encoded size of all fragments — the
+// "size of the result files" of the paper's Figure 4.
+func (s *Store) TotalBytes() int64 {
+	var total int64
+	for _, fr := range s.frags {
+		total += fr.bytes
+	}
+	return total
+}
+
+// StoreStats is a structural snapshot of a store.
+type StoreStats struct {
+	Fragments  int
+	Tombstones int
+	// WrittenPoints counts points across all data fragments, including
+	// cells later overwritten or deleted (the live count requires a
+	// full read; see ExportAll).
+	WrittenPoints int
+	Bytes         int64
+}
+
+// Stats summarizes the store from its manifest alone (no fragment
+// reads).
+func (s *Store) Stats() StoreStats {
+	st := StoreStats{Fragments: len(s.frags), Bytes: s.TotalBytes()}
+	for _, fr := range s.frags {
+		if fr.tomb {
+			st.Tombstones++
+		}
+		st.WrittenPoints += int(fr.nnz)
+	}
+	return st
+}
+
+// WriteReport is the per-phase breakdown of one WRITE, matching the rows
+// of the paper's Table III.
+type WriteReport struct {
+	Build  time.Duration // packaging the coordinates (the BUILD call)
+	Reorg  time.Duration // permuting the value buffer by the map vector
+	Write  time.Duration // serializing and storing the fragment
+	Others time.Duration // manifest and metadata upkeep
+	Bytes  int64         // encoded fragment size
+	NNZ    int
+	Name   string // fragment file name
+}
+
+// Sum returns the total write time.
+func (r WriteReport) Sum() time.Duration { return r.Build + r.Reorg + r.Write + r.Others }
+
+// takeCost drains modeled I/O cost when the FS has a cost model,
+// otherwise returns zero and ok=false.
+func (s *Store) takeCost() (fsim.Cost, bool) {
+	if cr, ok := s.fs.(fsim.CostReporter); ok {
+		return cr.TakeCost(), true
+	}
+	return fsim.Cost{}, false
+}
+
+// Write implements Algorithm 3's WRITE: package coords, reorganize
+// values, concatenate, and persist one fragment.
+func (s *Store) Write(c *tensor.Coords, vals []float64) (*WriteReport, error) {
+	if c.Len() != len(vals) {
+		return nil, fmt.Errorf("store: %d points with %d values", c.Len(), len(vals))
+	}
+	if c.Dims() != s.shape.Dims() {
+		return nil, fmt.Errorf("store: %d-dim coords for %d-dim store", c.Dims(), s.shape.Dims())
+	}
+	rep := &WriteReport{NNZ: c.Len()}
+	s.takeCost() // discard any cost accrued outside this call
+
+	format := s.format
+	if s.buildOpts != nil {
+		format = core.Configure(format, *s.buildOpts)
+	}
+	t := time.Now()
+	built, err := format.Build(c, s.shape)
+	if err != nil {
+		return nil, err
+	}
+	rep.Build = time.Since(t)
+
+	t = time.Now()
+	packed := tensor.ApplyPermValues(vals, built.Perm)
+	rep.Reorg = time.Since(t)
+
+	t = time.Now()
+	bbox, _ := c.Bounds()
+	frag := &fragment.Fragment{Payload: built.Payload, Values: packed}
+	frag.Kind = s.kind
+	frag.Codec = s.codec
+	frag.Shape = s.shape
+	frag.NNZ = uint64(c.Len())
+	frag.BBox = bbox
+	encoded, err := fragment.Encode(frag)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s/frag-%06d", s.prefix, s.nextID)
+	if err := s.fs.WriteFile(name, encoded); err != nil {
+		return nil, fmt.Errorf("store: write fragment: %w", err)
+	}
+	wall := time.Since(t)
+	if cost, ok := s.takeCost(); ok {
+		rep.Write = wall + cost.Write + cost.Read
+		rep.Others += cost.Meta
+	} else {
+		rep.Write = wall
+	}
+
+	t = time.Now()
+	s.nextID++
+	s.frags = append(s.frags, fragRef{name: name, nnz: frag.NNZ, bytes: int64(len(encoded)), bbox: bbox})
+	if err := s.writeManifest(); err != nil {
+		return nil, err
+	}
+	wall = time.Since(t)
+	if cost, ok := s.takeCost(); ok {
+		rep.Others += wall + cost.Total()
+	} else {
+		rep.Others += wall
+	}
+	rep.Bytes = int64(len(encoded))
+	rep.Name = name
+	return rep, nil
+}
+
+// DeleteRegion writes a tombstone fragment marking every cell of the
+// region as deleted. Like every write in the engine the deletion is an
+// immutable fragment: earlier data stays on disk (and remains visible
+// to ReadAsOf) until Compact folds the tombstone in.
+func (s *Store) DeleteRegion(region tensor.Region) (*WriteReport, error) {
+	if region.Dims() != s.shape.Dims() {
+		return nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), s.shape.Dims())
+	}
+	if _, err := tensor.NewRegion(s.shape, region.Start, region.Size); err != nil {
+		return nil, err
+	}
+	rep := &WriteReport{}
+	s.takeCost()
+
+	t := time.Now()
+	w := buf.NewWriter(16 * s.shape.Dims())
+	w.RawU64s(region.Start)
+	w.RawU64s(region.Size)
+	frag := &fragment.Fragment{Payload: w.Bytes()}
+	frag.Kind = s.kind
+	frag.Codec = s.codec
+	frag.Shape = s.shape
+	frag.Tombstone = true
+	frag.BBox = region.BBox()
+	encoded, err := fragment.Encode(frag)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s/frag-%06d", s.prefix, s.nextID)
+	if err := s.fs.WriteFile(name, encoded); err != nil {
+		return nil, fmt.Errorf("store: write tombstone: %w", err)
+	}
+	wall := time.Since(t)
+	if cost, ok := s.takeCost(); ok {
+		rep.Write = wall + cost.Write + cost.Read
+		rep.Others += cost.Meta
+	} else {
+		rep.Write = wall
+	}
+
+	t = time.Now()
+	s.nextID++
+	s.frags = append(s.frags, fragRef{
+		name: name, bytes: int64(len(encoded)),
+		bbox: region.BBox(), tomb: true, tombRegion: region,
+	})
+	if err := s.writeManifest(); err != nil {
+		return nil, err
+	}
+	wall = time.Since(t)
+	if cost, ok := s.takeCost(); ok {
+		rep.Others += wall + cost.Total()
+	} else {
+		rep.Others += wall
+	}
+	rep.Bytes = int64(len(encoded))
+	rep.Name = name
+	return rep, nil
+}
+
+// ReadReport is the per-phase breakdown of one READ.
+type ReadReport struct {
+	IO        time.Duration // fetching fragment files
+	Extract   time.Duration // decoding fragments and unpacking indexes
+	Probe     time.Duration // organization-specific existence queries
+	Merge     time.Duration // sorting results by linear address
+	Fragments int           // fragments overlapping the query
+	Probed    int           // points probed (n_read × overlapping fragments)
+	Found     int
+	// Scans counts fragments answered by scan mode (ReadRegionScan
+	// always; ReadRegionAuto when the cost model preferred scanning).
+	Scans int
+}
+
+// Sum returns the total read time.
+func (r ReadReport) Sum() time.Duration { return r.IO + r.Extract + r.Probe + r.Merge }
+
+// Result is a read's output: the found points and their values, sorted
+// by row-major linear address (Algorithm 3 line 12).
+type Result struct {
+	Coords *tensor.Coords
+	Values []float64
+}
+
+type hit struct {
+	addr uint64
+	frag int
+	val  float64
+}
+
+// Read implements Algorithm 3's READ for an arbitrary probe list: find
+// overlapping fragments, probe each, merge sorted by linear address.
+// When several fragments contain the same cell the most recent fragment
+// wins; cells covered by a later tombstone are dead.
+func (s *Store) Read(probe *tensor.Coords) (*Result, *ReadReport, error) {
+	return s.readAsOf(probe, len(s.frags))
+}
+
+// ReadAsOf answers the probe against the store's state after its first
+// version fragments — time travel over the immutable fragment history.
+// version ranges from 0 (empty store) to Fragments().
+func (s *Store) ReadAsOf(probe *tensor.Coords, version int) (*Result, *ReadReport, error) {
+	if version < 0 || version > len(s.frags) {
+		return nil, nil, fmt.Errorf("store: version %d outside [0, %d]", version, len(s.frags))
+	}
+	return s.readAsOf(probe, version)
+}
+
+func (s *Store) readAsOf(probe *tensor.Coords, limit int) (*Result, *ReadReport, error) {
+	rep := &ReadReport{}
+	if probe.Dims() != s.shape.Dims() {
+		return nil, nil, fmt.Errorf("store: %d-dim probe for %d-dim store", probe.Dims(), s.shape.Dims())
+	}
+	s.takeCost()
+	queryBox, any := probe.Bounds()
+	if !any {
+		return &Result{Coords: tensor.NewCoords(s.shape.Dims(), 0)}, rep, nil
+	}
+
+	var hits []hit
+	for fi, fr := range s.frags[:limit] {
+		if fr.nnz == 0 || !fr.bbox.Overlaps(queryBox) {
+			continue
+		}
+		rep.Fragments++
+
+		t := time.Now()
+		data, err := s.fs.ReadFile(fr.name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: read fragment %s: %w", fr.name, err)
+		}
+		wall := time.Since(t)
+		if cost, ok := s.takeCost(); ok {
+			rep.IO += wall + cost.Read + cost.Write
+			rep.Extract += cost.Meta
+		} else {
+			rep.IO += wall
+		}
+
+		t = time.Now()
+		frag, err := fragment.Decode(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: fragment %s: %w", fr.name, err)
+		}
+		reader, err := s.format.Open(frag.Payload, s.shape)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: fragment %s: %w", fr.name, err)
+		}
+		rep.Extract += time.Since(t)
+
+		t = time.Now()
+		n := probe.Len()
+		for i := 0; i < n; i++ {
+			p := probe.At(i)
+			if !fr.bbox.Contains(p) {
+				continue
+			}
+			rep.Probed++
+			if slot, ok := reader.Lookup(p); ok {
+				hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: frag.Values[slot]})
+			}
+		}
+		rep.Probe += time.Since(t)
+	}
+
+	res, mergeDur := mergeHits(s, hits, s.tombstonesBefore(limit))
+	rep.Merge = mergeDur
+	rep.Found = res.Coords.Len()
+	return res, rep, nil
+}
+
+// mergeHits implements Algorithm 3 line 12: sort hits by linear address
+// (ties by fragment recency), keep the newest value per cell, and drop
+// cells whose newest write precedes a covering tombstone.
+func mergeHits(s *Store, hits []hit, tombs []tombstoneRef) (*Result, time.Duration) {
+	t := time.Now()
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].addr != hits[b].addr {
+			return hits[a].addr < hits[b].addr
+		}
+		return hits[a].frag < hits[b].frag
+	})
+	out := &Result{Coords: tensor.NewCoords(s.shape.Dims(), len(hits))}
+	p := make([]uint64, s.shape.Dims())
+	for i, h := range hits {
+		if i+1 < len(hits) && hits[i+1].addr == h.addr {
+			continue // a newer fragment overwrote this cell
+		}
+		s.lin.Delinearize(h.addr, p)
+		dead := false
+		for _, tb := range tombs {
+			if tb.idx > h.frag && tb.region.Contains(p) {
+				dead = true
+				break
+			}
+		}
+		if dead {
+			continue
+		}
+		out.Coords.Append(p...)
+		out.Values = append(out.Values, h.val)
+	}
+	return out, time.Since(t)
+}
+
+// ReadRegion reads a rectangular region by probing every cell, the form
+// of the paper's read benchmark (start (m/2,…), size (m/10,…)).
+func (s *Store) ReadRegion(region tensor.Region) (*Result, *ReadReport, error) {
+	if region.Dims() != s.shape.Dims() {
+		return nil, nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), s.shape.Dims())
+	}
+	return s.Read(region.Coords())
+}
+
+// ReadRegionScan reads a rectangular region in scan mode: instead of
+// probing every cell with the organization's point-read algorithm (the
+// paper's benchmark, O(n_read) probes of O(n) each for COO/LINEAR),
+// each overlapping fragment enumerates its stored points and filters by
+// containment — O(n) per fragment regardless of region volume. This is
+// the trade-off flip side of §II-A: scans favor large windows, probes
+// favor small ones. CSF prunes the walk through its tree
+// (core.RegionScanner); the other organizations fall back to a full
+// iteration.
+func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, error) {
+	rep := &ReadReport{}
+	if region.Dims() != s.shape.Dims() {
+		return nil, nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), s.shape.Dims())
+	}
+	s.takeCost()
+	queryBox := region.BBox()
+
+	var hits []hit
+	for fi, fr := range s.frags {
+		if fr.nnz == 0 || !fr.bbox.Overlaps(queryBox) {
+			continue
+		}
+		rep.Fragments++
+
+		t := time.Now()
+		data, err := s.fs.ReadFile(fr.name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: read fragment %s: %w", fr.name, err)
+		}
+		wall := time.Since(t)
+		if cost, ok := s.takeCost(); ok {
+			rep.IO += wall + cost.Read + cost.Write
+			rep.Extract += cost.Meta
+		} else {
+			rep.IO += wall
+		}
+
+		t = time.Now()
+		frag, err := fragment.Decode(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: fragment %s: %w", fr.name, err)
+		}
+		reader, err := s.format.Open(frag.Payload, s.shape)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: fragment %s: %w", fr.name, err)
+		}
+		rep.Extract += time.Since(t)
+
+		t = time.Now()
+		visit := func(p []uint64, slot int) bool {
+			rep.Probed++
+			hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: frag.Values[slot]})
+			return true
+		}
+		if err := scanFragment(s.kind, reader, region, visit); err != nil {
+			return nil, nil, err
+		}
+		rep.Probe += time.Since(t)
+		rep.Scans++
+	}
+	res, mergeDur := mergeHits(s, hits, s.tombstonesBefore(len(s.frags)))
+	rep.Merge = mergeDur
+	rep.Found = res.Coords.Len()
+	return res, rep, nil
+}
+
+// ReadPoints probes specific points and returns values aligned with the
+// probe order plus a found mask — the convenience form for applications.
+func (s *Store) ReadPoints(probe *tensor.Coords) ([]float64, []bool, *ReadReport, error) {
+	res, rep, err := s.Read(probe)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	byAddr := make(map[uint64]float64, res.Coords.Len())
+	for i, n := 0, res.Coords.Len(); i < n; i++ {
+		byAddr[s.lin.Linearize(res.Coords.At(i))] = res.Values[i]
+	}
+	vals := make([]float64, probe.Len())
+	found := make([]bool, probe.Len())
+	for i, n := 0, probe.Len(); i < n; i++ {
+		if v, ok := byAddr[s.lin.Linearize(probe.At(i))]; ok {
+			vals[i], found[i] = v, true
+		}
+	}
+	return vals, found, rep, nil
+}

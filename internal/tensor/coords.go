@@ -1,0 +1,143 @@
+package tensor
+
+import "fmt"
+
+// Coords is a buffer of points in a d-dimensional tensor, stored flat and
+// point-major: point i occupies data[i*dims : (i+1)*dims]. This matches
+// the paper's b_coor buffer — an unsorted 1D coordinate vector — and is
+// the input to every organization's BUILD function.
+type Coords struct {
+	dims int
+	data []uint64
+}
+
+// NewCoords returns an empty coordinate buffer for dims dimensions with
+// capacity for capHint points.
+func NewCoords(dims, capHint int) *Coords {
+	if dims <= 0 {
+		panic("tensor: NewCoords with non-positive dims")
+	}
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &Coords{dims: dims, data: make([]uint64, 0, capHint*dims)}
+}
+
+// FromFlat wraps an existing flat, point-major buffer. The slice is used
+// directly, not copied.
+func FromFlat(dims int, data []uint64) (*Coords, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("tensor: FromFlat with non-positive dims %d", dims)
+	}
+	if len(data)%dims != 0 {
+		return nil, fmt.Errorf("tensor: flat buffer length %d not a multiple of dims %d", len(data), dims)
+	}
+	return &Coords{dims: dims, data: data}, nil
+}
+
+// Len returns the number of points.
+func (c *Coords) Len() int { return len(c.data) / c.dims }
+
+// Dims returns the number of dimensions.
+func (c *Coords) Dims() int { return c.dims }
+
+// At returns a view of point i. Mutating the returned slice mutates the
+// buffer.
+func (c *Coords) At(i int) []uint64 {
+	return c.data[i*c.dims : (i+1)*c.dims : (i+1)*c.dims]
+}
+
+// Get returns coordinate d of point i.
+func (c *Coords) Get(i, d int) uint64 { return c.data[i*c.dims+d] }
+
+// Append adds a point, which must have exactly Dims coordinates.
+func (c *Coords) Append(p ...uint64) {
+	if len(p) != c.dims {
+		panic(fmt.Sprintf("tensor: Append of %d coords to %d-dim buffer", len(p), c.dims))
+	}
+	c.data = append(c.data, p...)
+}
+
+// AppendFlat adds pre-flattened points (length must be a multiple of Dims).
+func (c *Coords) AppendFlat(flat []uint64) {
+	if len(flat)%c.dims != 0 {
+		panic(fmt.Sprintf("tensor: AppendFlat of %d values to %d-dim buffer", len(flat), c.dims))
+	}
+	c.data = append(c.data, flat...)
+}
+
+// Flat exposes the underlying point-major buffer.
+func (c *Coords) Flat() []uint64 { return c.data }
+
+// Clone deep-copies the buffer.
+func (c *Coords) Clone() *Coords {
+	data := make([]uint64, len(c.data))
+	copy(data, c.data)
+	return &Coords{dims: c.dims, data: data}
+}
+
+// Bounds returns the inclusive bounding box of all points. ok is false
+// when the buffer is empty.
+func (c *Coords) Bounds() (box BBox, ok bool) {
+	n := c.Len()
+	if n == 0 {
+		return BBox{}, false
+	}
+	box.Min = append([]uint64(nil), c.At(0)...)
+	box.Max = append([]uint64(nil), c.At(0)...)
+	for i := 1; i < n; i++ {
+		p := c.At(i)
+		for d, v := range p {
+			if v < box.Min[d] {
+				box.Min[d] = v
+			}
+			if v > box.Max[d] {
+				box.Max[d] = v
+			}
+		}
+	}
+	return box, true
+}
+
+// LocalShape returns the tight local boundary s_l of the points — the
+// per-dimension extent max+1 — as extracted at the top of the paper's
+// GCSR++_BUILD and CSF_BUILD (Algorithms 1 and 2). It returns nil for an
+// empty buffer.
+func (c *Coords) LocalShape() Shape {
+	box, ok := c.Bounds()
+	if !ok {
+		return nil
+	}
+	s := make(Shape, c.dims)
+	for d := range s {
+		s[d] = box.Max[d] + 1
+	}
+	return s
+}
+
+// InShape reports whether every point lies inside shape.
+func (c *Coords) InShape(shape Shape) bool {
+	if len(shape) != c.dims {
+		return false
+	}
+	for i, n := 0, c.Len(); i < n; i++ {
+		if !shape.Contains(c.At(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two buffers hold identical points in identical
+// order.
+func (c *Coords) Equal(o *Coords) bool {
+	if c.dims != o.dims || len(c.data) != len(o.data) {
+		return false
+	}
+	for i := range c.data {
+		if c.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,197 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordsBasics(t *testing.T) {
+	c := NewCoords(3, 2)
+	if c.Len() != 0 || c.Dims() != 3 {
+		t.Fatalf("fresh buffer: len=%d dims=%d", c.Len(), c.Dims())
+	}
+	c.Append(1, 2, 3)
+	c.Append(4, 5, 6)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if p := c.At(1); p[0] != 4 || p[1] != 5 || p[2] != 6 {
+		t.Fatalf("At(1) = %v", p)
+	}
+	if c.Get(0, 2) != 3 {
+		t.Fatalf("Get(0,2) = %d", c.Get(0, 2))
+	}
+	// At returns a live view.
+	c.At(0)[0] = 42
+	if c.Get(0, 0) != 42 {
+		t.Fatal("At view does not alias buffer")
+	}
+}
+
+func TestCoordsAppendPanics(t *testing.T) {
+	c := NewCoords(2, 0)
+	mustPanic(t, func() { c.Append(1) })
+	mustPanic(t, func() { c.Append(1, 2, 3) })
+	mustPanic(t, func() { c.AppendFlat([]uint64{1, 2, 3}) })
+	mustPanic(t, func() { NewCoords(0, 1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestCoordsFromFlat(t *testing.T) {
+	c, err := FromFlat(2, []uint64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.Get(1, 0) != 3 {
+		t.Fatalf("FromFlat: len=%d", c.Len())
+	}
+	if _, err := FromFlat(3, []uint64{1, 2, 3, 4}); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+	if _, err := FromFlat(0, nil); err == nil {
+		t.Fatal("want dims error")
+	}
+}
+
+func TestCoordsAppendFlatAndFlat(t *testing.T) {
+	c := NewCoords(2, 0)
+	c.AppendFlat([]uint64{1, 2, 3, 4})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	flat := c.Flat()
+	if len(flat) != 4 || flat[3] != 4 {
+		t.Fatalf("Flat = %v", flat)
+	}
+}
+
+func TestCoordsClone(t *testing.T) {
+	c := NewCoords(2, 0)
+	c.Append(1, 2)
+	d := c.Clone()
+	d.At(0)[0] = 99
+	if c.Get(0, 0) != 1 {
+		t.Fatal("clone aliases original")
+	}
+	if !c.Equal(c.Clone()) {
+		t.Fatal("clone not equal")
+	}
+}
+
+func TestCoordsEqual(t *testing.T) {
+	a := NewCoords(2, 0)
+	a.Append(1, 2)
+	b := NewCoords(2, 0)
+	b.Append(1, 2)
+	if !a.Equal(b) {
+		t.Fatal("equal buffers reported unequal")
+	}
+	b.Append(3, 4)
+	if a.Equal(b) {
+		t.Fatal("different lengths reported equal")
+	}
+	c := NewCoords(1, 0)
+	c.Append(1)
+	c.Append(2)
+	if a.Equal(c) {
+		t.Fatal("different dims reported equal")
+	}
+	d := NewCoords(2, 0)
+	d.Append(1, 3)
+	if a.Equal(d) {
+		t.Fatal("different contents reported equal")
+	}
+}
+
+func TestCoordsBounds(t *testing.T) {
+	c := NewCoords(2, 0)
+	if _, ok := c.Bounds(); ok {
+		t.Fatal("empty buffer has bounds")
+	}
+	c.Append(5, 1)
+	c.Append(2, 9)
+	c.Append(3, 3)
+	box, ok := c.Bounds()
+	if !ok {
+		t.Fatal("no bounds")
+	}
+	if box.Min[0] != 2 || box.Min[1] != 1 || box.Max[0] != 5 || box.Max[1] != 9 {
+		t.Fatalf("Bounds = %v", box)
+	}
+}
+
+func TestCoordsLocalShape(t *testing.T) {
+	c := NewCoords(3, 0)
+	if c.LocalShape() != nil {
+		t.Fatal("empty buffer has local shape")
+	}
+	c.Append(0, 0, 1)
+	c.Append(2, 2, 2)
+	s := c.LocalShape()
+	if !s.Equal(Shape{3, 3, 3}) {
+		t.Fatalf("LocalShape = %v", s)
+	}
+}
+
+func TestCoordsInShape(t *testing.T) {
+	c := NewCoords(2, 0)
+	c.Append(1, 1)
+	c.Append(3, 3)
+	if !c.InShape(Shape{4, 4}) {
+		t.Fatal("points inside reported outside")
+	}
+	if c.InShape(Shape{4, 3}) {
+		t.Fatal("point outside reported inside")
+	}
+	if c.InShape(Shape{4, 4, 4}) {
+		t.Fatal("rank mismatch reported inside")
+	}
+}
+
+// TestCoordsBoundsQuick property-tests that Bounds covers every point
+// tightly.
+func TestCoordsBoundsQuick(t *testing.T) {
+	f := func(pts [][2]uint32) bool {
+		if len(pts) == 0 {
+			return true
+		}
+		c := NewCoords(2, len(pts))
+		for _, p := range pts {
+			c.Append(uint64(p[0]), uint64(p[1]))
+		}
+		box, ok := c.Bounds()
+		if !ok {
+			return false
+		}
+		minSeen := [2]bool{}
+		maxSeen := [2]bool{}
+		for i := 0; i < c.Len(); i++ {
+			p := c.At(i)
+			if !box.Contains(p) {
+				return false
+			}
+			for d := 0; d < 2; d++ {
+				if p[d] == box.Min[d] {
+					minSeen[d] = true
+				}
+				if p[d] == box.Max[d] {
+					maxSeen[d] = true
+				}
+			}
+		}
+		// Tightness: every bound is achieved by some point.
+		return minSeen[0] && minSeen[1] && maxSeen[0] && maxSeen[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

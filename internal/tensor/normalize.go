@@ -1,0 +1,93 @@
+package tensor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SortByAddress reorders points and their values into row-major
+// linear-address order (ties keep input order). It returns new buffers;
+// the inputs are unchanged.
+func SortByAddress(c *Coords, vals []float64, shape Shape) (*Coords, []float64, error) {
+	if c.Dims() != shape.Dims() {
+		return nil, nil, fmt.Errorf("tensor: %d-dim coords for %d-dim shape", c.Dims(), shape.Dims())
+	}
+	if vals != nil && c.Len() != len(vals) {
+		return nil, nil, fmt.Errorf("tensor: %d points with %d values", c.Len(), len(vals))
+	}
+	lin, err := NewLinearizer(shape, RowMajor)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := c.Len()
+	keys := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		p := c.At(i)
+		if !shape.Contains(p) {
+			return nil, nil, fmt.Errorf("tensor: point %v outside shape %v", p, shape)
+		}
+		keys[i] = lin.Linearize(p)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	outC := NewCoords(c.Dims(), n)
+	var outV []float64
+	if vals != nil {
+		outV = make([]float64, 0, n)
+	}
+	for _, i := range order {
+		outC.Append(c.At(i)...)
+		if vals != nil {
+			outV = append(outV, vals[i])
+		}
+	}
+	return outC, outV, nil
+}
+
+// DedupKeepLast removes duplicate points from an address-sorted buffer,
+// keeping the value of each cell's last occurrence in the original
+// input order — the same newest-wins rule the storage engine applies
+// across fragments. Input must come from SortByAddress (stable order
+// makes "last occurrence" well defined).
+func DedupKeepLast(c *Coords, vals []float64, shape Shape) (*Coords, []float64, error) {
+	if c.Dims() != shape.Dims() {
+		return nil, nil, fmt.Errorf("tensor: %d-dim coords for %d-dim shape", c.Dims(), shape.Dims())
+	}
+	if vals != nil && c.Len() != len(vals) {
+		return nil, nil, fmt.Errorf("tensor: %d points with %d values", c.Len(), len(vals))
+	}
+	lin, err := NewLinearizer(shape, RowMajor)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := c.Len()
+	outC := NewCoords(c.Dims(), n)
+	var outV []float64
+	if vals != nil {
+		outV = make([]float64, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		if i+1 < n && lin.Linearize(c.At(i)) == lin.Linearize(c.At(i+1)) {
+			continue // a later duplicate supersedes this one
+		}
+		outC.Append(c.At(i)...)
+		if vals != nil {
+			outV = append(outV, vals[i])
+		}
+	}
+	return outC, outV, nil
+}
+
+// Normalize sorts by linear address and removes duplicates, newest
+// wins — the canonical form for a dataset about to become one fragment.
+func Normalize(c *Coords, vals []float64, shape Shape) (*Coords, []float64, error) {
+	sc, sv, err := SortByAddress(c, vals, shape)
+	if err != nil {
+		return nil, nil, err
+	}
+	return DedupKeepLast(sc, sv, shape)
+}

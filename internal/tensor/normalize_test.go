@@ -1,0 +1,152 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortByAddress(t *testing.T) {
+	shape := Shape{4, 4}
+	c := NewCoords(2, 0)
+	c.Append(3, 3) // 15
+	c.Append(0, 1) // 1
+	c.Append(2, 0) // 8
+	vals := []float64{15, 1, 8}
+	sc, sv, err := SortByAddress(c, vals, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 8, 15}
+	for i, v := range want {
+		if sv[i] != v {
+			t.Fatalf("sorted values = %v, want %v", sv, want)
+		}
+	}
+	if sc.Get(0, 1) != 1 || sc.Get(2, 0) != 3 {
+		t.Fatalf("sorted coords = %v", sc.Flat())
+	}
+	// Inputs unchanged.
+	if c.Get(0, 0) != 3 || vals[0] != 15 {
+		t.Fatal("inputs mutated")
+	}
+}
+
+func TestSortByAddressValidation(t *testing.T) {
+	shape := Shape{4, 4}
+	c := NewCoords(2, 0)
+	c.Append(5, 0) // outside
+	if _, _, err := SortByAddress(c, []float64{1}, shape); err == nil {
+		t.Error("out-of-shape point accepted")
+	}
+	c2 := NewCoords(3, 0)
+	c2.Append(1, 1, 1)
+	if _, _, err := SortByAddress(c2, []float64{1}, shape); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	c3 := NewCoords(2, 0)
+	c3.Append(1, 1)
+	if _, _, err := SortByAddress(c3, []float64{1, 2}, shape); err == nil {
+		t.Error("value count mismatch accepted")
+	}
+}
+
+func TestDedupKeepLast(t *testing.T) {
+	shape := Shape{4, 4}
+	c := NewCoords(2, 0)
+	// Pre-sorted with stable duplicate order: the later input wins.
+	c.Append(0, 1)
+	c.Append(0, 1)
+	c.Append(2, 2)
+	vals := []float64{10, 20, 30}
+	dc, dv, err := DedupKeepLast(c, vals, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Len() != 2 || dv[0] != 20 || dv[1] != 30 {
+		t.Fatalf("dedup = %v, %v", dc.Flat(), dv)
+	}
+}
+
+func TestNormalizeNewestWins(t *testing.T) {
+	shape := Shape{8, 8}
+	c := NewCoords(2, 0)
+	c.Append(5, 5)
+	c.Append(1, 1)
+	c.Append(5, 5) // rewrites the first point
+	vals := []float64{1, 2, 3}
+	nc, nv, err := Normalize(c, vals, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc.Len() != 2 {
+		t.Fatalf("normalized to %d points", nc.Len())
+	}
+	if nc.Get(0, 0) != 1 || nv[0] != 2 {
+		t.Fatalf("first cell %v = %v", nc.At(0), nv[0])
+	}
+	if nc.Get(1, 0) != 5 || nv[1] != 3 {
+		t.Fatalf("second cell %v = %v (newest must win)", nc.At(1), nv[1])
+	}
+}
+
+func TestNormalizeNilValues(t *testing.T) {
+	shape := Shape{4}
+	c := NewCoords(1, 0)
+	c.Append(2)
+	c.Append(2)
+	c.Append(0)
+	nc, nv, err := Normalize(c, nil, shape)
+	if err != nil || nv != nil {
+		t.Fatalf("nil values: %v, %v", nv, err)
+	}
+	if nc.Len() != 2 || nc.Get(0, 0) != 0 {
+		t.Fatalf("normalized = %v", nc.Flat())
+	}
+}
+
+// TestNormalizeQuick property-tests that normalization produces a
+// strictly increasing, duplicate-free address sequence equal to the
+// input's distinct cell set, with the last-writer value per cell.
+func TestNormalizeQuick(t *testing.T) {
+	shape := Shape{8, 8}
+	lin, err := NewLinearizer(shape, RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8) % 60
+		c := NewCoords(2, n)
+		vals := make([]float64, n)
+		want := map[uint64]float64{}
+		for i := 0; i < n; i++ {
+			p := []uint64{uint64(rng.Intn(8)), uint64(rng.Intn(8))}
+			c.Append(p...)
+			vals[i] = rng.Float64()
+			want[lin.Linearize(p)] = vals[i]
+		}
+		nc, nv, err := Normalize(c, vals, shape)
+		if err != nil {
+			return false
+		}
+		if nc.Len() != len(want) {
+			return false
+		}
+		var prev uint64
+		for i := 0; i < nc.Len(); i++ {
+			addr := lin.Linearize(nc.At(i))
+			if i > 0 && addr <= prev {
+				return false
+			}
+			prev = addr
+			if want[addr] != nv[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

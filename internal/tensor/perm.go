@@ -1,0 +1,67 @@
+package tensor
+
+import "fmt"
+
+// This file implements the "map" vector returned by the paper's BUILD
+// functions (Algorithms 1 and 2): map[i] records the new index of the
+// i-th input point after the organization reorders it. Algorithm 3's
+// WRITE uses the map to reorganize the value buffer before concatenating
+// it with the packed coordinates.
+
+// CheckPerm verifies that perm is a bijection on [0, len(perm)).
+func CheckPerm(perm []int) error {
+	seen := make([]bool, len(perm))
+	for i, p := range perm {
+		if p < 0 || p >= len(perm) {
+			return fmt.Errorf("tensor: perm[%d]=%d out of range [0,%d)", i, p, len(perm))
+		}
+		if seen[p] {
+			return fmt.Errorf("tensor: perm maps two inputs to slot %d", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// ApplyPermValues returns a new value buffer with out[perm[i]] = vals[i].
+// A nil perm means identity and returns vals unchanged (no copy).
+func ApplyPermValues(vals []float64, perm []int) []float64 {
+	if perm == nil {
+		return vals
+	}
+	if len(perm) != len(vals) {
+		panic(fmt.Sprintf("tensor: perm length %d != values length %d", len(perm), len(vals)))
+	}
+	out := make([]float64, len(vals))
+	for i, p := range perm {
+		out[p] = vals[i]
+	}
+	return out
+}
+
+// ApplyPermCoords returns a new coordinate buffer with point i of the
+// input stored at slot perm[i]. A nil perm returns the input unchanged.
+func ApplyPermCoords(c *Coords, perm []int) *Coords {
+	if perm == nil {
+		return c
+	}
+	n := c.Len()
+	if len(perm) != n {
+		panic(fmt.Sprintf("tensor: perm length %d != point count %d", len(perm), n))
+	}
+	out := &Coords{dims: c.dims, data: make([]uint64, len(c.data))}
+	for i, p := range perm {
+		copy(out.data[p*c.dims:(p+1)*c.dims], c.At(i))
+	}
+	return out
+}
+
+// InvertPerm returns the inverse permutation: if perm maps input i to
+// slot perm[i], the result maps slot s back to input inv[s].
+func InvertPerm(perm []int) []int {
+	inv := make([]int, len(perm))
+	for i, p := range perm {
+		inv[p] = i
+	}
+	return inv
+}

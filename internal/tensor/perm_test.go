@@ -1,0 +1,113 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckPerm(t *testing.T) {
+	cases := []struct {
+		name string
+		perm []int
+		ok   bool
+	}{
+		{"empty", []int{}, true},
+		{"identity", []int{0, 1, 2}, true},
+		{"swap", []int{1, 0}, true},
+		{"out of range", []int{0, 3, 1}, false},
+		{"negative", []int{0, -1}, false},
+		{"duplicate", []int{0, 0}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckPerm(tc.perm)
+			if (err == nil) != tc.ok {
+				t.Fatalf("CheckPerm(%v) = %v, want ok=%v", tc.perm, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestApplyPermValues(t *testing.T) {
+	vals := []float64{10, 20, 30}
+	got := ApplyPermValues(vals, []int{2, 0, 1})
+	want := []float64{20, 30, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ApplyPermValues = %v, want %v", got, want)
+		}
+	}
+	// nil perm is identity and must not copy.
+	if &vals[0] != &ApplyPermValues(vals, nil)[0] {
+		t.Fatal("nil perm copied the slice")
+	}
+	mustPanic(t, func() { ApplyPermValues(vals, []int{0, 1}) })
+}
+
+func TestApplyPermCoords(t *testing.T) {
+	c := NewCoords(2, 0)
+	c.Append(1, 1)
+	c.Append(2, 2)
+	c.Append(3, 3)
+	out := ApplyPermCoords(c, []int{2, 0, 1})
+	if out.Get(2, 0) != 1 || out.Get(0, 0) != 2 || out.Get(1, 0) != 3 {
+		t.Fatalf("ApplyPermCoords = %v", out.Flat())
+	}
+	if ApplyPermCoords(c, nil) != c {
+		t.Fatal("nil perm should return the input")
+	}
+	mustPanic(t, func() { ApplyPermCoords(c, []int{0}) })
+}
+
+func TestInvertPerm(t *testing.T) {
+	perm := []int{2, 0, 1}
+	inv := InvertPerm(perm)
+	for i, p := range perm {
+		if inv[p] != i {
+			t.Fatalf("InvertPerm(%v) = %v", perm, inv)
+		}
+	}
+}
+
+// TestPermRoundTripQuick property-tests that applying a random
+// permutation and its inverse restores both value and coordinate
+// buffers.
+func TestPermRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8)%40 + 1
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(n)
+		if CheckPerm(perm) != nil {
+			return false
+		}
+		vals := make([]float64, n)
+		c := NewCoords(2, n)
+		for i := range vals {
+			vals[i] = float64(i)
+			c.Append(uint64(i), uint64(i*i))
+		}
+		permuted := ApplyPermValues(vals, perm)
+		restored := ApplyPermValues(permuted, InvertPerm(perm))
+		for i := range vals {
+			if restored[i] != vals[i] {
+				return false
+			}
+		}
+		pc := ApplyPermCoords(c, perm)
+		rc := ApplyPermCoords(pc, InvertPerm(perm))
+		if !rc.Equal(c) {
+			return false
+		}
+		// The permuted coordinates place input point i at slot perm[i].
+		for i := 0; i < n; i++ {
+			if pc.Get(perm[i], 0) != c.Get(i, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

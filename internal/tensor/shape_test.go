@@ -1,0 +1,274 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		shape Shape
+		ok    bool
+	}{
+		{"nil", nil, false},
+		{"empty", Shape{}, false},
+		{"zero extent", Shape{4, 0, 4}, false},
+		{"leading zero", Shape{0}, false},
+		{"1d", Shape{7}, true},
+		{"4d", Shape{2, 3, 4, 5}, true},
+		{"huge", Shape{math.MaxUint64}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.shape.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate(%v) = %v, want ok=%v", tc.shape, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestShapeVolume(t *testing.T) {
+	cases := []struct {
+		shape Shape
+		want  uint64
+		ok    bool
+	}{
+		{Shape{3, 3, 3}, 27, true},
+		{Shape{1}, 1, true},
+		{Shape{8192, 8192}, 67108864, true},
+		{Shape{1 << 32, 1 << 32}, 0, false},
+		{Shape{1 << 32, 1 << 31}, 1 << 63, true},
+		{Shape{math.MaxUint64, 2}, 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := tc.shape.Volume()
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("Volume(%v) = %d,%v want %d,%v", tc.shape, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestShapeContains(t *testing.T) {
+	s := Shape{4, 5}
+	cases := []struct {
+		p    []uint64
+		want bool
+	}{
+		{[]uint64{0, 0}, true},
+		{[]uint64{3, 4}, true},
+		{[]uint64{4, 4}, false},
+		{[]uint64{3, 5}, false},
+		{[]uint64{3}, false},
+		{[]uint64{3, 4, 0}, false},
+	}
+	for _, tc := range cases {
+		if got := s.Contains(tc.p); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestShapeMinExtent(t *testing.T) {
+	cases := []struct {
+		shape   Shape
+		wantExt uint64
+		wantDim int
+	}{
+		{Shape{3, 3, 3}, 3, 0},
+		{Shape{9, 2, 5}, 2, 1},
+		{Shape{4, 4, 1}, 1, 2},
+		{Shape{2, 2}, 2, 0}, // ties pick the first dimension
+	}
+	for _, tc := range cases {
+		ext, dim := tc.shape.MinExtent()
+		if ext != tc.wantExt || dim != tc.wantDim {
+			t.Errorf("MinExtent(%v) = %d,%d want %d,%d", tc.shape, ext, dim, tc.wantExt, tc.wantDim)
+		}
+	}
+}
+
+func TestShapeEqualClone(t *testing.T) {
+	s := Shape{2, 3, 4}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c[1] = 99
+	if s.Equal(c) {
+		t.Fatal("mutating clone affected equality")
+	}
+	if s[1] != 3 {
+		t.Fatal("clone aliases original")
+	}
+	if s.Equal(Shape{2, 3}) {
+		t.Fatal("different rank compared equal")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := (Shape{8192, 8192}).String(); got != "8192x8192" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Shape{7}).String(); got != "7" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestLinearizerRowMajorKnown(t *testing.T) {
+	// The paper's Fig. 1(a): a 3x3x3 tensor where (0,0,1)->1,
+	// (0,1,1)->4, (0,1,2)->5, (2,2,1)->25, (2,2,2)->26.
+	lin, err := NewLinearizer(Shape{3, 3, 3}, RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p    []uint64
+		addr uint64
+	}{
+		{[]uint64{0, 0, 1}, 1},
+		{[]uint64{0, 1, 1}, 4},
+		{[]uint64{0, 1, 2}, 5},
+		{[]uint64{2, 2, 1}, 25},
+		{[]uint64{2, 2, 2}, 26},
+	}
+	for _, tc := range cases {
+		if got := lin.Linearize(tc.p); got != tc.addr {
+			t.Errorf("Linearize(%v) = %d, want %d", tc.p, got, tc.addr)
+		}
+		out := make([]uint64, 3)
+		lin.Delinearize(tc.addr, out)
+		for i := range out {
+			if out[i] != tc.p[i] {
+				t.Errorf("Delinearize(%d) = %v, want %v", tc.addr, out, tc.p)
+				break
+			}
+		}
+	}
+}
+
+func TestLinearizerColMajorKnown(t *testing.T) {
+	lin, err := NewLinearizer(Shape{3, 4}, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column-major: address = c0 + c1*3.
+	if got := lin.Linearize([]uint64{2, 0}); got != 2 {
+		t.Fatalf("Linearize = %d, want 2", got)
+	}
+	if got := lin.Linearize([]uint64{1, 3}); got != 10 {
+		t.Fatalf("Linearize = %d, want 10", got)
+	}
+	out := make([]uint64, 2)
+	lin.Delinearize(10, out)
+	if out[0] != 1 || out[1] != 3 {
+		t.Fatalf("Delinearize(10) = %v", out)
+	}
+}
+
+func TestLinearizerRejectsOverflowAndBadShape(t *testing.T) {
+	if _, err := NewLinearizer(Shape{1 << 32, 1 << 33}, RowMajor); err == nil {
+		t.Fatal("want overflow error")
+	}
+	if _, err := NewLinearizer(Shape{0, 4}, RowMajor); err == nil {
+		t.Fatal("want shape error")
+	}
+	if _, err := NewLinearizer(nil, RowMajor); err == nil {
+		t.Fatal("want shape error for nil")
+	}
+	if _, err := NewLinearizer(Shape{2, 2}, Order(9)); err == nil {
+		t.Fatal("want unknown order error")
+	}
+}
+
+func TestLinearizerChecked(t *testing.T) {
+	lin, err := NewLinearizer(Shape{4, 4}, RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lin.LinearizeChecked([]uint64{4, 0}); err == nil {
+		t.Fatal("want out-of-shape error")
+	}
+	addr, err := lin.LinearizeChecked([]uint64{1, 2})
+	if err != nil || addr != 6 {
+		t.Fatalf("LinearizeChecked = %d, %v", addr, err)
+	}
+}
+
+// TestLinearizerRoundTripQuick property-tests that Delinearize inverts
+// Linearize for random shapes and points, both orders.
+func TestLinearizerRoundTripQuick(t *testing.T) {
+	f := func(dims8 uint8, extents [6]uint16, point [6]uint32, colMajor bool) bool {
+		d := int(dims8)%6 + 1
+		shape := make(Shape, d)
+		p := make([]uint64, d)
+		for i := 0; i < d; i++ {
+			shape[i] = uint64(extents[i])%64 + 1
+			p[i] = uint64(point[i]) % shape[i]
+		}
+		order := RowMajor
+		if colMajor {
+			order = ColMajor
+		}
+		lin, err := NewLinearizer(shape, order)
+		if err != nil {
+			return false
+		}
+		addr := lin.Linearize(p)
+		vol, _ := shape.Volume()
+		if addr >= vol {
+			return false
+		}
+		out := make([]uint64, d)
+		lin.Delinearize(addr, out)
+		for i := range p {
+			if out[i] != p[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinearizerDistinctQuick property-tests that distinct points get
+// distinct addresses (injectivity).
+func TestLinearizerDistinctQuick(t *testing.T) {
+	f := func(a, b [3]uint16) bool {
+		shape := Shape{1 << 16, 1 << 16, 1 << 16}
+		lin, err := NewLinearizer(shape, RowMajor)
+		if err != nil {
+			return false
+		}
+		pa := []uint64{uint64(a[0]), uint64(a[1]), uint64(a[2])}
+		pb := []uint64{uint64(b[0]), uint64(b[1]), uint64(b[2])}
+		same := pa[0] == pb[0] && pa[1] == pb[1] && pa[2] == pb[2]
+		return (lin.Linearize(pa) == lin.Linearize(pb)) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearizerAccessors(t *testing.T) {
+	shape := Shape{5, 6}
+	lin, err := NewLinearizer(shape, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lin.Shape().Equal(shape) {
+		t.Fatalf("Shape() = %v", lin.Shape())
+	}
+	if lin.Order() != ColMajor {
+		t.Fatalf("Order() = %v", lin.Order())
+	}
+	// The linearizer must hold its own copy of the shape.
+	shape[0] = 99
+	if lin.Shape()[0] == 99 {
+		t.Fatal("linearizer aliases caller shape")
+	}
+}
