@@ -33,6 +33,7 @@ import (
 	"sparseart/internal/bench"
 	"sparseart/internal/fsim"
 	"sparseart/internal/gen"
+	"sparseart/internal/obs"
 )
 
 func main() {
@@ -47,15 +48,17 @@ func main() {
 		probeLimit = flag.Int("probe-limit", -1, "max probe points per read; larger regions are subsampled and extrapolated (default: exact below paper scale, 100000 at paper scale; 0 forces exact)")
 		trials     = flag.Int("trials", 1, "repeat each measurement and report per-phase medians")
 		chart      = flag.Bool("chart", false, "render fig3/fig4/fig5 as grouped bar charts instead of tables")
+		metrics    = flag.String("metrics", "", "enable the obs registry and write its JSON snapshot to this file after the run")
+		trace      = flag.Bool("trace", false, "enable the obs registry and print the span timeline to stderr after the run")
 	)
 	flag.Parse()
-	if err := run(*experiment, *scaleName, *fsName, *osDir, *seed, *csvPath, *quiet, *probeLimit, *trials, *chart); err != nil {
+	if err := run(*experiment, *scaleName, *fsName, *osDir, *seed, *csvPath, *quiet, *probeLimit, *trials, *chart, *metrics, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "sparsebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, scaleName, fsName, osDir string, seed uint64, csvPath string, quiet bool, probeLimit, trials int, chart bool) error {
+func run(experiment, scaleName, fsName, osDir string, seed uint64, csvPath string, quiet bool, probeLimit, trials int, chart bool, metricsPath string, trace bool) error {
 	scale, err := gen.ParseScale(scaleName)
 	if err != nil {
 		return err
@@ -81,11 +84,22 @@ func run(experiment, scaleName, fsName, osDir string, seed uint64, csvPath strin
 		}
 	}
 
+	if metricsPath != "" || trace {
+		obs.Enable()
+	}
+
 	var log io.Writer
 	if !quiet {
 		log = os.Stderr
 	}
 	runner := &bench.Runner{Scale: scale, Seed: seed, Log: log, ProbeLimit: probeLimit, Trials: trials}
+	// When table3 is the only measured experiment, run just its cell:
+	// faster, and the -metrics snapshot totals then correspond to the
+	// rendered breakdown one-for-one.
+	if wanted["table3"] && !wanted["table2"] && !wanted["table4"] &&
+		!wanted["fig3"] && !wanted["fig4"] && !wanted["fig5"] {
+		runner.Cases = []bench.Case{{Pattern: gen.MSP, Dims: 4}}
+	}
 	switch fsName {
 	case "sim":
 		// The default Runner backend is the calibrated SimFS.
@@ -130,7 +144,7 @@ func run(experiment, scaleName, fsName, osDir string, seed uint64, csvPath strin
 		fmt.Print(text)
 	}
 	if !needRun {
-		return nil
+		return dumpObs(metricsPath, trace)
 	}
 
 	ms, dss, err := runner.Run()
@@ -165,6 +179,32 @@ func run(experiment, scaleName, fsName, osDir string, seed uint64, csvPath strin
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", csvPath)
+	}
+	return dumpObs(metricsPath, trace)
+}
+
+// dumpObs exports the process-wide obs registry after a run: the JSON
+// snapshot to metricsPath when set, and the span timeline to stderr
+// when trace is set.
+func dumpObs(metricsPath string, trace bool) error {
+	reg := obs.Global()
+	if reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot()
+	if metricsPath != "" {
+		data, err := snap.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(metricsPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", metricsPath)
+	}
+	if trace {
+		fmt.Fprintln(os.Stderr, "span timeline:")
+		snap.WriteTimeline(os.Stderr, 0)
 	}
 	return nil
 }

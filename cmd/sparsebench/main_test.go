@@ -3,10 +3,15 @@ package main
 import (
 	"bytes"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"sparseart/internal/core"
+	"sparseart/internal/obs"
 )
 
 // capture runs f with stdout redirected and returns what it printed.
@@ -33,7 +38,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestRunTable1Only(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("table1", "small", "sim", "", 1, "", true, 0, 1, false)
+		return run("table1", "small", "sim", "", 1, "", true, 0, 1, false, "", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -49,7 +54,7 @@ func TestRunTable1Only(t *testing.T) {
 func TestRunSingleExperimentWithCSV(t *testing.T) {
 	csv := filepath.Join(t.TempDir(), "out.csv")
 	out, err := capture(t, func() error {
-		return run("table2", "small", "sim", "", 1, csv, true, 0, 2, false)
+		return run("table2", "small", "sim", "", 1, csv, true, 0, 2, false, "", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -68,13 +73,13 @@ func TestRunSingleExperimentWithCSV(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run("fig9", "small", "sim", "", 1, "", true, 0, 1, false); err == nil {
+	if err := run("fig9", "small", "sim", "", 1, "", true, 0, 1, false, "", false); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("table1", "galactic", "sim", "", 1, "", true, 0, 1, false); err == nil {
+	if err := run("table1", "galactic", "sim", "", 1, "", true, 0, 1, false, "", false); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if err := run("table1", "small", "nfs", "", 1, "", true, 0, 1, false); err == nil {
+	if err := run("table1", "small", "nfs", "", 1, "", true, 0, 1, false, "", false); err == nil {
 		t.Error("unknown fs accepted")
 	}
 }
@@ -82,7 +87,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestRunOSBackend(t *testing.T) {
 	dir := t.TempDir()
 	out, err := capture(t, func() error {
-		return run("fig4", "small", "os", dir, 1, "", true, 0, 1, false)
+		return run("fig4", "small", "os", dir, 1, "", true, 0, 1, false, "", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -105,7 +110,7 @@ func TestRunOSBackend(t *testing.T) {
 
 func TestRunFig1(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("fig1", "small", "sim", "", 1, "", true, 0, 1, false)
+		return run("fig1", "small", "sim", "", 1, "", true, 0, 1, false, "", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +124,7 @@ func TestRunFig1(t *testing.T) {
 
 func TestRunChartMode(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("fig4", "small", "sim", "", 1, "", true, 0, 1, true)
+		return run("fig4", "small", "sim", "", 1, "", true, 0, 1, true, "", false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -129,9 +134,91 @@ func TestRunChartMode(t *testing.T) {
 	}
 }
 
+// TestMetricsAgreeWithTableIII is the acceptance check for the obs
+// layer: running table3 with -metrics must produce a JSON snapshot
+// whose per-phase write totals (the independently timed span
+// histograms) agree with the Table III breakdown (the kind-labeled
+// histograms, which mirror the hand-rolled WriteReport rows) within 5%,
+// with a small absolute floor for near-zero phases like COO's build.
+func TestMetricsAgreeWithTableIII(t *testing.T) {
+	defer obs.SetGlobal(nil)
+	metrics := filepath.Join(t.TempDir(), "metrics.json")
+	out, err := capture(t, func() error {
+		return run("table3", "small", "sim", "", 1, "", true, 0, 1, false, metrics, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table III") || !strings.Contains(out, "Sum (observed)") {
+		t.Fatalf("table3 output:\n%s", out)
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"store.write.build", "store.write.reorg", "store.write.write", "store.write.others"} {
+		observed := snap.Histograms[phase].Sum()
+		var reported time.Duration
+		for _, k := range core.PaperKinds() {
+			name := obs.Name(phase, "kind", k.String())
+			h, ok := snap.Histograms[name]
+			if !ok {
+				t.Fatalf("snapshot missing %s", name)
+			}
+			reported += h.Sum()
+		}
+		diff := time.Duration(math.Abs(float64(observed - reported)))
+		tol := reported / 20 // 5%
+		if tol < 2*time.Millisecond {
+			tol = 2 * time.Millisecond
+		}
+		if diff > tol {
+			t.Errorf("%s: observed %v vs reported %v (diff %v > tol %v)", phase, observed, reported, diff, tol)
+		}
+	}
+	if snap.InFlight != 0 {
+		t.Errorf("snapshot reports %d in-flight spans after the run", snap.InFlight)
+	}
+}
+
+func TestRunTraceTimeline(t *testing.T) {
+	defer obs.SetGlobal(nil)
+	oldErr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		r.Close()
+		done <- buf.String()
+	}()
+	_, runErr := capture(t, func() error {
+		return run("table3", "small", "sim", "", 1, "", true, 0, 1, false, "", true)
+	})
+	w.Close()
+	os.Stderr = oldErr
+	errOut := <-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	for _, want := range []string{"span timeline:", "store.write", "store.write.build", "store.read"} {
+		if !strings.Contains(errOut, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, errOut)
+		}
+	}
+}
+
 func TestRunTable4IncludesSensitivity(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("table4", "small", "sim", "", 1, "", true, 0, 1, false)
+		return run("table4", "small", "sim", "", 1, "", true, 0, 1, false, "", false)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -10,6 +10,11 @@
 //	sparsestore convert -dir /path/to/store -to CSF -out /path/to/new
 //	sparsestore export  -dir /path/to/store -o dump.txt
 //	sparsestore import  -dir /path/to/new -kind GCSR++ -shape 64,64 -in dump.txt
+//
+// The global flags -cpuprofile=FILE and -memprofile=FILE, given before
+// the subcommand, capture runtime/pprof profiles around it:
+//
+//	sparsestore -cpuprofile=cpu.out compact -dir /path/to/store
 package main
 
 import (
@@ -17,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -29,11 +36,58 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	args := os.Args[1:]
+	var cpuProfile, memProfile string
+	// Profiling flags precede the subcommand so they compose with any
+	// subcommand's own flag set.
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		arg := strings.TrimPrefix(strings.TrimPrefix(args[0], "-"), "-")
+		if v, ok := strings.CutPrefix(arg, "cpuprofile="); ok {
+			cpuProfile = v
+		} else if v, ok := strings.CutPrefix(arg, "memprofile="); ok {
+			memProfile = v
+		} else {
+			break
+		}
+		args = args[1:]
+	}
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := args[0], args[1:]
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sparsestore:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sparsestore:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote CPU profile %s\n", cpuProfile)
+		}()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sparsestore:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sparsestore:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote heap profile %s\n", memProfile)
+		}()
+	}
 	var err error
 	switch cmd {
 	case "info":
@@ -63,7 +117,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sparsestore <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: sparsestore [-cpuprofile=FILE] [-memprofile=FILE] <command> [flags]
+
+global flags (before the command):
+  -cpuprofile=FILE  capture a runtime/pprof CPU profile around the command
+  -memprofile=FILE  write a heap profile after the command completes
 
 commands:
   info     print a store's organization, shape, and fragment inventory

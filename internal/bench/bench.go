@@ -21,6 +21,7 @@ import (
 	_ "sparseart/internal/core/all" // register all organizations
 	"sparseart/internal/fsim"
 	"sparseart/internal/gen"
+	"sparseart/internal/obs"
 	"sparseart/internal/stats"
 	"sparseart/internal/store"
 	"sparseart/internal/tensor"
@@ -84,6 +85,34 @@ type Measurement struct {
 	// subsampled the probe region, the probe-proportional read phases
 	// were extrapolated by this factor.
 	ProbeScale float64
+	// Observed is the write breakdown reconstructed from the obs span
+	// histograms of a per-cell registry — timed independently of the
+	// hand-rolled WriteReport, so agreement between the two validates
+	// the instrumentation (the Table III self-test).
+	Observed ObservedPhases
+}
+
+// ObservedPhases is a per-phase write breakdown sourced from the obs
+// registry rather than the store's own WriteReport.
+type ObservedPhases struct {
+	Build, Reorg, Write, Others time.Duration
+}
+
+// Sum returns the observed write total.
+func (o ObservedPhases) Sum() time.Duration { return o.Build + o.Reorg + o.Write + o.Others }
+
+// observedPhases extracts the write-phase span durations from a
+// registry snapshot. The unlabeled span histograms are the independent
+// timing; the kind-labeled histograms mirror the WriteReport values and
+// are deliberately not read here.
+func observedPhases(s *obs.Snapshot) ObservedPhases {
+	at := func(name string) time.Duration { return s.Histograms[name].Sum() }
+	return ObservedPhases{
+		Build:  at("store.write.build"),
+		Reorg:  at("store.write.reorg"),
+		Write:  at("store.write.write"),
+		Others: at("store.write.others"),
+	}
 }
 
 // WriteTotal is the Fig. 3 quantity.
@@ -195,6 +224,10 @@ func medianMeasurement(samples []Measurement) Measurement {
 	out.Read.Extract = pick(func(m Measurement) time.Duration { return m.Read.Extract })
 	out.Read.Probe = pick(func(m Measurement) time.Duration { return m.Read.Probe })
 	out.Read.Merge = pick(func(m Measurement) time.Duration { return m.Read.Merge })
+	out.Observed.Build = pick(func(m Measurement) time.Duration { return m.Observed.Build })
+	out.Observed.Reorg = pick(func(m Measurement) time.Duration { return m.Observed.Reorg })
+	out.Observed.Write = pick(func(m Measurement) time.Duration { return m.Observed.Write })
+	out.Observed.Others = pick(func(m Measurement) time.Duration { return m.Observed.Others })
 	return out
 }
 
@@ -204,7 +237,12 @@ func (r *Runner) runCell(ds *Dataset, kind core.Kind) (Measurement, error) {
 		return Measurement{}, err
 	}
 	shape := ds.Data.Config.Shape
-	st, err := store.Create(fs, fmt.Sprintf("bench/%v/%dd/%v", ds.Case.Pattern, ds.Case.Dims, kind), kind, shape)
+	// Each cell gets its own registry so the span histograms isolate
+	// exactly one store's phases; the snapshot is folded into the
+	// process-wide registry afterwards (when one is enabled) so
+	// `sparsebench -metrics` still sees the totals.
+	reg := obs.New()
+	st, err := store.Create(fs, fmt.Sprintf("bench/%v/%dd/%v", ds.Case.Pattern, ds.Case.Dims, kind), kind, shape, store.WithObs(reg))
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -231,6 +269,8 @@ func (r *Runner) runCell(ds *Dataset, kind core.Kind) (Measurement, error) {
 		rrep.Probe = time.Duration(float64(rrep.Probe) * scale)
 		rrep.Merge = time.Duration(float64(rrep.Merge) * scale)
 	}
+	snap := reg.Snapshot()
+	obs.Global().Absorb(snap)
 	m := Measurement{
 		Case:       ds.Case,
 		Kind:       kind,
@@ -241,6 +281,7 @@ func (r *Runner) runCell(ds *Dataset, kind core.Kind) (Measurement, error) {
 		Bytes:      st.TotalBytes(),
 		Found:      res.Coords.Len(),
 		ProbeScale: scale,
+		Observed:   observedPhases(snap),
 	}
 	r.logf("  %-10v write %8.4fs  read %8.4fs  %9d bytes  found %d",
 		kind, m.WriteTotal().Seconds(), m.ReadTotal().Seconds(), m.Bytes, m.Found)

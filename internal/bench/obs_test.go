@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sparseart/internal/gen"
+	"sparseart/internal/obs"
+)
+
+// TestObservedAgreesWithWriteReport runs the paper's Table III cell (4D
+// MSP) on the simulated backend and checks that the obs-derived phase
+// breakdown — timed by the span machinery, independently of the
+// hand-rolled WriteReport stopwatches — agrees phase by phase. This is
+// the bench-level half of the instrumentation self-test; the CLI-level
+// half lives in cmd/sparsebench.
+func TestObservedAgreesWithWriteReport(t *testing.T) {
+	r := &Runner{Scale: gen.Small, Seed: 7}
+	ds, err := MakeDataset(Case{Pattern: gen.MSP, Dims: 4}, r.Scale, r.Seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := r.RunCase(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 5 {
+		t.Fatalf("got %d measurements, want 5", len(ms))
+	}
+	check := func(kind, phase string, reported, observed time.Duration) {
+		t.Helper()
+		diff := time.Duration(math.Abs(float64(observed - reported)))
+		tol := reported / 20 // 5%
+		// Near-zero phases (COO's build is a plain copy) sit inside
+		// timer noise; a small absolute floor keeps the check meaningful
+		// without flaking.
+		if tol < 2*time.Millisecond {
+			tol = 2 * time.Millisecond
+		}
+		if diff > tol {
+			t.Errorf("%s %s: observed %v vs reported %v (diff %v > tol %v)",
+				kind, phase, observed, reported, diff, tol)
+		}
+	}
+	for _, m := range ms {
+		k := m.Kind.String()
+		if m.Observed.Sum() == 0 && m.Write.Sum() > 10*time.Millisecond {
+			t.Errorf("%s: no observed phases captured", k)
+		}
+		check(k, "build", m.Write.Build, m.Observed.Build)
+		check(k, "reorg", m.Write.Reorg, m.Observed.Reorg)
+		check(k, "write", m.Write.Write, m.Observed.Write)
+		check(k, "others", m.Write.Others, m.Observed.Others)
+		check(k, "sum", m.Write.Sum(), m.Observed.Sum())
+	}
+}
+
+// TestRunCellAbsorbsIntoGlobal checks that per-cell registries fold
+// their snapshots into the process-wide registry when one is enabled,
+// which is what makes `sparsebench -metrics` totals complete.
+func TestRunCellAbsorbsIntoGlobal(t *testing.T) {
+	g := obs.Enable()
+	defer obs.SetGlobal(nil)
+	r := &Runner{Scale: gen.Small, Seed: 7, Kinds: nil}
+	ds, err := MakeDataset(Case{Pattern: gen.TSP, Dims: 2}, r.Scale, r.Seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunCase(ds); err != nil {
+		t.Fatal(err)
+	}
+	snap := g.Snapshot()
+	if snap.Histograms["store.write.build"].Count != 5 {
+		t.Errorf("global store.write.build count = %d, want 5 (one per kind)",
+			snap.Histograms["store.write.build"].Count)
+	}
+	if snap.Counters[obs.Name("store.write.count", "kind", "COO")] != 1 {
+		t.Errorf("global labeled write counter missing: %v", snap.Counters)
+	}
+	if snap.InFlight != 0 {
+		t.Errorf("global registry reports %d in-flight spans", snap.InFlight)
+	}
+}

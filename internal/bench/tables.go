@@ -117,6 +117,23 @@ func RenderTableIII(ms []Measurement, c Case) string {
 	row("Write", func(w store.WriteReport) float64 { return w.Write.Seconds() })
 	row("Others", func(w store.WriteReport) float64 { return w.Others.Seconds() })
 	row("Sum", func(w store.WriteReport) float64 { return w.Sum().Seconds() })
+	// The observed rows come from the obs span histograms — timed
+	// independently of the WriteReport rows above, so the two blocks
+	// agreeing is a live check of the instrumentation.
+	obsRow := func(name string, of func(ObservedPhases) float64) {
+		cells := []string{name}
+		any := false
+		for _, m := range cell {
+			cells = append(cells, fmt.Sprintf("%.4f", of(m.Observed)))
+			if m.Observed.Sum() > 0 {
+				any = true
+			}
+		}
+		if any {
+			t.add(cells...)
+		}
+	}
+	obsRow("Sum (observed)", func(o ObservedPhases) float64 { return o.Sum().Seconds() })
 	paperRow := []string{"Paper sum"}
 	for _, m := range cell {
 		if p, ok := paperTableIII[m.Kind]; ok {

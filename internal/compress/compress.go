@@ -10,6 +10,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
+
+	"sparseart/internal/obs"
 )
 
 // ID identifies a codec in fragment headers. The zero value means "not
@@ -45,22 +48,67 @@ type Codec interface {
 	Decode(src []byte) ([]byte, error)
 }
 
-// Get returns the codec for an ID.
+// Get returns the codec for an ID. The returned codec reports its
+// encode/decode time and byte ratio to the process-wide obs registry
+// when one is enabled.
 func Get(id ID) (Codec, error) {
 	switch id {
 	case None:
-		return noneCodec{}, nil
+		return observed{noneCodec{}}, nil
 	case DeltaVarint:
-		return deltaVarintCodec{}, nil
+		return observed{deltaVarintCodec{}}, nil
 	case RLE:
-		return rleCodec{}, nil
+		return observed{rleCodec{}}, nil
 	}
 	return nil, fmt.Errorf("compress: unknown codec id %d", id)
 }
 
 // All returns every registered codec, None first.
 func All() []Codec {
-	return []Codec{noneCodec{}, deltaVarintCodec{}, rleCodec{}}
+	return []Codec{observed{noneCodec{}}, observed{deltaVarintCodec{}}, observed{rleCodec{}}}
+}
+
+// observed wraps a codec with obs instrumentation: per-codec encode and
+// decode latency histograms plus input/output byte counters, from which
+// the achieved compression ratio follows. When the global registry is
+// nil the wrapper costs one atomic load per call.
+type observed struct {
+	inner Codec
+}
+
+func (o observed) ID() ID       { return o.inner.ID() }
+func (o observed) Name() string { return o.inner.Name() }
+
+func (o observed) Encode(src []byte) []byte {
+	reg := obs.Global()
+	if reg == nil {
+		return o.inner.Encode(src)
+	}
+	t := time.Now()
+	out := o.inner.Encode(src)
+	name := o.inner.Name()
+	reg.Histogram("compress.encode", "codec", name).Observe(time.Since(t))
+	reg.Counter("compress.encode.in_bytes", "codec", name).Add(int64(len(src)))
+	reg.Counter("compress.encode.out_bytes", "codec", name).Add(int64(len(out)))
+	return out
+}
+
+func (o observed) Decode(src []byte) ([]byte, error) {
+	reg := obs.Global()
+	if reg == nil {
+		return o.inner.Decode(src)
+	}
+	t := time.Now()
+	out, err := o.inner.Decode(src)
+	name := o.inner.Name()
+	reg.Histogram("compress.decode", "codec", name).Observe(time.Since(t))
+	if err != nil {
+		reg.Counter("compress.decode.errors", "codec", name).Inc()
+		return out, err
+	}
+	reg.Counter("compress.decode.in_bytes", "codec", name).Add(int64(len(src)))
+	reg.Counter("compress.decode.out_bytes", "codec", name).Add(int64(len(out)))
+	return out, err
 }
 
 type noneCodec struct{}

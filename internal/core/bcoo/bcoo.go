@@ -17,6 +17,7 @@ import (
 
 	"sparseart/internal/buf"
 	"sparseart/internal/core"
+	"sparseart/internal/obs"
 	"sparseart/internal/psort"
 	"sparseart/internal/tensor"
 )
@@ -63,6 +64,8 @@ func (f Format) bits() (uint8, error) {
 // (block, local offset), and emit the block directory plus byte-wide
 // local offsets.
 func (f Format) Build(c *tensor.Coords, shape tensor.Shape) (*core.BuildResult, error) {
+	defer obs.Time("core.build", "kind", "BCOO")()
+	obs.Count("core.build.points", int64(c.Len()), "kind", "BCOO")
 	if err := shape.Validate(); err != nil {
 		return nil, err
 	}
@@ -184,6 +187,7 @@ func (f Format) Open(payload []byte, shape tensor.Shape) (core.Reader, error) {
 	return &reader{
 		shape: stored, dims: d, bits: bits,
 		blocks: blocks, bptr: bptr, locals: locals,
+		probes: obs.Global().Counter("core.probe", "kind", "BCOO"),
 	}, nil
 }
 
@@ -194,6 +198,8 @@ type reader struct {
 	blocks []uint64
 	bptr   []uint64
 	locals []byte
+	// probes counts Lookup calls; nil when observation is disabled.
+	probes *obs.Counter
 }
 
 // NNZ implements core.Reader.
@@ -226,6 +232,7 @@ func (r *reader) cmpBlock(p []uint64, bi int) int {
 // Lookup implements core.Reader: binary-search the block directory,
 // then binary-search the block's sorted local offsets.
 func (r *reader) Lookup(p []uint64) (int, bool) {
+	r.probes.Add(1)
 	if len(p) != r.dims || !r.shape.Contains(p) {
 		return 0, false
 	}

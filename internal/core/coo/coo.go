@@ -14,6 +14,7 @@ import (
 
 	"sparseart/internal/buf"
 	"sparseart/internal/core"
+	"sparseart/internal/obs"
 	"sparseart/internal/psort"
 	"sparseart/internal/tensor"
 )
@@ -70,6 +71,8 @@ func lexLess(c *tensor.Coords, a, b int) bool {
 // (nil). The sorted variant sorts by linear-address order and returns
 // the sort map.
 func (f Format) Build(c *tensor.Coords, shape tensor.Shape) (*core.BuildResult, error) {
+	defer obs.Time("core.build", "kind", f.Kind().String())()
+	obs.Count("core.build.points", int64(c.Len()), "kind", f.Kind().String())
 	if err := shape.Validate(); err != nil {
 		return nil, err
 	}
@@ -122,12 +125,18 @@ func (f Format) Open(payload []byte, shape tensor.Shape) (core.Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("coo: %w", err)
 	}
-	return &reader{coords: coords, sorted: sorted}, nil
+	return &reader{
+		coords: coords, sorted: sorted,
+		probes: obs.Global().Counter("core.probe", "kind", f.Kind().String()),
+	}, nil
 }
 
 type reader struct {
 	coords *tensor.Coords
 	sorted bool
+	// probes counts Lookup calls; nil (observation disabled) makes the
+	// per-probe cost a single branch.
+	probes *obs.Counter
 }
 
 // NNZ implements core.Reader.
@@ -141,6 +150,7 @@ func (r *reader) IndexWords() int { return len(r.coords.Flat()) }
 // stored point (the O(n) per-probe cost of Table I); the sorted variant
 // binary-searches.
 func (r *reader) Lookup(p []uint64) (int, bool) {
+	r.probes.Add(1)
 	if len(p) != r.coords.Dims() {
 		return 0, false
 	}

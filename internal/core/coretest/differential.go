@@ -1,0 +1,180 @@
+package coretest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sparseart/internal/core"
+	"sparseart/internal/tensor"
+)
+
+// randomShape draws a 1–4 dimensional shape with small extents, biased
+// toward anisotropy (mixing extent 1 axes with wide ones) since the
+// 2D-remap formats are most sensitive to extent imbalance.
+func randomShape(rng *rand.Rand) tensor.Shape {
+	d := 1 + rng.Intn(4)
+	shape := make(tensor.Shape, d)
+	for i := range shape {
+		shape[i] = uint64(1 + rng.Intn(12))
+	}
+	return shape
+}
+
+// RunDifferential drives randomized build→probe→range rounds through
+// every format simultaneously, comparing all of them against a
+// map-based oracle and against each other. Each round draws a fresh
+// shape and dataset; every format builds it, must return a valid
+// bijection as its permutation, must find every stored point at the
+// permuted slot, must miss every absent probe, and must enumerate
+// exactly the oracle's point set for random query regions. -short runs
+// fewer and smaller rounds.
+func RunDifferential(t *testing.T, formats []core.Format) {
+	if len(formats) == 0 {
+		t.Fatal("no formats to test")
+	}
+	rounds, maxPoints := 12, 600
+	if testing.Short() {
+		rounds, maxPoints = 4, 150
+	}
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < rounds; round++ {
+		shape := randomShape(rng)
+		c := randomDataset(rng, shape, rng.Intn(maxPoints+1))
+		t.Run(fmt.Sprintf("round%02d_%v_n%d", round, shape, c.Len()), func(t *testing.T) {
+			differentialRound(t, formats, rng, shape, c)
+		})
+	}
+}
+
+// openAll builds and opens the dataset under every format, checking the
+// permutation contract on the way.
+func openAll(t *testing.T, formats []core.Format, shape tensor.Shape, c *tensor.Coords) ([]core.Reader, [][]int) {
+	t.Helper()
+	readers := make([]core.Reader, len(formats))
+	perms := make([][]int, len(formats))
+	for i, f := range formats {
+		built, err := f.Build(c, shape)
+		if err != nil {
+			t.Fatalf("%v: Build: %v", f.Kind(), err)
+		}
+		if built.Perm != nil {
+			if len(built.Perm) != c.Len() {
+				t.Fatalf("%v: perm length %d for %d points", f.Kind(), len(built.Perm), c.Len())
+			}
+			if err := tensor.CheckPerm(built.Perm); err != nil {
+				t.Fatalf("%v: perm is not a bijection: %v", f.Kind(), err)
+			}
+		}
+		r, err := f.Open(built.Payload, shape)
+		if err != nil {
+			t.Fatalf("%v: Open: %v", f.Kind(), err)
+		}
+		readers[i] = r
+		perms[i] = built.Perm
+	}
+	return readers, perms
+}
+
+func differentialRound(t *testing.T, formats []core.Format, rng *rand.Rand, shape tensor.Shape, c *tensor.Coords) {
+	readers, perms := openAll(t, formats, shape, c)
+	for i, r := range readers {
+		if r.NNZ() != c.Len() {
+			t.Fatalf("%v: NNZ %d, want %d", formats[i].Kind(), r.NNZ(), c.Len())
+		}
+	}
+
+	lin, err := tensor.NewLinearizer(shape, tensor.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := map[uint64]int{} // linear address -> input index
+	for i := 0; i < c.Len(); i++ {
+		oracle[lin.Linearize(c.At(i))] = i
+	}
+
+	// Probe phase: a mixed sequence of stored and random points. Every
+	// format must agree with the oracle on membership, and a hit must
+	// land on the slot the format's own permutation dictates.
+	vol, _ := shape.Volume()
+	probe := make([]uint64, shape.Dims())
+	for trial := 0; trial < 300; trial++ {
+		var addr uint64
+		if trial%2 == 0 && c.Len() > 0 {
+			addr = lin.Linearize(c.At(rng.Intn(c.Len())))
+		} else {
+			addr = uint64(rng.Int63n(int64(vol)))
+		}
+		lin.Delinearize(addr, probe)
+		inputIdx, want := oracle[addr]
+		for i, r := range readers {
+			slot, ok := r.Lookup(probe)
+			if ok != want {
+				t.Fatalf("%v: Lookup(%v) = %v, oracle says %v", formats[i].Kind(), probe, ok, want)
+			}
+			if !ok {
+				continue
+			}
+			wantSlot := inputIdx
+			if perms[i] != nil {
+				wantSlot = perms[i][inputIdx]
+			}
+			if slot != wantSlot {
+				t.Fatalf("%v: Lookup(%v) slot %d, want %d", formats[i].Kind(), probe, slot, wantSlot)
+			}
+		}
+	}
+
+	// Range phase: random query regions; every iterator-capable format
+	// must enumerate exactly the oracle's points inside the region, and
+	// a RegionScanner must match its own full-walk filter.
+	for rq := 0; rq < 3; rq++ {
+		start := make([]uint64, shape.Dims())
+		size := make([]uint64, shape.Dims())
+		for d := range shape {
+			start[d] = uint64(rng.Int63n(int64(shape[d])))
+			size[d] = 1 + uint64(rng.Int63n(int64(shape[d]-start[d])))
+		}
+		region, err := tensor.NewRegion(shape, start, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[uint64]bool{}
+		for addr, idx := range oracle {
+			if region.Contains(c.At(idx)) {
+				want[addr] = true
+			}
+		}
+		for i, r := range readers {
+			it, ok := r.(core.Iterator)
+			if !ok {
+				t.Fatalf("%v: reader does not implement core.Iterator", formats[i].Kind())
+			}
+			got := map[uint64]bool{}
+			it.Each(func(p []uint64, slot int) bool {
+				if region.Contains(p) {
+					got[lin.Linearize(p)] = true
+				}
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("%v: region %v: walk found %d points, oracle %d", formats[i].Kind(), region, len(got), len(want))
+			}
+			for addr := range want {
+				if !got[addr] {
+					t.Fatalf("%v: region %v: walk missed address %d", formats[i].Kind(), region, addr)
+				}
+			}
+			if sc, ok := r.(core.RegionScanner); ok {
+				scanned := map[uint64]bool{}
+				sc.ScanRegion(region, func(p []uint64, slot int) bool {
+					scanned[lin.Linearize(p)] = true
+					return true
+				})
+				if len(scanned) != len(want) {
+					t.Fatalf("%v: ScanRegion found %d points, oracle %d", formats[i].Kind(), len(scanned), len(want))
+				}
+			}
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"sparseart/internal/buf"
 	"sparseart/internal/core"
+	"sparseart/internal/obs"
 	"sparseart/internal/psort"
 	"sparseart/internal/tensor"
 )
@@ -67,6 +68,8 @@ func dimOrder(shape tensor.Shape) []int {
 
 // Build implements core.Format following CSF_BUILD.
 func (f Format) Build(c *tensor.Coords, shape tensor.Shape) (*core.BuildResult, error) {
+	defer obs.Time("core.build", "kind", "CSF")()
+	obs.Count("core.build.points", int64(c.Len()), "kind", "CSF")
 	if err := shape.Validate(); err != nil {
 		return nil, err
 	}
@@ -207,7 +210,10 @@ func (f Format) Open(payload []byte, shape tensor.Shape) (core.Reader, error) {
 			}
 		}
 	}
-	return &Tree{shape: stored, dims: dims, nfibs: nfibs, fids: fids, fptr: fptr, binary: f.BinarySearch}, nil
+	return &Tree{
+		shape: stored, dims: dims, nfibs: nfibs, fids: fids, fptr: fptr, binary: f.BinarySearch,
+		probes: obs.Global().Counter("core.probe", "kind", "CSF"),
+	}, nil
 }
 
 // Tree is the in-memory CSF tree; it implements core.Reader and exposes
@@ -219,6 +225,8 @@ type Tree struct {
 	fids   [][]uint64
 	fptr   [][]uint64
 	binary bool
+	// probes counts Lookup calls; nil when observation is disabled.
+	probes *obs.Counter
 }
 
 // NNZ implements core.Reader: the leaf level has one node per point.
@@ -292,6 +300,7 @@ func searchLinear(v []uint64, lo, hi uint64, x uint64) (uint64, bool) {
 // Lookup implements core.Reader following CSF_READ: descend level by
 // level, narrowing the sibling range through fptr.
 func (t *Tree) Lookup(p []uint64) (int, bool) {
+	t.probes.Add(1)
 	d := len(t.dims)
 	if len(p) != d || !t.shape.Contains(p) {
 		return 0, false

@@ -18,6 +18,7 @@ import (
 
 	"sparseart/internal/buf"
 	"sparseart/internal/core"
+	"sparseart/internal/obs"
 	"sparseart/internal/psort"
 	"sparseart/internal/tensor"
 )
@@ -89,6 +90,8 @@ func to2D(l, cols uint64) (r, c uint64) { return l / cols, l % cols }
 // point to its 2D coordinates, sort by the compressed axis, and package
 // with CSR/CSC.
 func (f Format) Build(c *tensor.Coords, shape tensor.Shape) (*core.BuildResult, error) {
+	defer obs.Time("core.build", "kind", f.Kind().String())()
+	obs.Count("core.build.points", int64(c.Len()), "kind", f.Kind().String())
 	if err := shape.Validate(); err != nil {
 		return nil, err
 	}
@@ -215,7 +218,10 @@ func (f Format) Open(payload []byte, shape tensor.Shape) (core.Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gcs: %w", err)
 	}
-	return &reader{orient: orient, lin: lin, rows: rows, cols: cols, ptr: ptr, ind: ind}, nil
+	return &reader{
+		orient: orient, lin: lin, rows: rows, cols: cols, ptr: ptr, ind: ind,
+		probes: obs.Global().Counter("core.probe", "kind", f.Kind().String()),
+	}, nil
 }
 
 type reader struct {
@@ -224,6 +230,8 @@ type reader struct {
 	rows, cols uint64
 	ptr        []uint64 // majorExt+1 offsets into ind
 	ind        []uint64 // minor coordinate per point, sorted order
+	// probes counts Lookup calls; nil when observation is disabled.
+	probes *obs.Counter
 }
 
 // NNZ implements core.Reader.
@@ -238,6 +246,7 @@ func (r *reader) IndexWords() int { return len(r.ind) + len(r.ptr) }
 // by minor coordinate, so the scan stops early once past the target,
 // preserving the O(n / min{m}) average of Table I.
 func (r *reader) Lookup(p []uint64) (int, bool) {
+	r.probes.Add(1)
 	if !r.lin.Shape().Contains(p) {
 		return 0, false
 	}

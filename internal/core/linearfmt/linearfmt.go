@@ -15,6 +15,7 @@ import (
 
 	"sparseart/internal/buf"
 	"sparseart/internal/core"
+	"sparseart/internal/obs"
 	"sparseart/internal/tensor"
 )
 
@@ -43,6 +44,8 @@ func (f Format) WithOptions(o core.Options) core.Format {
 // row-major linear address within shape. The input order is preserved
 // (identity permutation), matching the paper's unsorted analysis.
 func (f Format) Build(c *tensor.Coords, shape tensor.Shape) (*core.BuildResult, error) {
+	defer obs.Time("core.build", "kind", "LINEAR")()
+	obs.Count("core.build.points", int64(c.Len()), "kind", "LINEAR")
 	if c.Dims() != shape.Dims() {
 		return nil, fmt.Errorf("linearfmt: %d-dim coords for %d-dim shape", c.Dims(), shape.Dims())
 	}
@@ -90,12 +93,17 @@ func (f Format) Open(payload []byte, shape tensor.Shape) (core.Reader, error) {
 			return nil, fmt.Errorf("linearfmt: address %d at %d exceeds volume %d", a, i, vol)
 		}
 	}
-	return &reader{addrs: addrs, lin: lin}, nil
+	return &reader{
+		addrs: addrs, lin: lin,
+		probes: obs.Global().Counter("core.probe", "kind", "LINEAR"),
+	}, nil
 }
 
 type reader struct {
 	addrs []uint64
 	lin   *tensor.Linearizer
+	// probes counts Lookup calls; nil when observation is disabled.
+	probes *obs.Counter
 }
 
 // NNZ implements core.Reader.
@@ -108,6 +116,7 @@ func (r *reader) IndexWords() int { return len(r.addrs) }
 // Lookup implements core.Reader by linearizing the probe and scanning
 // the unsorted address list.
 func (r *reader) Lookup(p []uint64) (int, bool) {
+	r.probes.Add(1)
 	if !r.lin.Shape().Contains(p) {
 		return 0, false
 	}

@@ -3,6 +3,8 @@ package fsim
 import (
 	"errors"
 	"sync"
+
+	"sparseart/internal/obs"
 )
 
 // ErrInjected is the default failure returned by FaultFS.
@@ -23,9 +25,13 @@ type FaultFS struct {
 	FailOn string
 	// Err is the error to inject; nil means ErrInjected.
 	Err error
+	// Obs, when non-nil, receives the fault-injection metrics instead
+	// of the process-wide obs.Global().
+	Obs *obs.Registry
 
-	mu  sync.Mutex
-	ops int
+	mu       sync.Mutex
+	ops      int
+	injected int
 }
 
 // NewFaultFS wraps inner with no failures armed.
@@ -33,7 +39,7 @@ func NewFaultFS(inner FS) *FaultFS {
 	return &FaultFS{Inner: inner, FailAfter: -1}
 }
 
-func (f *FaultFS) check(name string) error {
+func (f *FaultFS) check(op, name string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	inject := false
@@ -44,6 +50,12 @@ func (f *FaultFS) check(name string) error {
 		inject = true
 	}
 	if inject {
+		f.injected++
+		reg := f.Obs
+		if reg == nil {
+			reg = obs.Global()
+		}
+		reg.Counter("fsim.fault.injected", "op", op).Inc()
 		if f.Err != nil {
 			return f.Err
 		}
@@ -51,6 +63,14 @@ func (f *FaultFS) check(name string) error {
 	}
 	f.ops++
 	return nil
+}
+
+// Injected returns the number of operations that have failed by
+// injection.
+func (f *FaultFS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
 }
 
 func contains(s, sub string) bool {
@@ -71,7 +91,7 @@ func (f *FaultFS) Ops() int {
 
 // WriteFile implements FS.
 func (f *FaultFS) WriteFile(name string, data []byte) error {
-	if err := f.check(name); err != nil {
+	if err := f.check("write", name); err != nil {
 		return err
 	}
 	return f.Inner.WriteFile(name, data)
@@ -79,7 +99,7 @@ func (f *FaultFS) WriteFile(name string, data []byte) error {
 
 // ReadFile implements FS.
 func (f *FaultFS) ReadFile(name string) ([]byte, error) {
-	if err := f.check(name); err != nil {
+	if err := f.check("read", name); err != nil {
 		return nil, err
 	}
 	return f.Inner.ReadFile(name)
@@ -87,7 +107,7 @@ func (f *FaultFS) ReadFile(name string) ([]byte, error) {
 
 // List implements FS.
 func (f *FaultFS) List(prefix string) ([]string, error) {
-	if err := f.check(prefix); err != nil {
+	if err := f.check("list", prefix); err != nil {
 		return nil, err
 	}
 	return f.Inner.List(prefix)
@@ -95,7 +115,7 @@ func (f *FaultFS) List(prefix string) ([]string, error) {
 
 // Remove implements FS.
 func (f *FaultFS) Remove(name string) error {
-	if err := f.check(name); err != nil {
+	if err := f.check("remove", name); err != nil {
 		return err
 	}
 	return f.Inner.Remove(name)
@@ -103,7 +123,7 @@ func (f *FaultFS) Remove(name string) error {
 
 // Size implements FS.
 func (f *FaultFS) Size(name string) (int64, error) {
-	if err := f.check(name); err != nil {
+	if err := f.check("stat", name); err != nil {
 		return 0, err
 	}
 	return f.Inner.Size(name)

@@ -27,6 +27,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"sparseart/internal/obs"
 )
 
 // FS is the minimal file-system surface the fragment store needs. Names
@@ -136,6 +138,7 @@ type SimFS struct {
 	model   CostModel
 	stats   Stats
 	pending Cost
+	obs     *obs.Registry
 }
 
 // NewSimFS returns a SimFS with the given cost model.
@@ -155,24 +158,59 @@ func NewPerlmutterSim() *SimFS {
 	return fs
 }
 
+// SetObs binds the backend to a specific observability registry; nil
+// (the default) falls back to the process-wide obs.Global().
+func (s *SimFS) SetObs(r *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = r
+}
+
+// reg resolves the backend's registry under s.mu.
+func (s *SimFS) reg() *obs.Registry {
+	if s.obs != nil {
+		return s.obs
+	}
+	return obs.Global()
+}
+
 func (s *SimFS) charge(c Cost) {
 	s.pending.add(c)
 	s.stats.Modeled.add(c)
 }
 
+// observeOp records one operation's wall time next to its modeled cost
+// (the "per-op modeled vs. wall latency" pair) and its byte traffic.
+func (s *SimFS) observeOp(op string, start time.Time, modeled Cost, bytes int64) {
+	reg := s.reg()
+	if reg == nil {
+		return
+	}
+	reg.Histogram("fsim.op.wall", "op", op).Observe(time.Since(start))
+	reg.Histogram("fsim.op.modeled", "op", op).Observe(modeled.Total())
+	reg.Counter("fsim.ops", "op", op).Inc()
+	if bytes > 0 {
+		reg.Counter("fsim.bytes", "op", op).Add(bytes)
+	}
+}
+
 // WriteFile implements FS.
 func (s *SimFS) WriteFile(name string, data []byte) error {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.files[name] = append([]byte(nil), data...)
 	s.stats.WriteOps++
 	s.stats.BytesWritten += int64(len(data))
-	s.charge(Cost{Meta: s.model.OpLatency, Write: s.model.transferTime(int64(len(data)))})
+	cost := Cost{Meta: s.model.OpLatency, Write: s.model.transferTime(int64(len(data)))}
+	s.charge(cost)
+	s.observeOp("write", start, cost, int64(len(data)))
 	return nil
 }
 
 // ReadFile implements FS.
 func (s *SimFS) ReadFile(name string) ([]byte, error) {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	data, ok := s.files[name]
@@ -181,12 +219,15 @@ func (s *SimFS) ReadFile(name string) ([]byte, error) {
 	}
 	s.stats.ReadOps++
 	s.stats.BytesRead += int64(len(data))
-	s.charge(Cost{Meta: s.model.OpLatency, Read: s.model.transferTime(int64(len(data)))})
+	cost := Cost{Meta: s.model.OpLatency, Read: s.model.transferTime(int64(len(data)))}
+	s.charge(cost)
+	s.observeOp("read", start, cost, int64(len(data)))
 	return append([]byte(nil), data...), nil
 }
 
 // List implements FS.
 func (s *SimFS) List(prefix string) ([]string, error) {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var names []string
@@ -197,12 +238,15 @@ func (s *SimFS) List(prefix string) ([]string, error) {
 	}
 	sort.Strings(names)
 	s.stats.MetaOps++
-	s.charge(Cost{Meta: s.model.OpLatency})
+	cost := Cost{Meta: s.model.OpLatency}
+	s.charge(cost)
+	s.observeOp("list", start, cost, 0)
 	return names, nil
 }
 
 // Remove implements FS.
 func (s *SimFS) Remove(name string) error {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.files[name]; !ok {
@@ -210,12 +254,15 @@ func (s *SimFS) Remove(name string) error {
 	}
 	delete(s.files, name)
 	s.stats.MetaOps++
-	s.charge(Cost{Meta: s.model.OpLatency})
+	cost := Cost{Meta: s.model.OpLatency}
+	s.charge(cost)
+	s.observeOp("remove", start, cost, 0)
 	return nil
 }
 
 // Size implements FS.
 func (s *SimFS) Size(name string) (int64, error) {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	data, ok := s.files[name]
@@ -223,7 +270,9 @@ func (s *SimFS) Size(name string) (int64, error) {
 		return 0, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
 	}
 	s.stats.MetaOps++
-	s.charge(Cost{Meta: s.model.OpLatency})
+	cost := Cost{Meta: s.model.OpLatency}
+	s.charge(cost)
+	s.observeOp("stat", start, cost, 0)
 	return int64(len(data)), nil
 }
 

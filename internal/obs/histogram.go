@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket i counts observations
+// whose nanosecond duration has bit length i, i.e. durations in
+// [2^(i-1), 2^i). 64 buckets cover every representable duration, so
+// observation never needs bounds checks beyond the bit-length itself.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket latency histogram with nanosecond
+// resolution and a lock-free observation path: one atomic add per
+// bucket, plus atomic sum/count/min/max upkeep. Buckets are powers of
+// two, which is coarse but branch-free and cheap enough for hot paths.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // total ns
+	min     atomic.Int64 // ns+1; 0 means no observation yet
+	max     atomic.Int64 // ns
+}
+
+// bucketOf maps a non-negative nanosecond value to its bucket index.
+func bucketOf(ns int64) int {
+	return bits.Len64(uint64(ns)) // 0 for ns==0, else floor(log2)+1
+}
+
+// BucketLow returns the inclusive lower bound in nanoseconds of bucket
+// i (0 for bucket 0).
+func BucketLow(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		i = 64
+	}
+	return 1 << (i - 1)
+}
+
+// Observe records one duration. Negative durations are clamped to
+// zero. No-op on a nil histogram.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+	// min/max are CAS loops; contention is rare because observations
+	// at phase granularity are far apart. min stores ns+1 so the zero
+	// value means "unset" and the zero Histogram works as-is.
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur-1 <= ns {
+			break
+		}
+		if h.min.CompareAndSwap(cur, ns+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= ns {
+			break
+		}
+		if h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations; zero on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed duration; zero on nil.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Mean returns the average observed duration; zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / time.Duration(n)
+}
+
+// absorb folds an exported snapshot back into the histogram, used by
+// Registry.Absorb to merge registries.
+func (h *Histogram) absorb(s HistogramSnapshot) {
+	if h == nil || s.Count == 0 {
+		return
+	}
+	for _, b := range s.Buckets {
+		h.buckets[bucketOf(b.LowNs)].Add(b.Count)
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.SumNs)
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur-1 <= s.MinNs {
+			break
+		}
+		if h.min.CompareAndSwap(cur, s.MinNs+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= s.MaxNs {
+			break
+		}
+		if h.max.CompareAndSwap(cur, s.MaxNs) {
+			break
+		}
+	}
+}
+
+// snapshot captures the histogram's state. The atomic loads are not
+// mutually consistent under concurrent observation, which is fine for a
+// monitoring snapshot.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		SumNs: h.sum.Load(),
+		MaxNs: h.max.Load(),
+	}
+	if m := h.min.Load(); m > 0 {
+		s.MinNs = m - 1
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{LowNs: BucketLow(i), Count: n})
+		}
+	}
+	return s
+}

@@ -1,0 +1,215 @@
+// Package obs is the storage engine's observability layer: atomic
+// counters and gauges, fixed-bucket latency histograms, a span API for
+// phase tracing, and a process-wide Registry with labeled metric
+// families that exports snapshots as human-readable text or JSON.
+//
+// The paper's evaluation lives and dies by per-phase time breakdowns
+// (Tables III–V: Build / Reorg / Write / Others), but the hand-rolled
+// report structs in internal/store only exist inside the benchmark
+// harness. This package makes the same phases — and the counters behind
+// them — observable whenever the engine runs, including under real
+// traffic through cmd/sparsestore.
+//
+// Design rules:
+//
+//   - The hot path is lock-free: counters, gauges, and histogram
+//     observations are single atomic operations; metric handles are
+//     resolved through a sync.Map and should be looked up once per
+//     batch, not per point.
+//   - Everything is nil-safe. A nil *Registry (the default when
+//     observation is disabled) returns nil metric handles, and every
+//     method on a nil handle is a no-op, so instrumentation sites cost
+//     one predictable branch when the layer is off.
+//   - No dependencies beyond the standard library.
+//
+// Metric names are dot-separated paths ("store.write.bytes"); labels
+// are appended in canonical '{k=v,...}' form by Name. Span names reuse
+// the metric path convention ("store.write.build"); ending a span both
+// records a timeline event and feeds the span's duration into the
+// histogram of the same name.
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; zero on a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta. No-op on a nil gauge.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value; zero on a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Name renders a metric family name with labels in canonical form:
+// Name("core.build", "kind", "CSF") == "core.build{kind=CSF}". Label
+// pairs are sorted by key so the same label set always produces the
+// same metric name. An odd trailing label is ignored.
+func Name(family string, labels ...string) string {
+	if len(labels) < 2 {
+		return family
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.Grow(len(family) + 16)
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteByte('=')
+		b.WriteString(p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry holds the process's metric families. The zero value is not
+// usable; call New. A nil *Registry is the disabled state: every method
+// is safe and returns nil handles or empty snapshots.
+type Registry struct {
+	counters   sync.Map // string -> *Counter
+	gauges     sync.Map // string -> *Gauge
+	histograms sync.Map // string -> *Histogram
+
+	inflight atomic.Int64 // spans started but not yet ended
+
+	traceMu     sync.Mutex
+	traceBase   int64 // ns timestamp of the first span, for relative offsets
+	traceEvents []SpanEvent
+	traceDrops  int64
+	traceCap    int
+}
+
+// defaultTraceCap bounds the span timeline; older events are kept and
+// newer ones dropped (with a drop counter) once full, so the timeline
+// shows the run from its start.
+const defaultTraceCap = 8192
+
+// New returns an empty enabled registry.
+func New() *Registry {
+	return &Registry{traceCap: defaultTraceCap}
+}
+
+// Counter returns the counter for the given family and label pairs,
+// creating it on first use. Returns nil on a nil registry.
+func (r *Registry) Counter(family string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	name := Name(family, labels...)
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := r.counters.LoadOrStore(name, &Counter{})
+	return v.(*Counter)
+}
+
+// Gauge returns the gauge for the given family and label pairs,
+// creating it on first use. Returns nil on a nil registry.
+func (r *Registry) Gauge(family string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	name := Name(family, labels...)
+	if v, ok := r.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := r.gauges.LoadOrStore(name, &Gauge{})
+	return v.(*Gauge)
+}
+
+// Histogram returns the histogram for the given family and label pairs,
+// creating it on first use. Returns nil on a nil registry.
+func (r *Registry) Histogram(family string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	name := Name(family, labels...)
+	if v, ok := r.histograms.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := r.histograms.LoadOrStore(name, &Histogram{})
+	return v.(*Histogram)
+}
+
+// InFlight returns the number of spans started but not yet ended — a
+// nonzero value after a store operation returns is a span leak.
+func (r *Registry) InFlight() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.inflight.Load())
+}
+
+// global is the process-wide registry. It starts nil (observation
+// disabled) so library hot paths pay only an atomic pointer load.
+var global atomic.Pointer[Registry]
+
+// Global returns the process-wide registry, or nil when observation is
+// disabled.
+func Global() *Registry { return global.Load() }
+
+// SetGlobal installs r as the process-wide registry; nil disables
+// observation. It returns the previous registry.
+func SetGlobal(r *Registry) *Registry { return global.Swap(r) }
+
+// Enable installs a fresh global registry and returns it — the one-call
+// setup for CLIs.
+func Enable() *Registry {
+	r := New()
+	SetGlobal(r)
+	return r
+}

@@ -1,0 +1,93 @@
+package obs
+
+import "time"
+
+// Span is one timed phase of an operation. Spans nest explicitly
+// through Child, which keeps the API free of goroutine-local state:
+//
+//	sp := reg.Start("store.write")
+//	b := sp.Child("build")
+//	... build ...
+//	b.End()
+//	sp.End()
+//
+// End records a timeline event and feeds the span's duration into the
+// histogram of the same name, so every traced phase automatically has a
+// latency distribution. All methods are no-ops on a nil span, which is
+// what a nil registry hands out.
+type Span struct {
+	reg   *Registry
+	name  string
+	depth int
+	start time.Time
+	extra time.Duration
+	ended bool
+}
+
+// Start opens a root span. Returns nil on a nil registry.
+func (r *Registry) Start(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.inflight.Add(1)
+	return &Span{reg: r, name: name, start: time.Now()}
+}
+
+// Child opens a nested span. The parent's name is the prefix
+// convention, not enforced: pass the full dotted name. Returns nil on a
+// nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.reg.inflight.Add(1)
+	return &Span{reg: s.reg, name: name, depth: s.depth + 1, start: time.Now()}
+}
+
+// Add folds an externally modeled duration into the span, so that End
+// reports wall time plus the addition. The storage engine uses it to
+// attribute the simulated file system's modeled I/O cost to the phase
+// that incurred it, matching the hand-rolled Table III breakdown.
+func (s *Span) Add(d time.Duration) {
+	if s != nil {
+		s.extra += d
+	}
+}
+
+// End closes the span, records its timeline event, observes its
+// duration (wall time since Start/Child plus any Add) in the
+// same-named histogram, and returns that duration. Ending a span twice
+// records once; End on nil returns 0.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if s.ended {
+		return 0
+	}
+	s.ended = true
+	d := time.Since(s.start) + s.extra
+	s.reg.inflight.Add(-1)
+	s.reg.Histogram(s.name).Observe(d)
+	s.reg.recordEvent(s.name, s.depth, s.start, d)
+	return d
+}
+
+// recordEvent appends a span event to the bounded timeline.
+func (r *Registry) recordEvent(name string, depth int, start time.Time, d time.Duration) {
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	if r.traceBase == 0 {
+		r.traceBase = start.UnixNano()
+	}
+	if len(r.traceEvents) >= r.traceCap {
+		r.traceDrops++
+		return
+	}
+	r.traceEvents = append(r.traceEvents, SpanEvent{
+		Name:    name,
+		Depth:   depth,
+		StartNs: start.UnixNano() - r.traceBase,
+		DurNs:   int64(d),
+	})
+}

@@ -1,0 +1,34 @@
+package obs
+
+import "time"
+
+// noop is the shared stop function handed out when observation is
+// disabled, so Time allocates nothing on the disabled path.
+var noop = func() {}
+
+// Time times a code region against the global registry: it returns a
+// stop function that observes the elapsed duration in the histogram
+// named by family/labels and increments the matching ".count" counter.
+// The idiomatic call is
+//
+//	defer obs.Time("core.build", "kind", kind.String())()
+//
+// When the global registry is nil the returned function is a shared
+// no-op and the call costs one atomic load.
+func Time(family string, labels ...string) func() {
+	r := Global()
+	if r == nil {
+		return noop
+	}
+	h := r.Histogram(family, labels...)
+	start := time.Now()
+	return func() { h.Observe(time.Since(start)) }
+}
+
+// Count increments a counter on the global registry by n; a no-op when
+// observation is disabled.
+func Count(family string, n int64, labels ...string) {
+	if r := Global(); r != nil {
+		r.Counter(family, labels...).Add(n)
+	}
+}

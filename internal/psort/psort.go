@@ -10,6 +10,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
+
+	"sparseart/internal/obs"
 )
 
 // serialCutoff is the problem size below which parallelism is pure
@@ -28,9 +31,18 @@ func Workers(requested int) int {
 // ParallelFor runs fn over [0, n) split into contiguous chunks, one per
 // worker, and waits for completion. With workers <= 1 (or a small n) it
 // degrades to a direct call.
+//
+// When the process-wide obs registry is enabled, ParallelFor reports
+// worker utilization: each worker's busy time feeds the
+// "psort.worker.busy" histogram, and the serial-cutoff fallback is
+// counted separately from genuinely parallel runs.
 func ParallelFor(n, workers int, fn func(start, end int)) {
+	reg := obs.Global()
 	workers = Workers(workers)
 	if workers == 1 || n < serialCutoff {
+		if reg != nil {
+			reg.Counter("psort.parfor.serial").Inc()
+		}
 		if n > 0 {
 			fn(0, n)
 		}
@@ -39,6 +51,10 @@ func ParallelFor(n, workers int, fn func(start, end int)) {
 	if workers > n {
 		workers = n
 	}
+	if reg != nil {
+		reg.Counter("psort.parfor.parallel").Inc()
+		reg.Gauge("psort.workers").Set(int64(workers))
+	}
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -46,9 +62,16 @@ func ParallelFor(n, workers int, fn func(start, end int)) {
 		end := (w + 1) * n / workers
 		go func(s, e int) {
 			defer wg.Done()
-			if s < e {
-				fn(s, e)
+			if s >= e {
+				return
 			}
+			if reg == nil {
+				fn(s, e)
+				return
+			}
+			t := time.Now()
+			fn(s, e)
+			reg.Histogram("psort.worker.busy").Observe(time.Since(t))
 		}(start, end)
 	}
 	wg.Wait()
@@ -62,15 +85,18 @@ func ParallelFor(n, workers int, fn func(start, end int)) {
 // For determinism under parallel execution, less must be a strict total
 // order — break ties on the index itself.
 func SortPerm(n int, workers int, less func(i, j int) bool) []int {
+	defer obs.Time("psort.sort")()
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
 	workers = Workers(workers)
 	if workers == 1 || n < serialCutoff {
+		obs.Count("psort.sort.serial", 1)
 		sort.Slice(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
 		return idx
 	}
+	obs.Count("psort.sort.parallel", 1)
 
 	// Chunk-sort in parallel, then merge pairs of runs in log rounds.
 	chunks := workers

@@ -75,6 +75,10 @@ type CompactReport struct {
 // writes (newest wins) and reclaiming the space of superseded cells.
 // A store with zero or one fragment is returned unchanged.
 func (s *Store) Compact() (*CompactReport, error) {
+	reg := s.obsReg()
+	root := reg.Start("store.compact")
+	defer root.End()
+	reg.Counter("store.compact.count", "kind", s.kind.String()).Inc()
 	rep := &CompactReport{
 		FragmentsBefore: len(s.frags),
 		BytesBefore:     s.TotalBytes(),

@@ -25,6 +25,7 @@ import (
 	"sparseart/internal/core"
 	"sparseart/internal/fragment"
 	"sparseart/internal/fsim"
+	"sparseart/internal/obs"
 	"sparseart/internal/tensor"
 )
 
@@ -48,6 +49,13 @@ func WithCodec(id compress.ID) Option {
 // enable parallel builds; the default is the paper's serial setting).
 func WithBuildOptions(o core.Options) Option {
 	return func(s *Store) { s.buildOpts = &o }
+}
+
+// WithObs binds the store to a specific observability registry instead
+// of the process-wide obs.Global(). The benchmark harness uses this to
+// capture one store's phase breakdown in isolation.
+func WithObs(r *obs.Registry) Option {
+	return func(s *Store) { s.obs = r }
 }
 
 type fragRef struct {
@@ -89,9 +97,37 @@ type Store struct {
 	lin       *tensor.Linearizer
 	codec     compress.ID
 	buildOpts *core.Options
+	obs       *obs.Registry
 	frags     []fragRef
 	nextID    uint64
 }
+
+// obsReg resolves the store's registry: the injected one if any,
+// otherwise the process-wide registry (nil when observation is off —
+// every obs call below is a no-op then).
+func (s *Store) obsReg() *obs.Registry {
+	if s.obs != nil {
+		return s.obs
+	}
+	return obs.Global()
+}
+
+// Observability metric and span names emitted by the store. The write
+// phases mirror the rows of the paper's Table III; the read phases
+// mirror the READ breakdown. All are labeled with the store's
+// organization ("kind").
+const (
+	obsWrite       = "store.write"        // root span per Write
+	obsWriteBuild  = "store.write.build"  // phase span + histogram
+	obsWriteReorg  = "store.write.reorg"  // phase span + histogram
+	obsWriteWrite  = "store.write.write"  // phase span + histogram (wall + modeled I/O)
+	obsWriteOthers = "store.write.others" // phase span + histogram (manifest + metadata)
+	obsRead        = "store.read"         // root span per Read
+	obsReadIO      = "store.read.io"      // per-fragment fetch
+	obsReadExtract = "store.read.extract" // per-fragment decode + open
+	obsReadProbe   = "store.read.probe"   // per-fragment probe pass
+	obsReadMerge   = "store.read.merge"   // final merge
+)
 
 // Create initializes an empty store under prefix on fs. The shape's
 // volume must fit in uint64 (use Chunked past that).
@@ -278,21 +314,34 @@ func (s *Store) Write(c *tensor.Coords, vals []float64) (*WriteReport, error) {
 	rep := &WriteReport{NNZ: c.Len()}
 	s.takeCost() // discard any cost accrued outside this call
 
+	reg := s.obsReg()
+	kind := s.kind.String()
+	root := reg.Start(obsWrite)
+	defer root.End() // double-End safe; covers every error return below
+
 	format := s.format
 	if s.buildOpts != nil {
 		format = core.Configure(format, *s.buildOpts)
 	}
+	sp := root.Child(obsWriteBuild)
 	t := time.Now()
 	built, err := format.Build(c, s.shape)
+	sp.End()
 	if err != nil {
+		reg.Counter("store.write.errors", "kind", kind).Inc()
 		return nil, err
 	}
 	rep.Build = time.Since(t)
+	reg.Histogram(obsWriteBuild, "kind", kind).Observe(rep.Build)
 
+	sp = root.Child(obsWriteReorg)
 	t = time.Now()
 	packed := tensor.ApplyPermValues(vals, built.Perm)
+	sp.End()
 	rep.Reorg = time.Since(t)
+	reg.Histogram(obsWriteReorg, "kind", kind).Observe(rep.Reorg)
 
+	sp = root.Child(obsWriteWrite)
 	t = time.Now()
 	bbox, _ := c.Bounds()
 	frag := &fragment.Fragment{Payload: built.Payload, Values: packed}
@@ -303,34 +352,55 @@ func (s *Store) Write(c *tensor.Coords, vals []float64) (*WriteReport, error) {
 	frag.BBox = bbox
 	encoded, err := fragment.Encode(frag)
 	if err != nil {
+		sp.End()
+		reg.Counter("store.write.errors", "kind", kind).Inc()
 		return nil, err
 	}
 	name := fmt.Sprintf("%s/frag-%06d", s.prefix, s.nextID)
 	if err := s.fs.WriteFile(name, encoded); err != nil {
+		sp.End()
+		reg.Counter("store.write.errors", "kind", kind).Inc()
 		return nil, fmt.Errorf("store: write fragment: %w", err)
 	}
 	wall := time.Since(t)
+	var pendingMeta time.Duration
 	if cost, ok := s.takeCost(); ok {
 		rep.Write = wall + cost.Write + cost.Read
 		rep.Others += cost.Meta
+		pendingMeta = cost.Meta
+		sp.Add(cost.Write + cost.Read)
 	} else {
 		rep.Write = wall
 	}
+	sp.End()
+	reg.Histogram(obsWriteWrite, "kind", kind).Observe(rep.Write)
 
+	sp = root.Child(obsWriteOthers)
+	sp.Add(pendingMeta)
 	t = time.Now()
 	s.nextID++
 	s.frags = append(s.frags, fragRef{name: name, nnz: frag.NNZ, bytes: int64(len(encoded)), bbox: bbox})
 	if err := s.writeManifest(); err != nil {
+		sp.End()
+		reg.Counter("store.write.errors", "kind", kind).Inc()
 		return nil, err
 	}
 	wall = time.Since(t)
 	if cost, ok := s.takeCost(); ok {
 		rep.Others += wall + cost.Total()
+		sp.Add(cost.Total())
 	} else {
 		rep.Others += wall
 	}
+	sp.End()
+	reg.Histogram(obsWriteOthers, "kind", kind).Observe(rep.Others)
+
 	rep.Bytes = int64(len(encoded))
 	rep.Name = name
+	reg.Counter("store.write.count", "kind", kind).Inc()
+	reg.Counter("store.write.bytes", "kind", kind).Add(rep.Bytes)
+	reg.Counter("store.write.nnz", "kind", kind).Add(int64(rep.NNZ))
+	reg.Gauge("store.fragments", "kind", kind).Set(int64(len(s.frags)))
 	return rep, nil
 }
 
@@ -348,6 +418,11 @@ func (s *Store) DeleteRegion(region tensor.Region) (*WriteReport, error) {
 	rep := &WriteReport{}
 	s.takeCost()
 
+	reg := s.obsReg()
+	kind := s.kind.String()
+	root := reg.Start("store.delete")
+	defer root.End()
+
 	t := time.Now()
 	w := buf.NewWriter(16 * s.shape.Dims())
 	w.RawU64s(region.Start)
@@ -360,10 +435,12 @@ func (s *Store) DeleteRegion(region tensor.Region) (*WriteReport, error) {
 	frag.BBox = region.BBox()
 	encoded, err := fragment.Encode(frag)
 	if err != nil {
+		reg.Counter("store.write.errors", "kind", kind).Inc()
 		return nil, err
 	}
 	name := fmt.Sprintf("%s/frag-%06d", s.prefix, s.nextID)
 	if err := s.fs.WriteFile(name, encoded); err != nil {
+		reg.Counter("store.write.errors", "kind", kind).Inc()
 		return nil, fmt.Errorf("store: write tombstone: %w", err)
 	}
 	wall := time.Since(t)
@@ -381,6 +458,7 @@ func (s *Store) DeleteRegion(region tensor.Region) (*WriteReport, error) {
 		bbox: region.BBox(), tomb: true, tombRegion: region,
 	})
 	if err := s.writeManifest(); err != nil {
+		reg.Counter("store.write.errors", "kind", kind).Inc()
 		return nil, err
 	}
 	wall = time.Since(t)
@@ -391,6 +469,8 @@ func (s *Store) DeleteRegion(region tensor.Region) (*WriteReport, error) {
 	}
 	rep.Bytes = int64(len(encoded))
 	rep.Name = name
+	reg.Counter("store.tombstone.count", "kind", kind).Inc()
+	reg.Gauge("store.fragments", "kind", kind).Set(int64(len(s.frags)))
 	return rep, nil
 }
 
@@ -448,6 +528,10 @@ func (s *Store) readAsOf(probe *tensor.Coords, limit int) (*Result, *ReadReport,
 		return nil, nil, fmt.Errorf("store: %d-dim probe for %d-dim store", probe.Dims(), s.shape.Dims())
 	}
 	s.takeCost()
+	reg := s.obsReg()
+	kind := s.kind.String()
+	root := reg.Start(obsRead)
+	defer root.End()
 	queryBox, any := probe.Bounds()
 	if !any {
 		return &Result{Coords: tensor.NewCoords(s.shape.Dims(), 0)}, rep, nil
@@ -460,30 +544,43 @@ func (s *Store) readAsOf(probe *tensor.Coords, limit int) (*Result, *ReadReport,
 		}
 		rep.Fragments++
 
+		sp := root.Child(obsReadIO)
 		t := time.Now()
 		data, err := s.fs.ReadFile(fr.name)
 		if err != nil {
+			sp.End()
+			reg.Counter("store.read.errors", "kind", kind).Inc()
 			return nil, nil, fmt.Errorf("store: read fragment %s: %w", fr.name, err)
 		}
 		wall := time.Since(t)
 		if cost, ok := s.takeCost(); ok {
 			rep.IO += wall + cost.Read + cost.Write
 			rep.Extract += cost.Meta
+			sp.Add(cost.Read + cost.Write)
 		} else {
 			rep.IO += wall
 		}
+		sp.End()
+		reg.Counter("store.read.bytes", "kind", kind).Add(int64(len(data)))
 
+		sp = root.Child(obsReadExtract)
 		t = time.Now()
 		frag, err := fragment.Decode(data)
 		if err != nil {
+			sp.End()
+			reg.Counter("store.read.errors", "kind", kind).Inc()
 			return nil, nil, fmt.Errorf("store: fragment %s: %w", fr.name, err)
 		}
 		reader, err := s.format.Open(frag.Payload, s.shape)
 		if err != nil {
+			sp.End()
+			reg.Counter("store.read.errors", "kind", kind).Inc()
 			return nil, nil, fmt.Errorf("store: fragment %s: %w", fr.name, err)
 		}
+		sp.End()
 		rep.Extract += time.Since(t)
 
+		sp = root.Child(obsReadProbe)
 		t = time.Now()
 		n := probe.Len()
 		for i := 0; i < n; i++ {
@@ -496,12 +593,19 @@ func (s *Store) readAsOf(probe *tensor.Coords, limit int) (*Result, *ReadReport,
 				hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: frag.Values[slot]})
 			}
 		}
+		sp.End()
 		rep.Probe += time.Since(t)
 	}
 
+	sp := root.Child(obsReadMerge)
 	res, mergeDur := mergeHits(s, hits, s.tombstonesBefore(limit))
+	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()
+	reg.Counter("store.read.count", "kind", kind).Inc()
+	reg.Counter("store.read.fragments", "kind", kind).Add(int64(rep.Fragments))
+	reg.Counter("store.read.probed", "kind", kind).Add(int64(rep.Probed))
+	reg.Counter("store.read.found", "kind", kind).Add(int64(rep.Found))
 	return res, rep, nil
 }
 
@@ -518,8 +622,10 @@ func mergeHits(s *Store, hits []hit, tombs []tombstoneRef) (*Result, time.Durati
 	})
 	out := &Result{Coords: tensor.NewCoords(s.shape.Dims(), len(hits))}
 	p := make([]uint64, s.shape.Dims())
+	var overwritten, tombDead int64
 	for i, h := range hits {
 		if i+1 < len(hits) && hits[i+1].addr == h.addr {
+			overwritten++
 			continue // a newer fragment overwrote this cell
 		}
 		s.lin.Delinearize(h.addr, p)
@@ -531,10 +637,16 @@ func mergeHits(s *Store, hits []hit, tombs []tombstoneRef) (*Result, time.Durati
 			}
 		}
 		if dead {
+			tombDead++
 			continue
 		}
 		out.Coords.Append(p...)
 		out.Values = append(out.Values, h.val)
+	}
+	if reg := s.obsReg(); reg != nil {
+		kind := s.kind.String()
+		reg.Counter("store.merge.overwritten", "kind", kind).Add(overwritten)
+		reg.Counter("store.merge.tombstone_dead", "kind", kind).Add(tombDead)
 	}
 	return out, time.Since(t)
 }
@@ -563,6 +675,10 @@ func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, erro
 		return nil, nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), s.shape.Dims())
 	}
 	s.takeCost()
+	reg := s.obsReg()
+	kind := s.kind.String()
+	root := reg.Start(obsRead)
+	defer root.End()
 	queryBox := region.BBox()
 
 	var hits []hit
@@ -572,30 +688,43 @@ func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, erro
 		}
 		rep.Fragments++
 
+		sp := root.Child(obsReadIO)
 		t := time.Now()
 		data, err := s.fs.ReadFile(fr.name)
 		if err != nil {
+			sp.End()
+			reg.Counter("store.read.errors", "kind", kind).Inc()
 			return nil, nil, fmt.Errorf("store: read fragment %s: %w", fr.name, err)
 		}
 		wall := time.Since(t)
 		if cost, ok := s.takeCost(); ok {
 			rep.IO += wall + cost.Read + cost.Write
 			rep.Extract += cost.Meta
+			sp.Add(cost.Read + cost.Write)
 		} else {
 			rep.IO += wall
 		}
+		sp.End()
+		reg.Counter("store.read.bytes", "kind", kind).Add(int64(len(data)))
 
+		sp = root.Child(obsReadExtract)
 		t = time.Now()
 		frag, err := fragment.Decode(data)
 		if err != nil {
+			sp.End()
+			reg.Counter("store.read.errors", "kind", kind).Inc()
 			return nil, nil, fmt.Errorf("store: fragment %s: %w", fr.name, err)
 		}
 		reader, err := s.format.Open(frag.Payload, s.shape)
 		if err != nil {
+			sp.End()
+			reg.Counter("store.read.errors", "kind", kind).Inc()
 			return nil, nil, fmt.Errorf("store: fragment %s: %w", fr.name, err)
 		}
+		sp.End()
 		rep.Extract += time.Since(t)
 
+		sp = root.Child(obsReadProbe)
 		t = time.Now()
 		visit := func(p []uint64, slot int) bool {
 			rep.Probed++
@@ -603,14 +732,23 @@ func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, erro
 			return true
 		}
 		if err := scanFragment(s.kind, reader, region, visit); err != nil {
+			sp.End()
+			reg.Counter("store.read.errors", "kind", kind).Inc()
 			return nil, nil, err
 		}
+		sp.End()
 		rep.Probe += time.Since(t)
 		rep.Scans++
 	}
+	sp := root.Child(obsReadMerge)
 	res, mergeDur := mergeHits(s, hits, s.tombstonesBefore(len(s.frags)))
+	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()
+	reg.Counter("store.read.count", "kind", kind).Inc()
+	reg.Counter("store.read.scans", "kind", kind).Add(int64(rep.Scans))
+	reg.Counter("store.read.probed", "kind", kind).Add(int64(rep.Probed))
+	reg.Counter("store.read.found", "kind", kind).Add(int64(rep.Found))
 	return res, rep, nil
 }
 

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# ci.sh — the full verification gate: formatting, vet, build, the test
+# suite under the race detector, and a short fuzz smoke of every fuzz
+# target. CI invokes this script (see .github/workflows/ci.yml); run it
+# locally before sending a change.
+#
+# Usage: scripts/ci.sh [fuzz-seconds]
+#   fuzz-seconds  per-target fuzz budget (default 10; 0 skips fuzzing)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZ_SECONDS="${1:-10}"
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "files need gofmt:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+if [ "$FUZZ_SECONDS" -gt 0 ]; then
+    echo "==> fuzz smoke (${FUZZ_SECONDS}s per target)"
+    # Enumerate every fuzz target and give each a short budget. Go only
+    # allows one -fuzz pattern per package invocation, so iterate.
+    go list ./... | while read -r pkg; do
+        targets=$(go test -list '^Fuzz' "$pkg" 2>/dev/null | grep '^Fuzz' || true)
+        for t in $targets; do
+            echo "  $pkg $t"
+            go test -run "^${t}$" -fuzz "^${t}$" -fuzztime "${FUZZ_SECONDS}s" "$pkg"
+        done
+    done
+fi
+
+echo "==> ok"
