@@ -504,3 +504,63 @@ func BenchmarkTable3Breakdown(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkAblationReaderCache measures the fragment-reader cache on
+// repeated region reads: with the cache disabled every read re-fetches
+// and re-decodes its fragments (cold); with a budget the fragments stay
+// resident after a priming read and repeats skip the file system
+// entirely (warm). The modeled-io-ms/op metric carries the simulated
+// Lustre cost, which wall time on the in-memory SimFS does not show.
+func BenchmarkAblationReaderCache(b *testing.B) {
+	ds := dataset(b, bench.Case{Pattern: gen.TSP, Dims: 3})
+	shape := ds.Data.Config.Shape
+	for _, cfg := range []struct {
+		name   string
+		budget int64
+	}{
+		{"cold", 0},
+		{"warm", store.DefaultCacheBudget},
+	} {
+		cfg := cfg
+		for _, kind := range []core.Kind{core.GCSR, core.CSF} {
+			kind := kind
+			b.Run(fmt.Sprintf("%s/%v", cfg.name, kind), func(b *testing.B) {
+				fs := fsim.NewPerlmutterSim()
+				st, err := store.Create(fs, "rc", kind, shape, store.WithReaderCache(cfg.budget))
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Four fragments so a read touches several cache entries.
+				coords, vals := ds.Data.Coords, ds.Data.Values
+				n := coords.Len()
+				chunk := (n + 3) / 4
+				for off := 0; off < n; off += chunk {
+					end := off + chunk
+					if end > n {
+						end = n
+					}
+					part := tensor.NewCoords(coords.Dims(), end-off)
+					for i := off; i < end; i++ {
+						part.AppendFlat(coords.At(i))
+					}
+					if _, err := st.Write(part, vals[off:end]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, _, err := st.ReadRegion(ds.Region); err != nil {
+					b.Fatal(err) // priming read: warms the cache when enabled
+				}
+				var ioNs int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, rep, err := st.ReadRegion(ds.Region)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ioNs += (rep.IO + rep.Extract).Nanoseconds()
+				}
+				b.ReportMetric(float64(ioNs)/1e6/float64(b.N), "modeled-io-ms/op")
+			})
+		}
+	}
+}

@@ -39,15 +39,35 @@ func main() {
 }
 
 func inspect(path string, payload bool) error {
-	data, err := os.ReadFile(path)
+	file, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	frag, err := fragment.Decode(data)
+	defer file.Close()
+	info, err := file.Stat()
+	if err != nil {
+		return err
+	}
+	// Ranged open: for a v2 file this reads only the header; the body
+	// sections are fetched (and checksummed) by Materialize below.
+	lz, err := fragment.OpenAt(file, info.Size())
+	if err != nil {
+		return err
+	}
+	frag, err := lz.Materialize()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s:\n", path)
+	fmt.Printf("  layout:       v%d", frag.Version)
+	if sections := lz.Sections(); sections == nil {
+		fmt.Printf(" (legacy whole-file)\n")
+	} else {
+		fmt.Printf(" (sectioned, ranged reads)\n")
+		for _, s := range sections {
+			fmt.Printf("    %-8s off=%-8d len=%-8d crc32=%08x\n", s.Name, s.Offset, s.Len, s.CRC)
+		}
+	}
 	fmt.Printf("  organization: %v\n", frag.Kind)
 	fmt.Printf("  codec:        %d\n", frag.Codec)
 	if frag.Tombstone {

@@ -15,6 +15,12 @@
 // the subcommand, capture runtime/pprof profiles around it:
 //
 //	sparsestore -cpuprofile=cpu.out compact -dir /path/to/store
+//
+// The global flag -cache=BYTES|off sets the fragment-reader cache
+// budget for every store the command opens (default: the library's
+// default budget, or the SPARSEART_FRAGCACHE_BUDGET environment knob):
+//
+//	sparsestore -cache=off info -dir /path/to/store
 package main
 
 import (
@@ -35,10 +41,14 @@ import (
 	"sparseart/internal/tensor"
 )
 
+// cacheFlag holds the global -cache=BYTES|off value; empty means the
+// library default (subject to the SPARSEART_FRAGCACHE_BUDGET knob).
+var cacheFlag string
+
 func main() {
 	args := os.Args[1:]
 	var cpuProfile, memProfile string
-	// Profiling flags precede the subcommand so they compose with any
+	// Global flags precede the subcommand so they compose with any
 	// subcommand's own flag set.
 	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
 		arg := strings.TrimPrefix(strings.TrimPrefix(args[0], "-"), "-")
@@ -46,6 +56,8 @@ func main() {
 			cpuProfile = v
 		} else if v, ok := strings.CutPrefix(arg, "memprofile="); ok {
 			memProfile = v
+		} else if v, ok := strings.CutPrefix(arg, "cache="); ok {
+			cacheFlag = v
 		} else {
 			break
 		}
@@ -122,6 +134,7 @@ func usage() {
 global flags (before the command):
   -cpuprofile=FILE  capture a runtime/pprof CPU profile around the command
   -memprofile=FILE  write a heap profile after the command completes
+  -cache=BYTES|off  fragment-reader cache budget for every store opened
 
 commands:
   info     print a store's organization, shape, and fragment inventory
@@ -134,13 +147,34 @@ commands:
 }
 
 // openStore opens the store rooted at dir (stores created by the
-// library facade live under the "tensor" prefix).
+// library facade live under the "tensor" prefix), applying the global
+// -cache flag.
 func openStore(dir string) (*store.Store, error) {
 	fs, err := fsim.NewOSFS(dir)
 	if err != nil {
 		return nil, err
 	}
-	return store.Open(fs, "tensor")
+	opts, err := cacheOptions()
+	if err != nil {
+		return nil, err
+	}
+	return store.Open(fs, "tensor", opts...)
+}
+
+// cacheOptions translates the global -cache flag into store options.
+func cacheOptions() ([]store.Option, error) {
+	switch cacheFlag {
+	case "":
+		return nil, nil
+	case "off":
+		return []store.Option{store.WithReaderCache(0)}, nil
+	default:
+		n, err := strconv.ParseInt(cacheFlag, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf(`bad -cache value %q (want a byte count or "off")`, cacheFlag)
+		}
+		return []store.Option{store.WithReaderCache(n)}, nil
+	}
 }
 
 func runInfo(args []string) error {
@@ -213,7 +247,11 @@ func runConvert(args []string) error {
 	if err != nil {
 		return err
 	}
-	dst, err := store.Convert(src, dstFS, "tensor", kind)
+	opts, err := cacheOptions()
+	if err != nil {
+		return err
+	}
+	dst, err := store.Convert(src, dstFS, "tensor", kind, opts...)
 	if err != nil {
 		return err
 	}
@@ -358,7 +396,11 @@ func runImport(args []string) error {
 	if err != nil {
 		return err
 	}
-	st, err := store.Create(osfs, "tensor", kind, shape)
+	opts, err := cacheOptions()
+	if err != nil {
+		return err
+	}
+	st, err := store.Create(osfs, "tensor", kind, shape, opts...)
 	if err != nil {
 		return err
 	}

@@ -294,6 +294,76 @@ func AblationCodecs(scale gen.Scale, seed uint64) (string, error) {
 	return "Ablation: fragment payload codecs (3D MSP; §II's orthogonal compression)\n" + t.String(), nil
 }
 
+// AblationReaderCache measures the fragment-reader cache: the modeled
+// I/O plus decode cost of a cold region read, a warm repeat (readers
+// resident, zero file-system traffic), and a repeat with the cache
+// disabled, which pays the cold cost every time.
+func AblationReaderCache(scale gen.Scale, seed uint64) (string, error) {
+	ds, err := MakeDataset(Case{Pattern: gen.TSP, Dims: 3}, scale, seed, 0)
+	if err != nil {
+		return "", err
+	}
+	shape := ds.Data.Config.Shape
+	t := &table{header: []string{"Format", "Cold", "Warm", "Cache off (repeat)", "Warm speedup"}}
+	for _, kind := range []core.Kind{core.COO, core.Linear, core.GCSR, core.CSF} {
+		// run writes the dataset in four fragments and times two
+		// consecutive region reads (first = cold, second = repeat).
+		run := func(budget int64) (cold, repeat time.Duration, err error) {
+			fs := fsim.NewPerlmutterSim()
+			st, err := store.Create(fs, "ab", kind, shape, store.WithReaderCache(budget))
+			if err != nil {
+				return 0, 0, err
+			}
+			coords, vals := ds.Data.Coords, ds.Data.Values
+			n := coords.Len()
+			chunk := (n + 3) / 4
+			for off := 0; off < n; off += chunk {
+				end := off + chunk
+				if end > n {
+					end = n
+				}
+				part := tensor.NewCoords(coords.Dims(), end-off)
+				for i := off; i < end; i++ {
+					part.AppendFlat(coords.At(i))
+				}
+				if _, err := st.Write(part, vals[off:end]); err != nil {
+					return 0, 0, err
+				}
+			}
+			read := func() (time.Duration, error) {
+				_, rep, err := st.ReadRegion(ds.Region)
+				if err != nil {
+					return 0, err
+				}
+				return rep.IO + rep.Extract, nil
+			}
+			if cold, err = read(); err != nil {
+				return 0, 0, err
+			}
+			repeat, err = read()
+			return cold, repeat, err
+		}
+		cold, warm, err := run(256 << 20)
+		if err != nil {
+			return "", err
+		}
+		_, offRepeat, err := run(0)
+		if err != nil {
+			return "", err
+		}
+		speedup := "inf (zero I/O)"
+		if warm > 0 {
+			speedup = fmt.Sprintf("%.0fx", float64(offRepeat)/float64(warm))
+		}
+		t.add(kind.String(),
+			fmt.Sprintf("%.2fms", cold.Seconds()*1e3),
+			fmt.Sprintf("%.3fms", warm.Seconds()*1e3),
+			fmt.Sprintf("%.2fms", offRepeat.Seconds()*1e3),
+			speedup)
+	}
+	return "Ablation: fragment-reader cache (modeled I/O + decode per region read, 3D TSP, 4 fragments)\n" + t.String(), nil
+}
+
 // AblationModelValidation compares Table I's predicted cost *ratios*
 // against measured ones on the 3D GSP dataset, with COO as the
 // denominator: if the model is sound, predicted and measured ratios
@@ -373,6 +443,7 @@ func RenderAblations(scale gen.Scale, seed uint64, log io.Writer) (string, error
 		{"scan-vs-probe", AblationScanVsProbe},
 		{"probe-order", AblationProbeOrder},
 		{"codecs", AblationCodecs},
+		{"reader-cache", AblationReaderCache},
 		{"model-validation", AblationModelValidation},
 	}
 	var out strings.Builder

@@ -111,6 +111,40 @@ func (o observed) Decode(src []byte) ([]byte, error) {
 	return out, err
 }
 
+// EncodeSection compresses one fragment section with the given codec and
+// prefixes the result with the codec ID, making the section
+// self-describing: a ranged reader can decode it without consulting any
+// other section. This is the codec boundary the v2 sectioned fragment
+// layout stores on disk.
+func EncodeSection(id ID, src []byte) ([]byte, error) {
+	c, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	enc := c.Encode(src)
+	out := make([]byte, 0, len(enc)+1)
+	out = append(out, byte(id))
+	return append(out, enc...), nil
+}
+
+// DecodeSection inverts EncodeSection, returning the raw bytes and the
+// codec ID the section was written with.
+func DecodeSection(src []byte) ([]byte, ID, error) {
+	if len(src) < 1 {
+		return nil, None, fmt.Errorf("%w: empty section", ErrCorrupt)
+	}
+	id := ID(src[0])
+	c, err := Get(id)
+	if err != nil {
+		return nil, id, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	out, err := c.Decode(src[1:])
+	if err != nil {
+		return nil, id, err
+	}
+	return out, id, nil
+}
+
 type noneCodec struct{}
 
 func (noneCodec) ID() ID       { return None }

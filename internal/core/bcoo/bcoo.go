@@ -187,7 +187,7 @@ func (f Format) Open(payload []byte, shape tensor.Shape) (core.Reader, error) {
 	return &reader{
 		shape: stored, dims: d, bits: bits,
 		blocks: blocks, bptr: bptr, locals: locals,
-		probes: obs.Global().Counter("core.probe", "kind", "BCOO"),
+		probes: obs.NewSampled(obs.Global().Counter("core.probe", "kind", "BCOO"), obs.DefaultSamplePeriod),
 	}, nil
 }
 
@@ -198,8 +198,9 @@ type reader struct {
 	blocks []uint64
 	bptr   []uint64
 	locals []byte
-	// probes counts Lookup calls; nil when observation is disabled.
-	probes *obs.Counter
+	// probes counts Lookup calls, sampled: the shared core.probe
+	// counter is touched once per flush period, not per point.
+	probes *obs.SampledCounter
 }
 
 // NNZ implements core.Reader.
@@ -232,7 +233,7 @@ func (r *reader) cmpBlock(p []uint64, bi int) int {
 // Lookup implements core.Reader: binary-search the block directory,
 // then binary-search the block's sorted local offsets.
 func (r *reader) Lookup(p []uint64) (int, bool) {
-	r.probes.Add(1)
+	r.probes.Inc()
 	if len(p) != r.dims || !r.shape.Contains(p) {
 		return 0, false
 	}

@@ -127,16 +127,16 @@ func (f Format) Open(payload []byte, shape tensor.Shape) (core.Reader, error) {
 	}
 	return &reader{
 		coords: coords, sorted: sorted,
-		probes: obs.Global().Counter("core.probe", "kind", f.Kind().String()),
+		probes: obs.NewSampled(obs.Global().Counter("core.probe", "kind", f.Kind().String()), obs.DefaultSamplePeriod),
 	}, nil
 }
 
 type reader struct {
 	coords *tensor.Coords
 	sorted bool
-	// probes counts Lookup calls; nil (observation disabled) makes the
-	// per-probe cost a single branch.
-	probes *obs.Counter
+	// probes counts Lookup calls, sampled: the shared core.probe
+	// counter is touched once per flush period, not per point.
+	probes *obs.SampledCounter
 }
 
 // NNZ implements core.Reader.
@@ -150,7 +150,7 @@ func (r *reader) IndexWords() int { return len(r.coords.Flat()) }
 // stored point (the O(n) per-probe cost of Table I); the sorted variant
 // binary-searches.
 func (r *reader) Lookup(p []uint64) (int, bool) {
-	r.probes.Add(1)
+	r.probes.Inc()
 	if len(p) != r.coords.Dims() {
 		return 0, false
 	}

@@ -212,7 +212,7 @@ func (f Format) Open(payload []byte, shape tensor.Shape) (core.Reader, error) {
 	}
 	return &Tree{
 		shape: stored, dims: dims, nfibs: nfibs, fids: fids, fptr: fptr, binary: f.BinarySearch,
-		probes: obs.Global().Counter("core.probe", "kind", "CSF"),
+		probes: obs.NewSampled(obs.Global().Counter("core.probe", "kind", "CSF"), obs.DefaultSamplePeriod),
 	}, nil
 }
 
@@ -225,8 +225,9 @@ type Tree struct {
 	fids   [][]uint64
 	fptr   [][]uint64
 	binary bool
-	// probes counts Lookup calls; nil when observation is disabled.
-	probes *obs.Counter
+	// probes counts Lookup calls, sampled: the shared core.probe
+	// counter is touched once per flush period, not per point.
+	probes *obs.SampledCounter
 }
 
 // NNZ implements core.Reader: the leaf level has one node per point.
@@ -300,7 +301,7 @@ func searchLinear(v []uint64, lo, hi uint64, x uint64) (uint64, bool) {
 // Lookup implements core.Reader following CSF_READ: descend level by
 // level, narrowing the sibling range through fptr.
 func (t *Tree) Lookup(p []uint64) (int, bool) {
-	t.probes.Add(1)
+	t.probes.Inc()
 	d := len(t.dims)
 	if len(p) != d || !t.shape.Contains(p) {
 		return 0, false

@@ -220,7 +220,7 @@ func (f Format) Open(payload []byte, shape tensor.Shape) (core.Reader, error) {
 	}
 	return &reader{
 		orient: orient, lin: lin, rows: rows, cols: cols, ptr: ptr, ind: ind,
-		probes: obs.Global().Counter("core.probe", "kind", f.Kind().String()),
+		probes: obs.NewSampled(obs.Global().Counter("core.probe", "kind", f.Kind().String()), obs.DefaultSamplePeriod),
 	}, nil
 }
 
@@ -230,8 +230,9 @@ type reader struct {
 	rows, cols uint64
 	ptr        []uint64 // majorExt+1 offsets into ind
 	ind        []uint64 // minor coordinate per point, sorted order
-	// probes counts Lookup calls; nil when observation is disabled.
-	probes *obs.Counter
+	// probes counts Lookup calls, sampled: the shared core.probe
+	// counter is touched once per flush period, not per point.
+	probes *obs.SampledCounter
 }
 
 // NNZ implements core.Reader.
@@ -246,7 +247,7 @@ func (r *reader) IndexWords() int { return len(r.ind) + len(r.ptr) }
 // by minor coordinate, so the scan stops early once past the target,
 // preserving the O(n / min{m}) average of Table I.
 func (r *reader) Lookup(p []uint64) (int, bool) {
-	r.probes.Add(1)
+	r.probes.Inc()
 	if !r.lin.Shape().Contains(p) {
 		return 0, false
 	}

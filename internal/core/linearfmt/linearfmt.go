@@ -95,15 +95,16 @@ func (f Format) Open(payload []byte, shape tensor.Shape) (core.Reader, error) {
 	}
 	return &reader{
 		addrs: addrs, lin: lin,
-		probes: obs.Global().Counter("core.probe", "kind", "LINEAR"),
+		probes: obs.NewSampled(obs.Global().Counter("core.probe", "kind", "LINEAR"), obs.DefaultSamplePeriod),
 	}, nil
 }
 
 type reader struct {
 	addrs []uint64
 	lin   *tensor.Linearizer
-	// probes counts Lookup calls; nil when observation is disabled.
-	probes *obs.Counter
+	// probes counts Lookup calls, sampled: the shared core.probe
+	// counter is touched once per flush period, not per point.
+	probes *obs.SampledCounter
 }
 
 // NNZ implements core.Reader.
@@ -116,7 +117,7 @@ func (r *reader) IndexWords() int { return len(r.addrs) }
 // Lookup implements core.Reader by linearizing the probe and scanning
 // the unsorted address list.
 func (r *reader) Lookup(p []uint64) (int, bool) {
-	r.probes.Add(1)
+	r.probes.Inc()
 	if !r.lin.Shape().Contains(p) {
 		return 0, false
 	}

@@ -1,0 +1,103 @@
+package fragment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sparseart/internal/compress"
+	"sparseart/internal/core"
+	_ "sparseart/internal/core/all"
+)
+
+// v1Fixture loads testdata/v1-linear.frag, a LINEAR fragment written by
+// the legacy whole-file encoder before the sectioned layout landed:
+// shape {8,8}, points (1,2) (3,4) (7,7), values {1.5, -2.25, 42},
+// delta-varint payload. It is the back-compat contract: these bytes must
+// keep decoding forever.
+func v1Fixture(t *testing.T) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "v1-linear.frag"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func checkV1Fixture(t *testing.T, got *Fragment) {
+	t.Helper()
+	if got.Version != version1 {
+		t.Errorf("Version = %d, want 1", got.Version)
+	}
+	if got.Kind != core.Linear || got.Codec != compress.DeltaVarint {
+		t.Errorf("kind/codec = %v/%v, want Linear/DeltaVarint", got.Kind, got.Codec)
+	}
+	if got.NNZ != 3 || len(got.Values) != 3 {
+		t.Fatalf("NNZ = %d (%d values), want 3", got.NNZ, len(got.Values))
+	}
+	for i, want := range []float64{1.5, -2.25, 42} {
+		if got.Values[i] != want {
+			t.Errorf("Values[%d] = %v, want %v", i, got.Values[i], want)
+		}
+	}
+	if got.BBox.Min[0] != 1 || got.BBox.Min[1] != 2 || got.BBox.Max[0] != 7 || got.BBox.Max[1] != 7 {
+		t.Errorf("bbox = %v, want (1,2)..(7,7)", got.BBox)
+	}
+	// The payload must open as a live index: all three points present.
+	format, err := core.Get(core.Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := format.Open(got.Payload, got.Shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range [][]uint64{{1, 2}, {3, 4}, {7, 7}} {
+		slot, ok := reader.Lookup(p)
+		if !ok || slot != i {
+			t.Errorf("Lookup(%v) = (%d, %v), want (%d, true)", p, slot, ok, i)
+		}
+	}
+}
+
+// TestV1FixtureDecodes: the pre-refactor on-disk format still decodes
+// through the whole-file path.
+func TestV1FixtureDecodes(t *testing.T) {
+	got, err := Decode(v1Fixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkV1Fixture(t, got)
+}
+
+// TestV1FixtureOpensRanged: the ranged entry point must detect v1 by its
+// version field and fall back to an eager whole-file decode.
+func TestV1FixtureOpensRanged(t *testing.T) {
+	data := v1Fixture(t)
+	l, err := OpenAt(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Version != version1 {
+		t.Errorf("Version = %d, want 1", l.Version)
+	}
+	if err := l.LoadSections(); err != nil {
+		t.Fatalf("LoadSections on v1: %v", err)
+	}
+	got, err := l.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkV1Fixture(t, got)
+	if l.BytesRead() != int64(len(data)) {
+		t.Errorf("BytesRead = %d, want whole file %d", l.BytesRead(), len(data))
+	}
+	h, err := DecodeHeader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != version1 || h.Kind != core.Linear || h.NNZ != 3 {
+		t.Errorf("DecodeHeader on v1 = %+v", h)
+	}
+}

@@ -6,14 +6,30 @@
 // The header carries what Algorithm 3's READ needs before unpacking:
 // the organization kind, the tensor shape, the point count, and the
 // bounding box used for the fragment-overlap search ("Find all fragments
-// containing b_coor"). A CRC32 over the whole encoding detects
-// corruption, and the index payload may be compressed with any codec
-// from internal/compress.
+// containing b_coor").
+//
+// Two layouts exist on disk:
+//
+//   - v2 (current, written by Encode) is sectioned: a fixed-size preamble
+//     records the length and CRC32 of three independently checksummed
+//     sections — header/bbox, payload, values — so OpenAt can decode the
+//     header from one small ranged read and fetch payload/values lazily.
+//   - v1 (legacy) is a single stream with one trailing CRC32 over the
+//     whole file. Decode and OpenAt still accept it, falling back to a
+//     whole-file read on the version field.
+//
+// The payload section is self-describing (compress.EncodeSection), so a
+// section can be decoded without consulting any other section.
 package fragment
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
+	"math"
+	"sync"
 
 	"sparseart/internal/buf"
 	"sparseart/internal/compress"
@@ -22,29 +38,52 @@ import (
 )
 
 const (
-	magic   = 0x46415053 // "SPAF"
-	version = 1
+	magic    = 0x46415053 // "SPAF"
+	version1 = 1          // legacy whole-file layout
+	version2 = 2          // sectioned layout with per-section CRCs
+
+	// preambleSize is the fixed v2 preamble:
+	//
+	//	off  0  u32 magic
+	//	off  4  u16 version
+	//	off  6  u16 reserved (zero)
+	//	off  8  u64 header section length
+	//	off 16  u64 payload section length (stored, incl. codec-ID byte)
+	//	off 24  u64 values section length (8 * nnz)
+	//	off 32  u32 header CRC32
+	//	off 36  u32 payload CRC32
+	//	off 40  u32 values CRC32
+	//	off 44  u32 preamble CRC32 over bytes [0, 44)
+	//
+	// Sections follow back to back: header at 48, payload, then values.
+	preambleSize = 48
+
+	// openReadSize is the speculative first ranged read of OpenAt: large
+	// enough to cover the preamble plus the header section of any
+	// fragment up to ~20 dimensions in a single round trip.
+	openReadSize = 512
 )
 
 // ErrCorrupt reports a fragment that fails structural or checksum
 // validation.
 var ErrCorrupt = fmt.Errorf("fragment: corrupt fragment")
 
-// Header is the fragment metadata, available without decoding the
-// payload.
+// Header is the fragment metadata, available without reading the payload
+// or values sections.
 type Header struct {
-	Kind  core.Kind
-	Codec compress.ID
-	Shape tensor.Shape
-	NNZ   uint64
-	BBox  tensor.BBox // inclusive; undefined when NNZ == 0 and not a tombstone
+	Version uint16 // on-disk layout version (1 or 2)
+	Kind    core.Kind
+	Codec   compress.ID
+	Shape   tensor.Shape
+	NNZ     uint64
+	BBox    tensor.BBox // inclusive; undefined when NNZ == 0 and not a tombstone
 	// Tombstone marks a deletion fragment: it carries no points, and
 	// its payload is the deleted region. Cells covered by a tombstone
 	// are dead unless rewritten by a later fragment.
 	Tombstone bool
 	Bytes     int64    // total encoded size
 	Stored    struct { // section sizes inside the file
-		Payload int64 // possibly compressed
+		Payload int64 // possibly compressed (v2: incl. codec-ID byte)
 		Values  int64
 	}
 }
@@ -56,32 +95,14 @@ type Fragment struct {
 	Values  []float64 // values in packed (permuted) order
 }
 
-// Encode serializes a fragment. The payload is compressed with the
-// header's codec; values are stored raw.
-func Encode(f *Fragment) ([]byte, error) {
-	if !f.Kind.Valid() {
-		return nil, fmt.Errorf("fragment: invalid kind %v", f.Kind)
-	}
-	if err := f.Shape.Validate(); err != nil {
-		return nil, err
-	}
-	if uint64(len(f.Values)) != f.NNZ {
-		return nil, fmt.Errorf("fragment: %d values for %d points", len(f.Values), f.NNZ)
-	}
-	codec, err := compress.Get(f.Codec)
-	if err != nil {
-		return nil, err
-	}
-	stored := codec.Encode(f.Payload)
-
+// encodeHeaderSection serializes the v2 header section.
+func encodeHeaderSection(f *Fragment) ([]byte, error) {
 	d := f.Shape.Dims()
-	w := buf.NewWriter(64 + 16*d + len(stored) + 8*len(f.Values))
+	w := buf.NewWriter(14 + 24*d)
 	var flags uint16
 	if f.Tombstone {
 		flags |= 1
 	}
-	w.U32(magic)
-	w.U16(version)
 	w.U8(uint8(f.Kind))
 	w.U8(uint8(f.Codec))
 	w.U16(uint16(d))
@@ -97,22 +118,399 @@ func Encode(f *Fragment) ([]byte, error) {
 	} else {
 		w.RawU64s(make([]uint64, 2*d))
 	}
-	w.Bytes32(stored)
-	w.F64s(f.Values)
-	w.U32(crc32.ChecksumIEEE(w.Bytes()))
 	return w.Bytes(), nil
 }
 
-// DecodeHeader parses only the fragment metadata. It does not verify the
-// checksum (which would require reading the full body).
-func DecodeHeader(b []byte) (*Header, error) {
-	h, _, err := decodeHeader(b)
-	return h, err
+// Encode serializes a fragment in the v2 sectioned layout. The payload
+// section is compressed with the header's codec; values are stored raw.
+func Encode(f *Fragment) ([]byte, error) {
+	if !f.Kind.Valid() {
+		return nil, fmt.Errorf("fragment: invalid kind %v", f.Kind)
+	}
+	if err := f.Shape.Validate(); err != nil {
+		return nil, err
+	}
+	if uint64(len(f.Values)) != f.NNZ {
+		return nil, fmt.Errorf("fragment: %d values for %d points", len(f.Values), f.NNZ)
+	}
+	header, err := encodeHeaderSection(f)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := compress.EncodeSection(f.Codec, f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	values := make([]byte, 8*len(f.Values))
+	for i, v := range f.Values {
+		binary.LittleEndian.PutUint64(values[8*i:], math.Float64bits(v))
+	}
+
+	out := make([]byte, preambleSize, preambleSize+len(header)+len(payload)+len(values))
+	binary.LittleEndian.PutUint32(out[0:], magic)
+	binary.LittleEndian.PutUint16(out[4:], version2)
+	binary.LittleEndian.PutUint64(out[8:], uint64(len(header)))
+	binary.LittleEndian.PutUint64(out[16:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(out[24:], uint64(len(values)))
+	binary.LittleEndian.PutUint32(out[32:], crc32.ChecksumIEEE(header))
+	binary.LittleEndian.PutUint32(out[36:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(out[40:], crc32.ChecksumIEEE(values))
+	binary.LittleEndian.PutUint32(out[44:], crc32.ChecksumIEEE(out[:44]))
+	out = append(out, header...)
+	out = append(out, payload...)
+	return append(out, values...), nil
 }
 
-// decodeHeader parses the metadata and returns the offset of the first
-// section after it.
-func decodeHeader(b []byte) (*Header, *buf.Reader, error) {
+// parseHeaderSection decodes the v2 header section body.
+func parseHeaderSection(b []byte) (*Header, error) {
+	r := buf.NewReader(b)
+	kind := core.Kind(r.U8())
+	codecID := compress.ID(r.U8())
+	d := int(r.U16())
+	flags := r.U16()
+	shape := tensor.Shape(r.RawU64s(uint64(d)))
+	nnz := r.U64()
+	bmin := r.RawU64s(uint64(d))
+	bmax := r.RawU64s(uint64(d))
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing header bytes", ErrCorrupt, r.Remaining())
+	}
+	if !kind.Valid() {
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, uint8(kind))
+	}
+	if err := shape.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	h := &Header{
+		Version:   version2,
+		Kind:      kind,
+		Codec:     codecID,
+		Shape:     shape,
+		NNZ:       nnz,
+		Tombstone: flags&1 != 0,
+		BBox:      tensor.BBox{Min: bmin, Max: bmax},
+	}
+	if h.Tombstone && nnz != 0 {
+		return nil, fmt.Errorf("%w: tombstone with %d points", ErrCorrupt, nnz)
+	}
+	return h, nil
+}
+
+// DecodeHeader parses only the fragment metadata, accepting both
+// layouts. For v2 it verifies the preamble and header CRCs (both lie in
+// the prefix anyway); the v1 fallback skips the whole-file checksum,
+// which would require the full body.
+func DecodeHeader(b []byte) (*Header, error) {
+	if len(b) < 6 {
+		return nil, fmt.Errorf("%w: too short", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint32(b) != magic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, binary.LittleEndian.Uint32(b))
+	}
+	switch ver := binary.LittleEndian.Uint16(b[4:]); ver {
+	case version1:
+		h, _, err := decodeHeaderV1(b)
+		return h, err
+	case version2:
+		p, err := parsePreamble(b)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(b)) < preambleSize+p.headerLen {
+			return nil, fmt.Errorf("%w: truncated header section", ErrCorrupt)
+		}
+		header := b[preambleSize : preambleSize+p.headerLen]
+		if got := crc32.ChecksumIEEE(header); got != p.headerCRC {
+			return nil, fmt.Errorf("%w: header checksum mismatch (got %#x want %#x)", ErrCorrupt, got, p.headerCRC)
+		}
+		h, err := parseHeaderSection(header)
+		if err != nil {
+			return nil, err
+		}
+		h.Bytes = p.totalSize()
+		h.Stored.Payload = p.payloadLen
+		h.Stored.Values = p.valuesLen
+		return h, nil
+	default:
+		return nil, fmt.Errorf("%w: version %d (want %d or %d)", ErrCorrupt, ver, version1, version2)
+	}
+}
+
+// preamble is the parsed v2 fixed-offset section table.
+type preamble struct {
+	headerLen, payloadLen, valuesLen int64
+	headerCRC, payloadCRC, valuesCRC uint32
+}
+
+func (p preamble) totalSize() int64 {
+	return preambleSize + p.headerLen + p.payloadLen + p.valuesLen
+}
+
+// parsePreamble validates and decodes the first preambleSize bytes.
+func parsePreamble(b []byte) (*preamble, error) {
+	if len(b) < preambleSize {
+		return nil, fmt.Errorf("%w: too short for preamble", ErrCorrupt)
+	}
+	if got, want := crc32.ChecksumIEEE(b[:44]), binary.LittleEndian.Uint32(b[44:]); got != want {
+		return nil, fmt.Errorf("%w: preamble checksum mismatch (got %#x want %#x)", ErrCorrupt, got, want)
+	}
+	if binary.LittleEndian.Uint16(b[6:]) != 0 {
+		return nil, fmt.Errorf("%w: nonzero reserved field", ErrCorrupt)
+	}
+	p := &preamble{
+		headerLen:  int64(binary.LittleEndian.Uint64(b[8:])),
+		payloadLen: int64(binary.LittleEndian.Uint64(b[16:])),
+		valuesLen:  int64(binary.LittleEndian.Uint64(b[24:])),
+		headerCRC:  binary.LittleEndian.Uint32(b[32:]),
+		payloadCRC: binary.LittleEndian.Uint32(b[36:]),
+		valuesCRC:  binary.LittleEndian.Uint32(b[40:]),
+	}
+	const maxSection = 1 << 40 // generous structural bound against nonsense lengths
+	if p.headerLen < 0 || p.payloadLen < 1 || p.valuesLen < 0 || p.valuesLen%8 != 0 ||
+		p.headerLen > maxSection || p.payloadLen > maxSection || p.valuesLen > maxSection {
+		return nil, fmt.Errorf("%w: implausible section lengths %d/%d/%d", ErrCorrupt, p.headerLen, p.payloadLen, p.valuesLen)
+	}
+	return p, nil
+}
+
+// Lazy is a fragment opened for ranged access: the header is decoded,
+// but payload and values are fetched and verified only when first asked
+// for. A Lazy does not own the underlying reader; callers must keep it
+// open until the sections they need are loaded (LoadSections or
+// Materialize make that point explicit). Methods are safe for concurrent
+// use.
+type Lazy struct {
+	Header
+
+	src io.ReaderAt
+	pre preamble
+
+	mu         sync.Mutex
+	v1         *Fragment // non-nil when the file is legacy v1, decoded eagerly
+	rawPayload []byte    // stored payload section (verified)
+	rawValues  []byte    // stored values section (verified)
+	payload    []byte    // decompressed payload
+	values     []float64
+	bytesRead  int64
+}
+
+// SectionInfo locates one v2 section inside the fragment file, for
+// inspection tooling.
+type SectionInfo struct {
+	Name   string
+	Offset int64
+	Len    int64
+	CRC    uint32
+}
+
+// Sections returns the v2 section table in file order, or nil for a
+// legacy v1 fragment (which has no sections, only a monolithic body).
+func (l *Lazy) Sections() []SectionInfo {
+	if l.v1 != nil {
+		return nil
+	}
+	return []SectionInfo{
+		{"header", preambleSize, l.pre.headerLen, l.pre.headerCRC},
+		{"payload", preambleSize + l.pre.headerLen, l.pre.payloadLen, l.pre.payloadCRC},
+		{"values", preambleSize + l.pre.headerLen + l.pre.payloadLen, l.pre.valuesLen, l.pre.valuesCRC},
+	}
+}
+
+// OpenAt decodes a fragment header from a ranged reader with (typically)
+// one small read. A v1 file is detected by its version field and decoded
+// eagerly from a whole-file read; v2 files defer their payload/values
+// sections until LoadSections, Payload, Values, or Materialize.
+func OpenAt(src io.ReaderAt, size int64) (*Lazy, error) {
+	if size < 6 {
+		return nil, fmt.Errorf("%w: %d-byte file", ErrCorrupt, size)
+	}
+	first := make([]byte, min64(size, openReadSize))
+	if _, err := io.ReadFull(io.NewSectionReader(src, 0, size), first); err != nil {
+		return nil, fmt.Errorf("fragment: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(first) != magic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, binary.LittleEndian.Uint32(first))
+	}
+	switch ver := binary.LittleEndian.Uint16(first[4:]); ver {
+	case version1:
+		whole := first
+		if size > int64(len(first)) {
+			whole = make([]byte, size)
+			copy(whole, first)
+			if _, err := src.ReadAt(whole[len(first):], int64(len(first))); err != nil {
+				return nil, fmt.Errorf("fragment: read v1 body: %w", err)
+			}
+		}
+		frag, err := decodeV1(whole)
+		if err != nil {
+			return nil, err
+		}
+		return &Lazy{Header: frag.Header, src: src, v1: frag, bytesRead: size}, nil
+	case version2:
+		p, err := parsePreamble(first)
+		if err != nil {
+			return nil, err
+		}
+		if p.totalSize() != size {
+			return nil, fmt.Errorf("%w: section table says %d bytes, file has %d", ErrCorrupt, p.totalSize(), size)
+		}
+		header := make([]byte, p.headerLen)
+		n := copy(header, first[preambleSize:])
+		read := int64(len(first))
+		if int64(n) < p.headerLen {
+			if _, err := src.ReadAt(header[n:], preambleSize+int64(n)); err != nil {
+				return nil, fmt.Errorf("fragment: read header section: %w", err)
+			}
+			read = preambleSize + p.headerLen
+		}
+		if got := crc32.ChecksumIEEE(header); got != p.headerCRC {
+			return nil, fmt.Errorf("%w: header checksum mismatch (got %#x want %#x)", ErrCorrupt, got, p.headerCRC)
+		}
+		h, err := parseHeaderSection(header)
+		if err != nil {
+			return nil, err
+		}
+		if p.valuesLen != int64(8*h.NNZ) {
+			return nil, fmt.Errorf("%w: values section %d bytes for %d points", ErrCorrupt, p.valuesLen, h.NNZ)
+		}
+		h.Bytes = size
+		h.Stored.Payload = p.payloadLen
+		h.Stored.Values = p.valuesLen
+		return &Lazy{Header: *h, src: src, pre: *p, bytesRead: read}, nil
+	default:
+		return nil, fmt.Errorf("%w: version %d (want %d or %d)", ErrCorrupt, ver, version1, version2)
+	}
+}
+
+// BytesRead returns the raw bytes fetched from the underlying reader so
+// far (header probe plus any loaded sections).
+func (l *Lazy) BytesRead() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytesRead
+}
+
+// LoadSections fetches and CRC-verifies the payload and values sections
+// (one contiguous ranged read — they are adjacent on disk) without
+// decompressing anything. It is idempotent; v1 fragments are already
+// fully loaded. After LoadSections returns, the underlying reader is no
+// longer touched.
+func (l *Lazy) LoadSections() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loadSectionsLocked()
+}
+
+func (l *Lazy) loadSectionsLocked() error {
+	if l.v1 != nil || l.rawPayload != nil {
+		return nil
+	}
+	both := make([]byte, l.pre.payloadLen+l.pre.valuesLen)
+	off := preambleSize + l.pre.headerLen
+	if _, err := l.src.ReadAt(both, off); err != nil {
+		return fmt.Errorf("fragment: read sections: %w", err)
+	}
+	l.bytesRead += int64(len(both))
+	payload := both[:l.pre.payloadLen]
+	values := both[l.pre.payloadLen:]
+	if got := crc32.ChecksumIEEE(payload); got != l.pre.payloadCRC {
+		return fmt.Errorf("%w: payload checksum mismatch (got %#x want %#x)", ErrCorrupt, got, l.pre.payloadCRC)
+	}
+	if got := crc32.ChecksumIEEE(values); got != l.pre.valuesCRC {
+		return fmt.Errorf("%w: values checksum mismatch (got %#x want %#x)", ErrCorrupt, got, l.pre.valuesCRC)
+	}
+	l.rawPayload = payload
+	l.rawValues = values
+	return nil
+}
+
+// Payload returns the decompressed organization payload, loading and
+// decoding the payload section on first use.
+func (l *Lazy) Payload() ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.v1 != nil {
+		return l.v1.Payload, nil
+	}
+	if l.payload != nil {
+		return l.payload, nil
+	}
+	if err := l.loadSectionsLocked(); err != nil {
+		return nil, err
+	}
+	payload, id, err := compress.DecodeSection(l.rawPayload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	if id != l.Codec {
+		return nil, fmt.Errorf("%w: payload codec %d, header says %d", ErrCorrupt, id, l.Codec)
+	}
+	l.payload = payload
+	return payload, nil
+}
+
+// Values returns the value buffer, loading the values section on first
+// use.
+func (l *Lazy) Values() ([]float64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.v1 != nil {
+		return l.v1.Values, nil
+	}
+	if l.values == nil {
+		if err := l.loadSectionsLocked(); err != nil {
+			return nil, err
+		}
+		values := make([]float64, l.NNZ)
+		for i := range values {
+			values[i] = math.Float64frombits(binary.LittleEndian.Uint64(l.rawValues[8*i:]))
+		}
+		l.values = values
+	}
+	return l.values, nil
+}
+
+// Materialize loads every section and returns the fully decoded
+// fragment.
+func (l *Lazy) Materialize() (*Fragment, error) {
+	l.mu.Lock()
+	if l.v1 != nil {
+		defer l.mu.Unlock()
+		return l.v1, nil
+	}
+	l.mu.Unlock()
+	payload, err := l.Payload()
+	if err != nil {
+		return nil, err
+	}
+	values, err := l.Values()
+	if err != nil {
+		return nil, err
+	}
+	return &Fragment{Header: l.Header, Payload: payload, Values: values}, nil
+}
+
+// Decode parses and verifies a full in-memory fragment of either layout.
+func Decode(b []byte) (*Fragment, error) {
+	if len(b) < 6 {
+		return nil, fmt.Errorf("%w: too short", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint32(b) == magic && binary.LittleEndian.Uint16(b[4:]) == version1 {
+		return decodeV1(b)
+	}
+	l, err := OpenAt(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		return nil, err
+	}
+	return l.Materialize()
+}
+
+// decodeHeaderV1 parses legacy v1 metadata and returns the reader
+// positioned at the first section after it.
+func decodeHeaderV1(b []byte) (*Header, *buf.Reader, error) {
 	r := buf.NewReader(b)
 	r.Expect(magic, "fragment")
 	ver := r.U16()
@@ -127,8 +525,8 @@ func decodeHeader(b []byte) (*Header, *buf.Reader, error) {
 	if err := r.Err(); err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	if ver != version {
-		return nil, nil, fmt.Errorf("%w: version %d (want %d)", ErrCorrupt, ver, version)
+	if ver != version1 {
+		return nil, nil, fmt.Errorf("%w: version %d (want %d)", ErrCorrupt, ver, version1)
 	}
 	if !kind.Valid() {
 		return nil, nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, uint8(kind))
@@ -137,6 +535,7 @@ func decodeHeader(b []byte) (*Header, *buf.Reader, error) {
 		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	h := &Header{
+		Version:   version1,
 		Kind:      kind,
 		Codec:     codecID,
 		Shape:     shape,
@@ -151,17 +550,17 @@ func decodeHeader(b []byte) (*Header, *buf.Reader, error) {
 	return h, r, nil
 }
 
-// Decode parses and verifies a full fragment.
-func Decode(b []byte) (*Fragment, error) {
+// decodeV1 parses and verifies a legacy whole-file fragment.
+func decodeV1(b []byte) (*Fragment, error) {
 	if len(b) < 4 {
 		return nil, fmt.Errorf("%w: too short", ErrCorrupt)
 	}
 	body, sum := b[:len(b)-4], b[len(b)-4:]
-	want := uint32(sum[0]) | uint32(sum[1])<<8 | uint32(sum[2])<<16 | uint32(sum[3])<<24
+	want := binary.LittleEndian.Uint32(sum)
 	if got := crc32.ChecksumIEEE(body); got != want {
 		return nil, fmt.Errorf("%w: checksum mismatch (got %#x want %#x)", ErrCorrupt, got, want)
 	}
-	h, r, err := decodeHeader(body)
+	h, r, err := decodeHeaderV1(body)
 	if err != nil {
 		return nil, err
 	}
@@ -188,4 +587,11 @@ func Decode(b []byte) (*Fragment, error) {
 	h.Stored.Payload = int64(len(stored))
 	h.Stored.Values = int64(8 * len(values))
 	return &Fragment{Header: *h, Payload: payload, Values: values}, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }

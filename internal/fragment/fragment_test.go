@@ -182,7 +182,14 @@ func TestDecodeHeaderRejectsBadVersionAndKind(t *testing.T) {
 		t.Error("bad version accepted")
 	}
 	bad = append([]byte(nil), data...)
-	bad[6] = 0xEE // kind
+	bad[6] = 0xEE // reserved field, covered by the preamble CRC
+	if _, err := DecodeHeader(bad); err == nil {
+		t.Error("corrupt reserved field accepted")
+	}
+	// A bad kind byte sits at the head of the header section; flipping
+	// it must trip the header CRC (and the kind check behind it).
+	bad = append([]byte(nil), data...)
+	bad[preambleSize] = 0xEE
 	if _, err := DecodeHeader(bad); err == nil {
 		t.Error("bad kind accepted")
 	}

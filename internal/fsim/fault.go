@@ -105,6 +105,37 @@ func (f *FaultFS) ReadFile(name string) ([]byte, error) {
 	return f.Inner.ReadFile(name)
 }
 
+// Open implements FS. The open itself and every ReadAt on the returned
+// handle go through the fault check, so both "file won't open" and
+// "transfer fails mid-read" are injectable.
+func (f *FaultFS) Open(name string) (File, error) {
+	if err := f.check("open", name); err != nil {
+		return nil, err
+	}
+	inner, err := f.Inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fault: f, name: name, inner: inner}, nil
+}
+
+// faultFile routes each ranged read through the fault check.
+type faultFile struct {
+	fault *FaultFS
+	name  string
+	inner File
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := ff.fault.check("read", ff.name); err != nil {
+		return 0, err
+	}
+	return ff.inner.ReadAt(p, off)
+}
+
+func (ff *faultFile) Size() int64  { return ff.inner.Size() }
+func (ff *faultFile) Close() error { return ff.inner.Close() }
+
 // List implements FS.
 func (f *FaultFS) List(prefix string) ([]string, error) {
 	if err := f.check("list", prefix); err != nil {

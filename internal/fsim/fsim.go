@@ -20,6 +20,7 @@ package fsim
 
 import (
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -36,8 +37,13 @@ import (
 type FS interface {
 	// WriteFile atomically creates or replaces a file.
 	WriteFile(name string, data []byte) error
-	// ReadFile returns the full contents of a file.
+	// ReadFile returns the full contents of a file. It is a convenience
+	// equivalent to Open + one ReadAt of the whole file.
 	ReadFile(name string) ([]byte, error)
+	// Open returns a ranged-read handle on a file. The caller must
+	// Close it. Sectioned fragment readers use this to fetch only the
+	// byte ranges a query touches.
+	Open(name string) (File, error)
 	// List returns, sorted, the names of all files whose name starts
 	// with prefix.
 	List(prefix string) ([]string, error)
@@ -45,6 +51,17 @@ type FS interface {
 	Remove(name string) error
 	// Size returns the size of a file in bytes.
 	Size(name string) (int64, error)
+}
+
+// File is an open ranged-read handle: a seekable view of one file that
+// transfers only the ranges actually read. On cost-modeled backends each
+// ReadAt charges bytes-over-bandwidth for its range alone, which is what
+// makes header-only fragment opens cheap.
+type File interface {
+	io.ReaderAt
+	io.Closer
+	// Size returns the file's size in bytes.
+	Size() int64
 }
 
 // Cost is an accumulated modeled duration split by operation class.
@@ -225,6 +242,62 @@ func (s *SimFS) ReadFile(name string) ([]byte, error) {
 	return append([]byte(nil), data...), nil
 }
 
+// Open implements FS. The open itself charges one metadata latency (the
+// open RPC); each subsequent ReadAt charges transfer time for its range
+// alone, so a header-only open of a large fragment costs latency plus a
+// few hundred bytes of bandwidth instead of the whole file.
+func (s *SimFS) Open(name string) (File, error) {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	s.stats.MetaOps++
+	cost := Cost{Meta: s.model.OpLatency}
+	s.charge(cost)
+	s.observeOp("open", start, cost, 0)
+	// The handle snapshots the current contents: WriteFile replaces the
+	// map entry with a fresh slice, so this view stays immutable even if
+	// the file is overwritten or removed after Open.
+	return &simFile{fs: s, name: name, data: data}, nil
+}
+
+// simFile is a ranged-read handle on a SimFS snapshot.
+type simFile struct {
+	fs   *SimFS
+	name string
+	data []byte
+}
+
+// ReadAt implements io.ReaderAt, charging the cost model for the range.
+func (f *simFile) ReadAt(p []byte, off int64) (int, error) {
+	start := time.Now()
+	if off < 0 {
+		return 0, &fs.PathError{Op: "read", Path: f.name, Err: fmt.Errorf("negative offset %d", off)}
+	}
+	var n int
+	if off < int64(len(f.data)) {
+		n = copy(p, f.data[off:])
+	}
+	f.fs.mu.Lock()
+	f.fs.stats.ReadOps++
+	f.fs.stats.BytesRead += int64(n)
+	cost := Cost{Read: f.fs.model.transferTime(int64(n))}
+	f.fs.charge(cost)
+	f.fs.observeOp("read", start, cost, int64(n))
+	f.fs.mu.Unlock()
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *simFile) Size() int64 { return int64(len(f.data)) }
+
+func (f *simFile) Close() error { return nil }
+
 // List implements FS.
 func (s *SimFS) List(prefix string) ([]string, error) {
 	start := time.Now()
@@ -333,6 +406,14 @@ func (o *OSFS) WriteFile(name string, data []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	// CreateTemp opens the scratch file mode 0600; fix the mode on the
+	// descriptor (bypassing the umask) so the published file is
+	// world-readable like a plain create would leave it.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
@@ -344,6 +425,31 @@ func (o *OSFS) WriteFile(name string, data []byte) error {
 func (o *OSFS) ReadFile(name string) ([]byte, error) {
 	return os.ReadFile(o.path(name))
 }
+
+// Open implements FS.
+func (o *OSFS) Open(name string) (File, error) {
+	f, err := os.Open(o.path(name))
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &osFile{f: f, size: fi.Size()}, nil
+}
+
+// osFile adapts *os.File to the File interface with a size captured at
+// open time (fragments are immutable once published).
+type osFile struct {
+	f    *os.File
+	size int64
+}
+
+func (f *osFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+func (f *osFile) Size() int64                             { return f.size }
+func (f *osFile) Close() error                            { return f.f.Close() }
 
 // List implements FS.
 func (o *OSFS) List(prefix string) ([]string, error) {

@@ -59,6 +59,57 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// SampledCounter amortizes a shared counter for per-point hot paths
+// (one per event is measurable at paper scale — hundreds of millions of
+// Lookups): it counts locally and flushes Period events at a time to the
+// underlying counter, so the shared cache line is touched once per
+// Period instead of once per event. The underlying counter advances in
+// steps of Period but converges on the true count; the remainder below
+// one period is the only imprecision. Each reader should own its own
+// SampledCounter (sharing one re-centralizes the contention).
+type SampledCounter struct {
+	c    *Counter
+	mask int64 // Period - 1; Period is a power of two
+	n    atomic.Int64
+}
+
+// DefaultSamplePeriod is the flush interval used by NewSampled when the
+// caller has no reason to pick another: small enough that short scans
+// still register, large enough to keep the shared atomic off the
+// per-point path.
+const DefaultSamplePeriod = 64
+
+// NewSampled wraps c with a flush every period events; period is rounded
+// up to a power of two, and values < 2 degrade to a plain pass-through
+// of period 1. A SampledCounter over a nil counter is a no-op, as is a
+// nil *SampledCounter.
+func NewSampled(c *Counter, period int64) *SampledCounter {
+	p := int64(1)
+	for p < period {
+		p <<= 1
+	}
+	return &SampledCounter{c: c, mask: p - 1}
+}
+
+// Inc counts one event, flushing a whole period to the underlying
+// counter every Period-th call.
+func (s *SampledCounter) Inc() {
+	if s == nil || s.c == nil {
+		return
+	}
+	if s.n.Add(1)&s.mask == 0 {
+		s.c.Add(s.mask + 1)
+	}
+}
+
+// Period returns the flush interval.
+func (s *SampledCounter) Period() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.mask + 1
+}
+
 // Gauge is an atomic instantaneous value.
 type Gauge struct {
 	v atomic.Int64

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSampledCounterFlushesWholePeriods(t *testing.T) {
+	c := &Counter{}
+	s := NewSampled(c, 64)
+	for i := 0; i < 63; i++ {
+		s.Inc()
+	}
+	if c.Value() != 0 {
+		t.Fatalf("flushed %d before a full period", c.Value())
+	}
+	s.Inc()
+	if c.Value() != 64 {
+		t.Fatalf("after 64 events counter = %d, want 64", c.Value())
+	}
+	for i := 0; i < 136; i++ {
+		s.Inc()
+	}
+	if c.Value() != 192 { // floor(200/64) * 64
+		t.Fatalf("after 200 events counter = %d, want 192", c.Value())
+	}
+}
+
+func TestSampledCounterPeriodRounding(t *testing.T) {
+	if got := NewSampled(&Counter{}, 100).Period(); got != 128 {
+		t.Errorf("period 100 rounded to %d, want 128", got)
+	}
+	// Degenerate periods degrade to exact pass-through counting.
+	c := &Counter{}
+	s := NewSampled(c, 0)
+	s.Inc()
+	s.Inc()
+	if c.Value() != 2 {
+		t.Errorf("period<2 counter = %d, want 2", c.Value())
+	}
+}
+
+func TestSampledCounterNilSafe(t *testing.T) {
+	var s *SampledCounter
+	s.Inc() // must not panic
+	if s.Period() != 0 {
+		t.Error("nil Period != 0")
+	}
+	NewSampled(nil, 64).Inc() // disabled registry: underlying counter is nil
+}
+
+// TestSampledCounterConcurrent: the flush count is exact (not racy)
+// because the local counter is atomic — every 64th event flushes once.
+func TestSampledCounterConcurrent(t *testing.T) {
+	c := &Counter{}
+	s := NewSampled(c, 64)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				s.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(workers * per / 64 * 64)
+	if c.Value() != want {
+		t.Fatalf("counter = %d, want %d", c.Value(), want)
+	}
+}

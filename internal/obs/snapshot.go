@@ -141,6 +141,23 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("obs: decode snapshot: %w", err)
 	}
+	// Canonicalize empty collections to nil. encoding/json matches
+	// field names case-insensitively, so e.g. `"histogrAms": {}` decodes
+	// into Histograms as a non-nil empty map — but `omitempty` drops it
+	// on export, and the re-decoded value would be nil. Normalizing here
+	// keeps decode(export) a fixed point.
+	if len(s.Counters) == 0 {
+		s.Counters = nil
+	}
+	if len(s.Gauges) == 0 {
+		s.Gauges = nil
+	}
+	if len(s.Histograms) == 0 {
+		s.Histograms = nil
+	}
+	if len(s.Spans) == 0 {
+		s.Spans = nil
+	}
 	return &s, nil
 }
 

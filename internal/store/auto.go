@@ -83,6 +83,10 @@ func (s *Store) ReadRegionAuto(region tensor.Region) (*Result, *ReadReport, erro
 		return nil, nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), s.shape.Dims())
 	}
 	s.takeCost()
+	reg := s.obsReg()
+	kind := s.kind.String()
+	root := reg.Start(obsRead)
+	defer root.End()
 	queryBox := region.BBox()
 	vol, ok := region.Volume()
 	if !ok {
@@ -97,34 +101,22 @@ func (s *Store) ReadRegionAuto(region tensor.Region) (*Result, *ReadReport, erro
 		}
 		rep.Fragments++
 
-		t := time.Now()
-		data, err := s.fs.ReadFile(fr.name)
-		if err != nil {
-			return nil, nil, fmt.Errorf("store: read fragment %s: %w", fr.name, err)
-		}
-		wall := time.Since(t)
-		if cost, ok := s.takeCost(); ok {
-			rep.IO += wall + cost.Read + cost.Write
-			rep.Extract += cost.Meta
-		} else {
-			rep.IO += wall
-		}
-
-		t = time.Now()
-		frag, reader, err := s.decodeFragment(fr.name, data)
+		e, err := s.fetchFragment(root, fr, rep)
 		if err != nil {
 			return nil, nil, err
 		}
-		rep.Extract += time.Since(t)
 
-		t = time.Now()
+		sp := root.Child(obsReadProbe)
+		t := time.Now()
 		if preferScan(s.kind, s.shape, fr.nnz, vol) {
-			err := scanFragment(s.kind, reader, region, func(p []uint64, slot int) bool {
+			err := scanFragment(s.kind, e.Reader, region, func(p []uint64, slot int) bool {
 				rep.Probed++
-				hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: frag.Values[slot]})
+				hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: e.Values[slot]})
 				return true
 			})
 			if err != nil {
+				sp.End()
+				reg.Counter("store.read.errors", "kind", kind).Inc()
 				return nil, nil, err
 			}
 			rep.Scans++
@@ -138,15 +130,22 @@ func (s *Store) ReadRegionAuto(region tensor.Region) (*Result, *ReadReport, erro
 					continue
 				}
 				rep.Probed++
-				if slot, ok := reader.Lookup(p); ok {
-					hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: frag.Values[slot]})
+				if slot, ok := e.Reader.Lookup(p); ok {
+					hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: e.Values[slot]})
 				}
 			}
 		}
+		sp.End()
 		rep.Probe += time.Since(t)
 	}
+	sp := root.Child(obsReadMerge)
 	res, mergeDur := mergeHits(s, hits, s.tombstonesBefore(len(s.frags)))
+	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()
+	reg.Counter("store.read.count", "kind", kind).Inc()
+	reg.Counter("store.read.scans", "kind", kind).Add(int64(rep.Scans))
+	reg.Counter("store.read.probed", "kind", kind).Add(int64(rep.Probed))
+	reg.Counter("store.read.found", "kind", kind).Add(int64(rep.Found))
 	return res, rep, nil
 }

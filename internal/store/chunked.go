@@ -9,6 +9,7 @@ import (
 	"sparseart/internal/compress"
 	"sparseart/internal/core"
 	"sparseart/internal/fsim"
+	"sparseart/internal/obs"
 	"sparseart/internal/tensor"
 )
 
@@ -27,6 +28,26 @@ type Chunked struct {
 	tile   tensor.Shape // tile extents
 	codec  compress.ID
 	stores map[string]*Store
+	// opts are forwarded to every tile Store, so tiles share the parent's
+	// observability registry, build options, and reader-cache budget.
+	opts []Option
+	obs  *obs.Registry
+}
+
+// Observability span names for the chunked store's composite operations.
+// Each wraps the per-tile sub-store spans that fire inside it.
+const (
+	obsChunkedWrite  = "store.chunked.write"
+	obsChunkedRead   = "store.chunked.read"
+	obsChunkedDelete = "store.chunked.delete"
+)
+
+// obsReg resolves the chunked store's registry like Store.obsReg.
+func (c *Chunked) obsReg() *obs.Registry {
+	if c.obs != nil {
+		return c.obs
+	}
+	return obs.Global()
 }
 
 // NewChunked creates a chunked store with the given tile extents. Each
@@ -51,12 +72,14 @@ func NewChunked(fs fsim.FS, prefix string, kind core.Kind, shape, tile tensor.Sh
 		fs: fs, prefix: prefix, kind: kind,
 		shape: shape.Clone(), tile: tile.Clone(),
 		stores: map[string]*Store{},
+		opts:   opts,
 	}
+	var probe Store
 	for _, o := range opts {
-		var probe Store
 		o(&probe)
-		c.codec = probe.codec
 	}
+	c.codec = probe.codec
+	c.obs = probe.obs
 	return c, nil
 }
 
@@ -111,11 +134,12 @@ func (c *Chunked) tileStore(idx []uint64) (*Store, error) {
 	if s, ok := c.stores[key]; ok {
 		return s, nil
 	}
-	s, err := Create(c.fs, c.prefix+"/"+key, c.kind, c.tileShape(idx), WithCodec(c.codec))
+	s, err := Create(c.fs, c.prefix+"/"+key, c.kind, c.tileShape(idx), c.opts...)
 	if err != nil {
 		return nil, err
 	}
 	c.stores[key] = s
+	c.obsReg().Gauge("store.chunked.tiles", "kind", c.kind.String()).Set(int64(len(c.stores)))
 	return s, nil
 }
 
@@ -129,6 +153,8 @@ func (c *Chunked) Write(coords *tensor.Coords, vals []float64) (*WriteReport, er
 	if coords.Dims() != c.shape.Dims() {
 		return nil, fmt.Errorf("store: %d-dim coords for %d-dim store", coords.Dims(), c.shape.Dims())
 	}
+	root := c.obsReg().Start(obsChunkedWrite)
+	defer root.End()
 	type group struct {
 		idx    []uint64
 		coords *tensor.Coords
@@ -183,6 +209,8 @@ func (c *Chunked) Read(probe *tensor.Coords) (*Result, *ReadReport, error) {
 	if probe.Dims() != c.shape.Dims() {
 		return nil, nil, fmt.Errorf("store: %d-dim probe for %d-dim store", probe.Dims(), c.shape.Dims())
 	}
+	root := c.obsReg().Start(obsChunkedRead)
+	defer root.End()
 	type part struct {
 		idx    []uint64
 		coords *tensor.Coords
@@ -281,6 +309,8 @@ func (c *Chunked) DeleteRegion(region tensor.Region) (*WriteReport, error) {
 			return nil, fmt.Errorf("store: region outside shape in dim %d", d)
 		}
 	}
+	root := c.obsReg().Start(obsChunkedDelete)
+	defer root.End()
 	total := &WriteReport{}
 	box := region.BBox()
 	var keys []string

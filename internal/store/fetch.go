@@ -1,0 +1,101 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"sparseart/internal/core"
+	"sparseart/internal/fragment"
+	"sparseart/internal/obs"
+	"sparseart/internal/store/fragcache"
+)
+
+// This file is the single entry point every read path uses to turn a
+// fragRef into a probeable fragment. The cold path is ranged: the file
+// is opened (fsim.FS.Open), the header decoded from one small read, and
+// only the payload/values sections transferred — the overlap search
+// itself never touches fragment files because bounding boxes live in
+// the manifest. The warm path is a fragcache hit and performs no file
+// system operations at all.
+
+// loadFragment performs a cold fragment load over ranged I/O, charging
+// the IO span/phase for the section transfers and the Extract span for
+// decompression and index opening. rep must be non-nil; root may be nil
+// (spans are nil-safe).
+func (s *Store) loadFragment(root *obs.Span, fr fragRef, rep *ReadReport) (*fragcache.Entry, error) {
+	reg := s.obsReg()
+	kind := s.kind.String()
+
+	sp := root.Child(obsReadIO)
+	t := time.Now()
+	f, err := s.fs.Open(fr.name)
+	if err != nil {
+		sp.End()
+		reg.Counter("store.read.errors", "kind", kind).Inc()
+		return nil, fmt.Errorf("store: open fragment %s: %w", fr.name, err)
+	}
+	lz, err := fragment.OpenAt(f, f.Size())
+	if err == nil {
+		err = lz.LoadSections()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		sp.End()
+		reg.Counter("store.read.errors", "kind", kind).Inc()
+		return nil, fmt.Errorf("store: fragment %s: %w", fr.name, err)
+	}
+	wall := time.Since(t)
+	if cost, ok := s.takeCost(); ok {
+		rep.IO += wall + cost.Read + cost.Write
+		rep.Extract += cost.Meta
+		sp.Add(cost.Read + cost.Write)
+	} else {
+		rep.IO += wall
+	}
+	sp.End()
+	reg.Counter("store.read.bytes", "kind", kind).Add(lz.BytesRead())
+
+	sp = root.Child(obsReadExtract)
+	t = time.Now()
+	payload, err := lz.Payload()
+	var values []float64
+	if err == nil {
+		values, err = lz.Values()
+	}
+	var reader core.Reader
+	if err == nil {
+		reader, err = s.format.Open(payload, s.shape)
+	}
+	if err != nil {
+		sp.End()
+		reg.Counter("store.read.errors", "kind", kind).Inc()
+		return nil, fmt.Errorf("store: fragment %s: %w", fr.name, err)
+	}
+	sp.End()
+	rep.Extract += time.Since(t)
+
+	return &fragcache.Entry{
+		Name:   fr.name,
+		Header: lz.Header,
+		Reader: reader,
+		Values: values,
+		// Footprint estimate: the payload usually stays referenced by
+		// the opened reader, plus the value buffer and fixed overhead.
+		Bytes: int64(len(payload)) + int64(8*len(values)) + 128,
+	}, nil
+}
+
+// fetchFragment resolves a fragment through the reader cache (when
+// enabled), falling back to a direct load. On a cache hit or a
+// coalesced fill nothing is attributed to rep's IO/Extract phases —
+// only the goroutine that actually performs the load pays for it.
+func (s *Store) fetchFragment(root *obs.Span, fr fragRef, rep *ReadReport) (*fragcache.Entry, error) {
+	if s.cache == nil {
+		return s.loadFragment(root, fr, rep)
+	}
+	return s.cache.Get(fr.name, func() (*fragcache.Entry, error) {
+		return s.loadFragment(root, fr, rep)
+	})
+}

@@ -1,0 +1,195 @@
+// Package fragcache caches open fragment readers for the storage
+// engine's read paths. A fragment is immutable once written, so its
+// decoded index (a core.Reader) and value buffer can be reused across
+// queries for as long as memory allows; the cache turns the store's
+// repeated fetch-decode-open sequence into a map lookup on warm reads.
+//
+// The cache is an LRU keyed by fragment name with a configurable byte
+// budget over the estimated resident footprint of each entry. Fills are
+// singleflighted: when several readers miss on the same fragment
+// concurrently, one performs the load and the rest wait for its result,
+// so a fragment is fetched and decoded at most once however many
+// goroutines race on it. Entries are invalidated explicitly when
+// compaction or deletion removes their fragment files.
+//
+// Observability (per store registry):
+//
+//	fragcache.hits       counter — entry served from cache
+//	fragcache.coalesced  counter — miss served by waiting on another fill
+//	fragcache.misses     counter — miss that performed the fill
+//	fragcache.evictions  counter — entries evicted over budget
+//	fragcache.bytes      gauge   — resident footprint estimate
+//	fragcache.entries    gauge   — resident entry count
+//	fragcache.fill       span    — one cache fill (fetch + decode + open)
+package fragcache
+
+import (
+	"container/list"
+	"sync"
+
+	"sparseart/internal/core"
+	"sparseart/internal/fragment"
+	"sparseart/internal/obs"
+)
+
+// Entry is one cached fragment: its header, the opened index reader,
+// and the value buffer, everything a read path needs to probe or scan
+// the fragment without touching the file system. Entries are shared
+// across queries and goroutines; readers must treat them as read-only
+// (every core.Reader in this module has read-only Lookup/Each/Scan).
+type Entry struct {
+	Name   string
+	Header fragment.Header
+	Reader core.Reader
+	Values []float64
+	// Bytes estimates the resident footprint used against the budget.
+	Bytes int64
+}
+
+// flight tracks one in-progress fill; waiters block on done.
+type flight struct {
+	done chan struct{}
+	e    *Entry
+	err  error
+}
+
+// Cache is the byte-budgeted LRU. A nil *Cache is the disabled state:
+// Get forwards straight to the fill function with no retention and no
+// singleflight, so call sites need no conditionals.
+type Cache struct {
+	reg func() *obs.Registry // resolved per call; nil-safe
+
+	mu      sync.Mutex
+	budget  int64
+	size    int64
+	ll      *list.List // *Entry values; front is most recently used
+	items   map[string]*list.Element
+	flights map[string]*flight
+}
+
+// New returns a cache with the given byte budget. budget must be
+// positive (callers encode "disabled" as a nil *Cache). reg resolves
+// the observability registry at use time; nil means unobserved.
+func New(budget int64, reg func() *obs.Registry) *Cache {
+	if reg == nil {
+		reg = func() *obs.Registry { return nil }
+	}
+	return &Cache{
+		reg:     reg,
+		budget:  budget,
+		ll:      list.New(),
+		items:   map[string]*list.Element{},
+		flights: map[string]*flight{},
+	}
+}
+
+// Get returns the cached entry for name, or runs fill to produce it.
+// Concurrent Gets for the same name share one fill. A fill error is
+// returned to every waiter and nothing is cached. The returned entry is
+// valid even when it was immediately evicted for exceeding the budget.
+func (c *Cache) Get(name string, fill func() (*Entry, error)) (*Entry, error) {
+	if c == nil {
+		return fill()
+	}
+	c.mu.Lock()
+	if el, ok := c.items[name]; ok {
+		c.ll.MoveToFront(el)
+		reg := c.reg
+		c.mu.Unlock()
+		reg().Counter("fragcache.hits").Inc()
+		return el.Value.(*Entry), nil
+	}
+	if fl, ok := c.flights[name]; ok {
+		reg := c.reg
+		c.mu.Unlock()
+		reg().Counter("fragcache.coalesced").Inc()
+		<-fl.done
+		return fl.e, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[name] = fl
+	c.mu.Unlock()
+
+	c.reg().Counter("fragcache.misses").Inc()
+	sp := c.reg().Start("fragcache.fill")
+	fl.e, fl.err = fill()
+	sp.End()
+
+	c.mu.Lock()
+	delete(c.flights, name)
+	if fl.err == nil && fl.e != nil {
+		// A fill can race with Invalidate (a compaction finishing while
+		// the fill is in flight). Inserting the stale entry is harmless:
+		// once the manifest drops a fragment its name is never requested
+		// again, so the entry just ages out of the LRU.
+		if _, ok := c.items[name]; !ok {
+			c.items[name] = c.ll.PushFront(fl.e)
+			c.size += fl.e.Bytes
+			c.evictLocked()
+		}
+		c.updateGaugesLocked()
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.e, fl.err
+}
+
+// evictLocked removes least-recently-used entries until the size fits
+// the budget. An entry larger than the whole budget is evicted
+// immediately after insertion; its caller keeps using the returned
+// pointer, the cache just retains nothing.
+func (c *Cache) evictLocked() {
+	for c.size > c.budget && c.ll.Len() > 0 {
+		el := c.ll.Back()
+		e := el.Value.(*Entry)
+		c.ll.Remove(el)
+		delete(c.items, e.Name)
+		c.size -= e.Bytes
+		c.reg().Counter("fragcache.evictions").Inc()
+	}
+}
+
+func (c *Cache) updateGaugesLocked() {
+	reg := c.reg()
+	reg.Gauge("fragcache.bytes").Set(c.size)
+	reg.Gauge("fragcache.entries").Set(int64(c.ll.Len()))
+}
+
+// Invalidate drops the entries for the given fragment names, if
+// resident. Used when compaction or deletion removes fragment files.
+func (c *Cache) Invalidate(names ...string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, name := range names {
+		if el, ok := c.items[name]; ok {
+			e := el.Value.(*Entry)
+			c.ll.Remove(el)
+			delete(c.items, name)
+			c.size -= e.Bytes
+		}
+	}
+	c.updateGaugesLocked()
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// SizeBytes returns the resident footprint estimate.
+func (c *Cache) SizeBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}

@@ -1,0 +1,228 @@
+package fragcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sparseart/internal/obs"
+)
+
+// mkFill returns a fill function producing an entry of the given size
+// and counting how often it ran.
+func mkFill(name string, bytes int64, calls *atomic.Int64) func() (*Entry, error) {
+	return func() (*Entry, error) {
+		calls.Add(1)
+		return &Entry{Name: name, Bytes: bytes}, nil
+	}
+}
+
+func TestNilCacheForwardsToFill(t *testing.T) {
+	var c *Cache
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		e, err := c.Get("a", mkFill("a", 10, &calls))
+		if err != nil || e == nil || e.Name != "a" {
+			t.Fatalf("nil cache Get = %v, %v", e, err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Errorf("nil cache memoized: %d fills for 3 gets", calls.Load())
+	}
+	c.Invalidate("a") // must not panic
+	if c.Len() != 0 || c.SizeBytes() != 0 {
+		t.Error("nil cache reports residency")
+	}
+}
+
+func TestHitMissEvictionCounts(t *testing.T) {
+	reg := obs.New()
+	c := New(100, func() *obs.Registry { return reg })
+	var calls atomic.Int64
+
+	// Miss then two hits on the same name: one fill.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get("a", mkFill("a", 40, &calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d fills for 1 miss + 2 hits", calls.Load())
+	}
+
+	// Two more entries exceed the 100-byte budget; "a" is now the most
+	// recently used, so the LRU victim is "b".
+	if _, err := c.Get("b", mkFill("b", 40, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("c", mkFill("c", 40, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.SizeBytes() != 80 {
+		t.Errorf("after eviction: len=%d size=%d, want 2/80", c.Len(), c.SizeBytes())
+	}
+	// "a" aged to the back of the LRU by c's insertion, so it was the
+	// victim: getting it again is a miss that refills.
+	var aFills atomic.Int64
+	c.Get("a", mkFill("a", 40, &aFills))
+	if aFills.Load() != 1 {
+		t.Errorf("evicted entry served from cache (aFills = %d)", aFills.Load())
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["fragcache.misses"]; got != 4 {
+		t.Errorf("misses = %d, want 4", got)
+	}
+	if got := snap.Counters["fragcache.hits"]; got != 2 {
+		t.Errorf("hits = %d, want 2", got)
+	}
+	if got := snap.Counters["fragcache.evictions"]; got < 2 {
+		t.Errorf("evictions = %d, want >= 2", got)
+	}
+	if snap.Gauges["fragcache.entries"] == 0 || snap.Gauges["fragcache.bytes"] == 0 {
+		t.Error("residency gauges not set")
+	}
+	if snap.Histograms["fragcache.fill"].Count != snap.Counters["fragcache.misses"] {
+		t.Errorf("fill span count %d != misses", snap.Histograms["fragcache.fill"].Count)
+	}
+	if snap.InFlight != 0 {
+		t.Errorf("%d spans in flight", snap.InFlight)
+	}
+}
+
+func TestBudgetOneInsertThenEvict(t *testing.T) {
+	c := New(1, nil)
+	var calls atomic.Int64
+	e, err := c.Get("a", mkFill("a", 1000, &calls))
+	if err != nil || e == nil {
+		t.Fatalf("Get = %v, %v", e, err)
+	}
+	if c.Len() != 0 || c.SizeBytes() != 0 {
+		t.Errorf("oversized entry retained: len=%d size=%d", c.Len(), c.SizeBytes())
+	}
+	// The evicted entry stays usable and a repeat Get refills.
+	if _, err := c.Get("a", mkFill("a", 1000, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("%d fills, want 2 (nothing retained at budget 1)", calls.Load())
+	}
+}
+
+func TestFillErrorNotCached(t *testing.T) {
+	c := New(100, nil)
+	boom := errors.New("boom")
+	fails := 0
+	fill := func() (*Entry, error) { fails++; return nil, boom }
+	if _, err := c.Get("a", fill); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := c.Get("a", fill); !errors.Is(err, boom) {
+		t.Fatalf("second err = %v, want boom (error must not be cached)", err)
+	}
+	if fails != 2 {
+		t.Errorf("fill ran %d times, want 2", fails)
+	}
+	if c.Len() != 0 {
+		t.Error("failed fill left a resident entry")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(100, nil)
+	var calls atomic.Int64
+	c.Get("a", mkFill("a", 10, &calls))
+	c.Get("b", mkFill("b", 10, &calls))
+	c.Invalidate("a", "missing")
+	if c.Len() != 1 || c.SizeBytes() != 10 {
+		t.Errorf("after invalidate: len=%d size=%d, want 1/10", c.Len(), c.SizeBytes())
+	}
+	c.Get("a", mkFill("a", 10, &calls))
+	if calls.Load() != 3 {
+		t.Errorf("%d fills, want 3 (invalidated entry must refill)", calls.Load())
+	}
+}
+
+// TestSingleflight: concurrent misses on one name run the fill once;
+// every waiter gets the same entry.
+func TestSingleflight(t *testing.T) {
+	reg := obs.New()
+	c := New(1<<20, func() *obs.Registry { return reg })
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	fill := func() (*Entry, error) {
+		calls.Add(1)
+		<-gate // hold the flight open until all goroutines have queued
+		return &Entry{Name: "a", Bytes: 8}, nil
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	var started sync.WaitGroup
+	results := make([]*Entry, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		started.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			e, err := c.Get("a", fill)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = e
+		}(i)
+	}
+	started.Wait()
+	close(gate)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("fill ran %d times under %d concurrent gets", calls.Load(), goroutines)
+	}
+	for i, e := range results {
+		if e != results[0] {
+			t.Fatalf("goroutine %d got a different entry pointer", i)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["fragcache.misses"]; got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+	total := snap.Counters["fragcache.hits"] + snap.Counters["fragcache.coalesced"]
+	if total != goroutines-1 {
+		t.Errorf("hits+coalesced = %d, want %d", total, goroutines-1)
+	}
+}
+
+// TestConcurrentChurn exercises the LRU under racing fills, hits, and
+// invalidations; run with -race.
+func TestConcurrentChurn(t *testing.T) {
+	c := New(256, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				name := fmt.Sprintf("f-%d", (g+i)%24)
+				e, err := c.Get(name, func() (*Entry, error) {
+					return &Entry{Name: name, Bytes: 32}, nil
+				})
+				if err != nil || e == nil || e.Name != name {
+					t.Errorf("Get(%s) = %v, %v", name, e, err)
+					return
+				}
+				if i%17 == 0 {
+					c.Invalidate(name)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.SizeBytes() > 256 {
+		t.Errorf("size %d exceeds budget after churn", c.SizeBytes())
+	}
+}

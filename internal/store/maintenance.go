@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"sparseart/internal/core"
-	"sparseart/internal/fragment"
 	"sparseart/internal/fsim"
 	"sparseart/internal/tensor"
 )
@@ -15,48 +14,26 @@ import (
 // accumulation Algorithm 3's append-only WRITE causes), whole-store
 // export, and conversion between organizations.
 
-// openFragment fetches and decodes one fragment and opens its index.
-func (s *Store) openFragment(fr fragRef) (*fragment.Fragment, core.Reader, error) {
-	data, err := s.fs.ReadFile(fr.name)
-	if err != nil {
-		return nil, nil, fmt.Errorf("store: read fragment %s: %w", fr.name, err)
-	}
-	return s.decodeFragment(fr.name, data)
-}
-
-// decodeFragment parses already-fetched fragment bytes and opens the
-// index.
-func (s *Store) decodeFragment(name string, data []byte) (*fragment.Fragment, core.Reader, error) {
-	frag, err := fragment.Decode(data)
-	if err != nil {
-		return nil, nil, fmt.Errorf("store: fragment %s: %w", name, err)
-	}
-	reader, err := s.format.Open(frag.Payload, s.shape)
-	if err != nil {
-		return nil, nil, fmt.Errorf("store: fragment %s: %w", name, err)
-	}
-	return frag, reader, nil
-}
-
 // ExportAll returns the store's full logical contents — every live
 // cell after overlap and tombstone resolution — sorted by linear
-// address.
+// address. Fragments resolve through the reader cache, so an export
+// right after reads iterates resident indexes without re-fetching.
 func (s *Store) ExportAll() (*tensor.Coords, []float64, error) {
 	var hits []hit
 	for fi, fr := range s.frags {
 		if fr.nnz == 0 {
 			continue
 		}
-		frag, reader, err := s.openFragment(fr)
+		e, err := s.fetchFragment(nil, fr, &ReadReport{})
 		if err != nil {
 			return nil, nil, err
 		}
-		it, ok := reader.(core.Iterator)
+		it, ok := e.Reader.(core.Iterator)
 		if !ok {
 			return nil, nil, fmt.Errorf("store: %v reader cannot iterate", s.kind)
 		}
 		it.Each(func(p []uint64, slot int) bool {
-			hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: frag.Values[slot]})
+			hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: e.Values[slot]})
 			return true
 		})
 	}
@@ -103,6 +80,13 @@ func (s *Store) Compact() (*CompactReport, error) {
 		s.frags = old // the old fragments remain intact on failure
 		return nil, err
 	}
+	oldNames := make([]string, len(old))
+	for i, fr := range old {
+		oldNames[i] = fr.name
+	}
+	// Drop cached readers for the superseded fragments before removing
+	// their files: their names leave the manifest for good.
+	s.cache.Invalidate(oldNames...)
 	for _, fr := range old {
 		if err := s.fs.Remove(fr.name); err != nil {
 			return nil, fmt.Errorf("store: remove %s: %w", fr.name, err)

@@ -86,6 +86,68 @@ func TestWriteFaultCountedNoSpanLeak(t *testing.T) {
 	}
 }
 
+// TestChunkedAndAutoSpanCoverage: the composite operations — the
+// chunked store's Write/Read/DeleteRegion and the cost-model-driven
+// ReadRegionAuto — each open a root span, feed the same-named latency
+// histogram, and leak nothing.
+func TestChunkedAndAutoSpanCoverage(t *testing.T) {
+	reg := obs.New()
+	ch, err := NewChunked(fsim.NewPerlmutterSim(), "t", core.GCSR,
+		tensor.Shape{16, 16}, tensor.Shape{8, 8}, WithObs(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tensor.NewCoords(2, 0)
+	c.Append(1, 2)
+	c.Append(12, 12) // second tile
+	vals := []float64{1, 2}
+	if _, err := ch.Write(c, vals); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ch.Read(c); err != nil {
+		t.Fatal(err)
+	}
+	region, err := tensor.NewRegion(tensor.Shape{16, 16}, []uint64{0, 0}, []uint64{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.DeleteRegion(region); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Create(fsim.NewPerlmutterSim(), "a", core.GCSR, tensor.Shape{8, 8}, WithObs(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, vals2 := twoPoints()
+	if _, err := st.Write(c2, vals2); err != nil {
+		t.Fatal(err)
+	}
+	autoRegion, err := tensor.NewRegion(tensor.Shape{8, 8}, []uint64{0, 0}, []uint64{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.ReadRegionAuto(autoRegion); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		obsChunkedWrite, obsChunkedRead, obsChunkedDelete,
+		obsRead, // ReadRegionAuto's root span (also fired by the tile reads)
+	} {
+		if snap.Histograms[name].Count == 0 {
+			t.Errorf("span histogram %s not populated", name)
+		}
+	}
+	if got := snap.Gauges[obs.Name("store.chunked.tiles", "kind", core.GCSR.String())]; got != 2 {
+		t.Errorf("store.chunked.tiles = %d, want 2", got)
+	}
+	if snap.InFlight != 0 {
+		t.Errorf("%d spans leaked by the composite operations", snap.InFlight)
+	}
+}
+
 // TestReadFaultCountedNoSpanLeak: same contract on the read path, for
 // every read entry point (point read, region scan, compact).
 func TestReadFaultCountedNoSpanLeak(t *testing.T) {
@@ -120,8 +182,10 @@ func TestReadFaultCountedNoSpanLeak(t *testing.T) {
 		t.Fatal("compact with unreadable fragment succeeded")
 	}
 	snap := reg.Snapshot()
-	if got := snap.Counters[obs.Name("fsim.fault.injected", "op", "read")]; got < 2 {
-		t.Errorf("fsim.fault.injected{op=read} = %d, want >= 2", got)
+	// Read paths now reach fragments through FS.Open (ranged I/O), so a
+	// name-matched fault fires at the open.
+	if got := snap.Counters[obs.Name("fsim.fault.injected", "op", "open")]; got < 2 {
+		t.Errorf("fsim.fault.injected{op=open} = %d, want >= 2", got)
 	}
 	if got := snap.Counters[obs.Name("store.read.errors", "kind", core.CSF.String())]; got < 2 {
 		t.Errorf("store.read.errors = %d, want >= 2", got)

@@ -16,8 +16,13 @@ import (
 //
 // Reporting semantics under concurrency: the per-phase durations are
 // summed across workers, so they measure aggregate work, not elapsed
-// wall time, and on a cost-modeled backend all modeled I/O lands in the
-// IO phase without per-fragment attribution.
+// wall time, and on a cost-modeled backend the modeled I/O of
+// concurrent loads lands in whichever worker drained it — totals are
+// preserved, per-fragment attribution is not.
+//
+// Workers share the store's fragment-reader cache: concurrent misses on
+// the same fragment are coalesced into one load (fragcache
+// singleflight), and warm fragments are probed with no I/O at all.
 func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadReport, error) {
 	workers = psort.Workers(workers)
 	if workers <= 1 {
@@ -28,6 +33,10 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 		return nil, nil, fmt.Errorf("store: %d-dim probe for %d-dim store", probe.Dims(), s.shape.Dims())
 	}
 	s.takeCost()
+	reg := s.obsReg()
+	kind := s.kind.String()
+	root := reg.Start(obsRead)
+	defer root.End()
 	queryBox, any := probe.Bounds()
 	if !any {
 		return &Result{Coords: tensor.NewCoords(s.shape.Dims(), 0)}, rep, nil
@@ -57,20 +66,10 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 			defer wg.Done()
 			defer func() { <-sem }()
 
-			t0 := time.Now()
-			data, err := s.fs.ReadFile(fr.name)
-			if err != nil {
-				mu.Lock()
-				if first == nil {
-					first = fmt.Errorf("store: read fragment %s: %w", fr.name, err)
-				}
-				mu.Unlock()
-				return
-			}
-			ioDur := time.Since(t0)
-
-			t0 = time.Now()
-			frag, reader, err := s.decodeFragment(fr.name, data)
+			// Each worker accumulates into a private report; the shared
+			// one is merged under the mutex at the end.
+			local := &ReadReport{}
+			e, err := s.fetchFragment(root, fr, local)
 			if err != nil {
 				mu.Lock()
 				if first == nil {
@@ -79,29 +78,29 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 				mu.Unlock()
 				return
 			}
-			extractDur := time.Since(t0)
 
-			t0 = time.Now()
-			var local []hit
-			probed := 0
+			sp := root.Child(obsReadProbe)
+			t0 := time.Now()
+			var localHits []hit
 			for i, n := 0, probe.Len(); i < n; i++ {
 				p := probe.At(i)
 				if !fr.bbox.Contains(p) {
 					continue
 				}
-				probed++
-				if slot, ok := reader.Lookup(p); ok {
-					local = append(local, hit{addr: s.lin.Linearize(p), frag: fi, val: frag.Values[slot]})
+				local.Probed++
+				if slot, ok := e.Reader.Lookup(p); ok {
+					localHits = append(localHits, hit{addr: s.lin.Linearize(p), frag: fi, val: e.Values[slot]})
 				}
 			}
-			probeDur := time.Since(t0)
+			sp.End()
+			local.Probe = time.Since(t0)
 
 			mu.Lock()
-			hits = append(hits, local...)
-			rep.IO += ioDur
-			rep.Extract += extractDur
-			rep.Probe += probeDur
-			rep.Probed += probed
+			hits = append(hits, localHits...)
+			rep.IO += local.IO
+			rep.Extract += local.Extract
+			rep.Probe += local.Probe
+			rep.Probed += local.Probed
 			mu.Unlock()
 		}()
 	}
@@ -112,8 +111,13 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 	if cost, ok := s.takeCost(); ok {
 		rep.IO += cost.Total()
 	}
+	sp := root.Child(obsReadMerge)
 	res, mergeDur := mergeHits(s, hits, s.tombstonesBefore(len(s.frags)))
+	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()
+	reg.Counter("store.read.count", "kind", kind).Inc()
+	reg.Counter("store.read.probed", "kind", kind).Add(int64(rep.Probed))
+	reg.Counter("store.read.found", "kind", kind).Add(int64(rep.Found))
 	return res, rep, nil
 }

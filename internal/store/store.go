@@ -17,7 +17,9 @@ package store
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"sparseart/internal/buf"
@@ -26,6 +28,7 @@ import (
 	"sparseart/internal/fragment"
 	"sparseart/internal/fsim"
 	"sparseart/internal/obs"
+	"sparseart/internal/store/fragcache"
 	"sparseart/internal/tensor"
 )
 
@@ -56,6 +59,47 @@ func WithBuildOptions(o core.Options) Option {
 // capture one store's phase breakdown in isolation.
 func WithObs(r *obs.Registry) Option {
 	return func(s *Store) { s.obs = r }
+}
+
+// DefaultCacheBudget is the fragment-reader cache's byte budget when
+// neither WithReaderCache nor the environment override says otherwise.
+const DefaultCacheBudget = 256 << 20
+
+// cacheBudgetEnv overrides the default cache budget for stores created
+// without an explicit WithReaderCache: "off" or "0" disables the cache,
+// any other integer is a byte budget. CI uses it to run the test suite
+// under disabled-cache and tiny-budget (eviction-heavy) configurations.
+const cacheBudgetEnv = "SPARSEART_FRAGCACHE_BUDGET"
+
+// WithReaderCache sets the fragment-reader cache's byte budget. The
+// cache keeps decoded fragment indexes (reader + values) resident so
+// warm reads skip the file system entirely; see internal/store/fragcache.
+// A budget of 0 (or below) disables caching.
+func WithReaderCache(budget int64) Option {
+	return func(s *Store) {
+		s.cacheBudget = budget
+		s.cacheSet = true
+	}
+}
+
+// initCache builds the reader cache after options are applied.
+func (s *Store) initCache() {
+	budget := s.cacheBudget
+	if !s.cacheSet {
+		budget = DefaultCacheBudget
+		switch v := os.Getenv(cacheBudgetEnv); v {
+		case "":
+		case "off":
+			budget = 0
+		default:
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				budget = n
+			}
+		}
+	}
+	if budget > 0 {
+		s.cache = fragcache.New(budget, s.obsReg)
+	}
 }
 
 type fragRef struct {
@@ -100,6 +144,12 @@ type Store struct {
 	obs       *obs.Registry
 	frags     []fragRef
 	nextID    uint64
+
+	// cache holds decoded fragment readers; nil when disabled. See
+	// WithReaderCache for the budget resolution rules.
+	cache       *fragcache.Cache
+	cacheBudget int64
+	cacheSet    bool
 }
 
 // obsReg resolves the store's registry: the injected one if any,
@@ -147,14 +197,17 @@ func Create(fs fsim.FS, prefix string, kind core.Kind, shape tensor.Shape, opts 
 	if _, err := compress.Get(s.codec); err != nil {
 		return nil, err
 	}
+	s.initCache()
 	if err := s.writeManifest(); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-// Open loads an existing store's manifest from fs.
-func Open(fs fsim.FS, prefix string) (*Store, error) {
+// Open loads an existing store's manifest from fs. Options that set
+// persisted properties (codec) are ignored in favor of the manifest;
+// runtime options (obs registry, build options, reader cache) apply.
+func Open(fs fsim.FS, prefix string, opts ...Option) (*Store, error) {
 	data, err := fs.ReadFile(prefix + "/" + manifestName)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNotFound, err)
@@ -199,10 +252,16 @@ func Open(fs fsim.FS, prefix string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{
+	s := &Store{
 		fs: fs, prefix: prefix, kind: kind, format: f, shape: shape,
 		lin: lin, codec: codec, frags: frags, nextID: nextID,
-	}, nil
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.codec = codec // the manifest's codec is authoritative
+	s.initCache()
+	return s, nil
 }
 
 func (s *Store) writeManifest() error {
@@ -544,44 +603,13 @@ func (s *Store) readAsOf(probe *tensor.Coords, limit int) (*Result, *ReadReport,
 		}
 		rep.Fragments++
 
-		sp := root.Child(obsReadIO)
+		e, err := s.fetchFragment(root, fr, rep)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		sp := root.Child(obsReadProbe)
 		t := time.Now()
-		data, err := s.fs.ReadFile(fr.name)
-		if err != nil {
-			sp.End()
-			reg.Counter("store.read.errors", "kind", kind).Inc()
-			return nil, nil, fmt.Errorf("store: read fragment %s: %w", fr.name, err)
-		}
-		wall := time.Since(t)
-		if cost, ok := s.takeCost(); ok {
-			rep.IO += wall + cost.Read + cost.Write
-			rep.Extract += cost.Meta
-			sp.Add(cost.Read + cost.Write)
-		} else {
-			rep.IO += wall
-		}
-		sp.End()
-		reg.Counter("store.read.bytes", "kind", kind).Add(int64(len(data)))
-
-		sp = root.Child(obsReadExtract)
-		t = time.Now()
-		frag, err := fragment.Decode(data)
-		if err != nil {
-			sp.End()
-			reg.Counter("store.read.errors", "kind", kind).Inc()
-			return nil, nil, fmt.Errorf("store: fragment %s: %w", fr.name, err)
-		}
-		reader, err := s.format.Open(frag.Payload, s.shape)
-		if err != nil {
-			sp.End()
-			reg.Counter("store.read.errors", "kind", kind).Inc()
-			return nil, nil, fmt.Errorf("store: fragment %s: %w", fr.name, err)
-		}
-		sp.End()
-		rep.Extract += time.Since(t)
-
-		sp = root.Child(obsReadProbe)
-		t = time.Now()
 		n := probe.Len()
 		for i := 0; i < n; i++ {
 			p := probe.At(i)
@@ -589,8 +617,8 @@ func (s *Store) readAsOf(probe *tensor.Coords, limit int) (*Result, *ReadReport,
 				continue
 			}
 			rep.Probed++
-			if slot, ok := reader.Lookup(p); ok {
-				hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: frag.Values[slot]})
+			if slot, ok := e.Reader.Lookup(p); ok {
+				hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: e.Values[slot]})
 			}
 		}
 		sp.End()
@@ -688,50 +716,19 @@ func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, erro
 		}
 		rep.Fragments++
 
-		sp := root.Child(obsReadIO)
+		e, err := s.fetchFragment(root, fr, rep)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		sp := root.Child(obsReadProbe)
 		t := time.Now()
-		data, err := s.fs.ReadFile(fr.name)
-		if err != nil {
-			sp.End()
-			reg.Counter("store.read.errors", "kind", kind).Inc()
-			return nil, nil, fmt.Errorf("store: read fragment %s: %w", fr.name, err)
-		}
-		wall := time.Since(t)
-		if cost, ok := s.takeCost(); ok {
-			rep.IO += wall + cost.Read + cost.Write
-			rep.Extract += cost.Meta
-			sp.Add(cost.Read + cost.Write)
-		} else {
-			rep.IO += wall
-		}
-		sp.End()
-		reg.Counter("store.read.bytes", "kind", kind).Add(int64(len(data)))
-
-		sp = root.Child(obsReadExtract)
-		t = time.Now()
-		frag, err := fragment.Decode(data)
-		if err != nil {
-			sp.End()
-			reg.Counter("store.read.errors", "kind", kind).Inc()
-			return nil, nil, fmt.Errorf("store: fragment %s: %w", fr.name, err)
-		}
-		reader, err := s.format.Open(frag.Payload, s.shape)
-		if err != nil {
-			sp.End()
-			reg.Counter("store.read.errors", "kind", kind).Inc()
-			return nil, nil, fmt.Errorf("store: fragment %s: %w", fr.name, err)
-		}
-		sp.End()
-		rep.Extract += time.Since(t)
-
-		sp = root.Child(obsReadProbe)
-		t = time.Now()
 		visit := func(p []uint64, slot int) bool {
 			rep.Probed++
-			hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: frag.Values[slot]})
+			hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: e.Values[slot]})
 			return true
 		}
-		if err := scanFragment(s.kind, reader, region, visit); err != nil {
+		if err := scanFragment(s.kind, e.Reader, region, visit); err != nil {
 			sp.End()
 			reg.Counter("store.read.errors", "kind", kind).Inc()
 			return nil, nil, err

@@ -28,6 +28,15 @@ go build ./...
 echo "==> go test -race"
 go test -race ./...
 
+# The storage engine's read paths must behave identically with the
+# fragment-reader cache disabled and under a 1-byte budget (every entry
+# evicted on insert); run the store suite in both configurations.
+echo "==> go test (fragment-reader cache off)"
+SPARSEART_FRAGCACHE_BUDGET=off go test ./internal/store/...
+
+echo "==> go test (fragment-reader cache budget=1)"
+SPARSEART_FRAGCACHE_BUDGET=1 go test ./internal/store/...
+
 if [ "$FUZZ_SECONDS" -gt 0 ]; then
     echo "==> fuzz smoke (${FUZZ_SECONDS}s per target)"
     # Enumerate every fuzz target and give each a short budget. Go only
