@@ -505,6 +505,55 @@ func BenchmarkTable3Breakdown(b *testing.B) {
 	})
 }
 
+// BenchmarkIngest compares a serial Write loop against the batched
+// ingest pipeline on the Table III workload (4D MSP) split into 16
+// fragments. WriteBatch overlaps the CPU phases (Build, Reorg, Encode)
+// across a worker pool while the committer preserves the serial loop's
+// fragment order and on-disk bytes, so the speedup is pure pipeline
+// overlap.
+func BenchmarkIngest(b *testing.B) {
+	ds := dataset(b, bench.Case{Pattern: gen.MSP, Dims: 4})
+	shape := ds.Data.Config.Shape
+	const parts = 16
+	n := ds.Data.NNZ()
+	var batches []store.Batch
+	for w := 0; w < parts; w++ {
+		lo, hi := w*n/parts, (w+1)*n/parts
+		c := tensor.NewCoords(shape.Dims(), hi-lo)
+		for i := lo; i < hi; i++ {
+			c.AppendFlat(ds.Data.Coords.At(i))
+		}
+		batches = append(batches, store.Batch{Coords: c, Values: ds.Data.Values[lo:hi]})
+	}
+	b.Run("serial-write-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := store.Create(fsim.NewPerlmutterSim(), "in", core.GCSR, shape)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, ba := range batches {
+				if _, err := st.Write(ba.Coords, ba.Values); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("batch-%dworkers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := store.Create(fsim.NewPerlmutterSim(), "in", core.GCSR, shape)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := st.WriteBatch(batches, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationReaderCache measures the fragment-reader cache on
 // repeated region reads: with the cache disabled every read re-fetches
 // and re-decodes its fragments (cold); with a budget the fragments stay

@@ -50,8 +50,14 @@ func main() {
 		chart      = flag.Bool("chart", false, "render fig3/fig4/fig5 as grouped bar charts instead of tables")
 		metrics    = flag.String("metrics", "", "enable the obs registry and write its JSON snapshot to this file after the run")
 		trace      = flag.Bool("trace", false, "enable the obs registry and print the span timeline to stderr after the run")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "manifest checkpoint cadence for every store the run creates: fold the delta log every K commits (1 = rewrite per write; 0 = the adaptive default)")
 	)
 	flag.Parse()
+	if *ckptEvery > 0 {
+		// The harness creates stores deep inside the experiment code;
+		// the environment knob reaches them all.
+		os.Setenv("SPARSEART_MANIFEST_CHECKPOINT_EVERY", fmt.Sprint(*ckptEvery))
+	}
 	if err := run(*experiment, *scaleName, *fsName, *osDir, *seed, *csvPath, *quiet, *probeLimit, *trials, *chart, *metrics, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "sparsebench:", err)
 		os.Exit(1)

@@ -21,6 +21,11 @@
 // default budget, or the SPARSEART_FRAGCACHE_BUDGET environment knob):
 //
 //	sparsestore -cache=off info -dir /path/to/store
+//
+// The global flag -checkpoint-every=K sets the manifest checkpoint
+// cadence: every K fragment commits the delta log folds into a fresh
+// MANIFEST (1 = rewrite on every write, the pre-log behavior; default:
+// the adaptive policy, or SPARSEART_MANIFEST_CHECKPOINT_EVERY).
 package main
 
 import (
@@ -45,6 +50,10 @@ import (
 // library default (subject to the SPARSEART_FRAGCACHE_BUDGET knob).
 var cacheFlag string
 
+// ckptFlag holds the global -checkpoint-every=K value; empty means the
+// library default (subject to SPARSEART_MANIFEST_CHECKPOINT_EVERY).
+var ckptFlag string
+
 func main() {
 	args := os.Args[1:]
 	var cpuProfile, memProfile string
@@ -58,6 +67,8 @@ func main() {
 			memProfile = v
 		} else if v, ok := strings.CutPrefix(arg, "cache="); ok {
 			cacheFlag = v
+		} else if v, ok := strings.CutPrefix(arg, "checkpoint-every="); ok {
+			ckptFlag = v
 		} else {
 			break
 		}
@@ -135,6 +146,9 @@ global flags (before the command):
   -cpuprofile=FILE  capture a runtime/pprof CPU profile around the command
   -memprofile=FILE  write a heap profile after the command completes
   -cache=BYTES|off  fragment-reader cache budget for every store opened
+  -checkpoint-every=K
+                    fold the manifest delta log into a checkpoint every
+                    K fragment commits (1 = rewrite per write)
 
 commands:
   info     print a store's organization, shape, and fragment inventory
@@ -161,20 +175,29 @@ func openStore(dir string) (*store.Store, error) {
 	return store.Open(fs, "tensor", opts...)
 }
 
-// cacheOptions translates the global -cache flag into store options.
+// cacheOptions translates the global -cache and -checkpoint-every
+// flags into store options.
 func cacheOptions() ([]store.Option, error) {
+	var opts []store.Option
 	switch cacheFlag {
 	case "":
-		return nil, nil
 	case "off":
-		return []store.Option{store.WithReaderCache(0)}, nil
+		opts = append(opts, store.WithReaderCache(0))
 	default:
 		n, err := strconv.ParseInt(cacheFlag, 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf(`bad -cache value %q (want a byte count or "off")`, cacheFlag)
 		}
-		return []store.Option{store.WithReaderCache(n)}, nil
+		opts = append(opts, store.WithReaderCache(n))
 	}
+	if ckptFlag != "" {
+		k, err := strconv.Atoi(ckptFlag)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad -checkpoint-every value %q (want a positive integer)", ckptFlag)
+		}
+		opts = append(opts, store.WithManifestCheckpointEvery(k))
+	}
+	return opts, nil
 }
 
 func runInfo(args []string) error {
@@ -345,6 +368,8 @@ func runImport(args []string) error {
 	format := fs.String("format", "text", "input format: text|binary|mtx (Matrix Market, e.g. SuiteSparse)")
 	binary := fs.Bool("binary", false, "alias for -format binary")
 	dedup := fs.Bool("dedup", false, "normalize the dataset first: sort by linear address and drop duplicate cells (newest wins)")
+	fragments := fs.Int("fragments", 1, "split the dataset into this many fragments, ingested through the batched write pipeline")
+	workers := fs.Int("workers", 0, "CPU workers for the batched pipeline when -fragments > 1 (0 = all cores)")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("import: -dir is required")
@@ -404,6 +429,21 @@ func runImport(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *fragments > 1 {
+		reps, err := st.WriteBatch(splitBatches(t.Coords, t.Values, *fragments), *workers)
+		if err != nil {
+			return err
+		}
+		var points int
+		var bytes int64
+		for _, rep := range reps {
+			points += rep.NNZ
+			bytes += rep.Bytes
+		}
+		fmt.Printf("imported %d points into %v store at %s (%d fragments, %d bytes)\n",
+			points, kind, *dir, len(reps), bytes)
+		return nil
+	}
 	rep, err := st.Write(t.Coords, t.Values)
 	if err != nil {
 		return err
@@ -411,6 +451,28 @@ func runImport(args []string) error {
 	fmt.Printf("imported %d points into %v store at %s (%d bytes)\n",
 		rep.NNZ, kind, *dir, rep.Bytes)
 	return nil
+}
+
+// splitBatches cuts a dataset into n contiguous fragment-sized batches
+// for the ingest pipeline.
+func splitBatches(coords *tensor.Coords, vals []float64, n int) []store.Batch {
+	total := coords.Len()
+	if n > total {
+		n = total
+	}
+	batches := make([]store.Batch, 0, n)
+	for w := 0; w < n; w++ {
+		lo, hi := w*total/n, (w+1)*total/n
+		if lo == hi {
+			continue
+		}
+		c := tensor.NewCoords(coords.Dims(), hi-lo)
+		for i := lo; i < hi; i++ {
+			c.AppendFlat(coords.At(i))
+		}
+		batches = append(batches, store.Batch{Coords: c, Values: vals[lo:hi]})
+	}
+	return batches
 }
 
 func parseShape(spec string) (tensor.Shape, error) {

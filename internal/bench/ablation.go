@@ -364,6 +364,81 @@ func AblationReaderCache(scale gen.Scale, seed uint64) (string, error) {
 	return "Ablation: fragment-reader cache (modeled I/O + decode per region read, 3D TSP, 4 fragments)\n" + t.String(), nil
 }
 
+// AblationManifestLog measures the append-only manifest log against the
+// pre-log rewrite-per-write policy (pinned via checkpoint-every-1) on
+// the Table III workload — the 4D MSP dataset — split into 64 fragment
+// writes. The rewrite policy pays three metadata operations per write
+// (log append, manifest rewrite, log removal) and rewrites the whole
+// fragment list each time, so its cumulative metadata bytes grow
+// quadratically with fragment count; the log policy pays one bounded
+// append per write ("Others" flat in fragment count) and folds a
+// checkpoint only at the adaptive cadence.
+func AblationManifestLog(scale gen.Scale, seed uint64) (string, error) {
+	ds, err := MakeDataset(Case{Pattern: gen.MSP, Dims: 4}, scale, seed, 0)
+	if err != nil {
+		return "", err
+	}
+	shape := ds.Data.Config.Shape
+	coords, vals := ds.Data.Coords, ds.Data.Values
+	const parts = 64
+	n := coords.Len()
+	run := func(opt store.Option) (first, last, total time.Duration, metaBytes int64, err error) {
+		fs := fsim.NewPerlmutterSim()
+		st, err := store.Create(fs, "ml", core.GCSR, shape, opt)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		fs.ResetStats()
+		var fragBytes int64
+		others := make([]time.Duration, 0, parts)
+		for w := 0; w < parts; w++ {
+			lo, hi := w*n/parts, (w+1)*n/parts
+			part := tensor.NewCoords(shape.Dims(), hi-lo)
+			for i := lo; i < hi; i++ {
+				part.AppendFlat(coords.At(i))
+			}
+			rep, err := st.Write(part, vals[lo:hi])
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+			others = append(others, rep.Others)
+			fragBytes += rep.Bytes
+			total += rep.Others
+		}
+		avg := func(d []time.Duration) time.Duration {
+			var sum time.Duration
+			for _, x := range d {
+				sum += x
+			}
+			return sum / time.Duration(len(d))
+		}
+		first, last = avg(others[:8]), avg(others[parts-8:])
+		// Everything written beyond the fragment files is manifest
+		// metadata: checkpoints, log appends, log repairs.
+		metaBytes = fs.Stats().BytesWritten - fragBytes
+		return first, last, total, metaBytes, nil
+	}
+	t := &table{header: []string{"Policy", "Others (writes 1-8)", "Others (writes 57-64)", "Others total", "Metadata bytes"}}
+	for _, policy := range []struct {
+		name string
+		opt  store.Option
+	}{
+		{"rewrite-per-write (K=1)", store.WithManifestCheckpointEvery(1)},
+		{"append-only log (adaptive)", store.WithManifestCheckpointEvery(0)},
+	} {
+		first, last, total, metaBytes, err := run(policy.opt)
+		if err != nil {
+			return "", err
+		}
+		t.add(policy.name,
+			fmt.Sprintf("%.2fms/write", first.Seconds()*1e3),
+			fmt.Sprintf("%.2fms/write", last.Seconds()*1e3),
+			fmt.Sprintf("%.1fms", total.Seconds()*1e3),
+			fmt.Sprintf("%d", metaBytes))
+	}
+	return "Ablation: manifest delta log vs per-write rewrite (Table III workload, 4D MSP, 64 writes)\n" + t.String(), nil
+}
+
 // AblationModelValidation compares Table I's predicted cost *ratios*
 // against measured ones on the 3D GSP dataset, with COO as the
 // denominator: if the model is sound, predicted and measured ratios
@@ -444,6 +519,7 @@ func RenderAblations(scale gen.Scale, seed uint64, log io.Writer) (string, error
 		{"probe-order", AblationProbeOrder},
 		{"codecs", AblationCodecs},
 		{"reader-cache", AblationReaderCache},
+		{"manifest-log", AblationManifestLog},
 		{"model-validation", AblationModelValidation},
 	}
 	var out strings.Builder

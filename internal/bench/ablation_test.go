@@ -95,8 +95,8 @@ func TestRenderAblationsAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if strings.Count(out, "Ablation:") != 8 {
-		t.Fatalf("expected 8 studies:\n%s", out)
+	if strings.Count(out, "Ablation:") != 9 {
+		t.Fatalf("expected 9 studies:\n%s", out)
 	}
 	if !strings.Contains(log.String(), "ablation codecs") {
 		t.Fatalf("progress log: %q", log.String())

@@ -32,6 +32,11 @@ func NewWriter(capHint int) *Writer {
 // Len returns the number of bytes written so far.
 func (w *Writer) Len() int { return len(w.b) }
 
+// Reset discards the accumulated bytes but keeps the underlying
+// capacity, so a recycled writer (see GetWriter/PutWriter) serializes
+// into memory it already owns.
+func (w *Writer) Reset() { w.b = w.b[:0] }
+
 // Bytes returns the accumulated buffer. The writer retains ownership; do
 // not write after taking the result.
 func (w *Writer) Bytes() []byte { return w.b }

@@ -211,3 +211,35 @@ func TestMixedRoundTripQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWriterResetAndPool: Reset keeps capacity; pooled writers start
+// empty and grow to the requested hint.
+func TestWriterResetAndPool(t *testing.T) {
+	w := NewWriter(0)
+	w.U64(42)
+	c := cap(w.Bytes())
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", w.Len())
+	}
+	w.U64(7)
+	if cap(w.Bytes()) != c {
+		t.Fatalf("Reset dropped capacity: %d -> %d", c, cap(w.Bytes()))
+	}
+	if got := NewReader(w.Bytes()).U64(); got != 7 {
+		t.Fatalf("reused writer encoded %d", got)
+	}
+
+	p := GetWriter(128)
+	if p.Len() != 0 || cap(p.Bytes()) < 128 {
+		t.Fatalf("pooled writer len=%d cap=%d", p.Len(), cap(p.Bytes()))
+	}
+	p.U32(0xFEED)
+	PutWriter(p)
+	q := GetWriter(0)
+	if q.Len() != 0 {
+		t.Fatalf("recycled writer not reset: len=%d", q.Len())
+	}
+	PutWriter(q)
+	PutWriter(nil) // must not panic
+}

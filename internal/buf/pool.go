@@ -1,0 +1,34 @@
+package buf
+
+import "sync"
+
+// The writer pool recycles serialization buffers across hot-path
+// encodes (manifest checkpoints, manifest-log records, fragment
+// headers). A large ingest serializes thousands of small buffers; with
+// the pool they reuse a handful of allocations instead of one each.
+
+var writerPool = sync.Pool{New: func() any { return &Writer{} }}
+
+// GetWriter returns a pooled writer with at least capHint bytes of
+// capacity. Callers must not retain the writer's Bytes past PutWriter.
+func GetWriter(capHint int) *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	if capHint > 0 && cap(w.b) < capHint {
+		w.b = make([]byte, 0, capHint)
+	}
+	return w
+}
+
+// PutWriter recycles a writer obtained from GetWriter. The caller must
+// be done with every slice previously returned by Bytes — a recycled
+// writer overwrites them. Oversized buffers are dropped rather than
+// pooled so one huge serialization doesn't pin memory forever.
+func PutWriter(w *Writer) {
+	const maxPooled = 1 << 20
+	if w == nil || cap(w.b) > maxPooled {
+		return
+	}
+	w.Reset()
+	writerPool.Put(w)
+}

@@ -124,6 +124,16 @@ func encodeHeaderSection(f *Fragment) ([]byte, error) {
 // Encode serializes a fragment in the v2 sectioned layout. The payload
 // section is compressed with the header's codec; values are stored raw.
 func Encode(f *Fragment) ([]byte, error) {
+	return AppendEncode(nil, f)
+}
+
+// AppendEncode serializes a fragment in the v2 sectioned layout into
+// dst's spare capacity (dst is truncated first), growing it only when
+// too small. Bulk ingest recycles encode buffers through a pool, so
+// back-to-back encodes of similarly sized fragments allocate nothing
+// for the output; the value section is serialized directly into the
+// output instead of through an intermediate buffer.
+func AppendEncode(dst []byte, f *Fragment) ([]byte, error) {
 	if !f.Kind.Valid() {
 		return nil, fmt.Errorf("fragment: invalid kind %v", f.Kind)
 	}
@@ -141,14 +151,22 @@ func Encode(f *Fragment) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	values := make([]byte, 8*len(f.Values))
+	need := preambleSize + len(header) + len(payload) + 8*len(f.Values)
+	var out []byte
+	if cap(dst) >= need {
+		out = dst[:need]
+	} else {
+		out = make([]byte, need)
+	}
+	copy(out[preambleSize:], header)
+	copy(out[preambleSize+len(header):], payload)
+	values := out[preambleSize+len(header)+len(payload):]
 	for i, v := range f.Values {
 		binary.LittleEndian.PutUint64(values[8*i:], math.Float64bits(v))
 	}
-
-	out := make([]byte, preambleSize, preambleSize+len(header)+len(payload)+len(values))
 	binary.LittleEndian.PutUint32(out[0:], magic)
 	binary.LittleEndian.PutUint16(out[4:], version2)
+	binary.LittleEndian.PutUint16(out[6:], 0)
 	binary.LittleEndian.PutUint64(out[8:], uint64(len(header)))
 	binary.LittleEndian.PutUint64(out[16:], uint64(len(payload)))
 	binary.LittleEndian.PutUint64(out[24:], uint64(len(values)))
@@ -156,9 +174,7 @@ func Encode(f *Fragment) ([]byte, error) {
 	binary.LittleEndian.PutUint32(out[36:], crc32.ChecksumIEEE(payload))
 	binary.LittleEndian.PutUint32(out[40:], crc32.ChecksumIEEE(values))
 	binary.LittleEndian.PutUint32(out[44:], crc32.ChecksumIEEE(out[:44]))
-	out = append(out, header...)
-	out = append(out, payload...)
-	return append(out, values...), nil
+	return out, nil
 }
 
 // parseHeaderSection decodes the v2 header section body.

@@ -245,3 +245,40 @@ func TestDecodeGarbageNeverPanicsQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAppendEncodeReuse: AppendEncode into a recycled dirty buffer must
+// produce bytes identical to a fresh Encode — including the zeroed
+// reserved preamble field, which a reused buffer would otherwise leak
+// garbage into — and must reuse the buffer's capacity when it fits.
+func TestAppendEncodeReuse(t *testing.T) {
+	f := sample()
+	want, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := make([]byte, len(want)+64)
+	for i := range dirty {
+		dirty[i] = 0xAA
+	}
+	got, err := AppendEncode(dirty, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("AppendEncode into reused buffer differs from Encode")
+	}
+	if &got[0] != &dirty[0] {
+		t.Fatal("AppendEncode allocated despite sufficient capacity")
+	}
+	// Undersized buffer: grows, still identical.
+	got2, err := AppendEncode(make([]byte, 0, 8), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != string(want) {
+		t.Fatal("AppendEncode with grow differs from Encode")
+	}
+	if _, err := Decode(got); err != nil {
+		t.Fatal(err)
+	}
+}

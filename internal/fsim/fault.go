@@ -97,6 +97,17 @@ func (f *FaultFS) WriteFile(name string, data []byte) error {
 	return f.Inner.WriteFile(name, data)
 }
 
+// Append implements FS. The check runs before the inner append, so an
+// injected fault means no bytes reached the file — the "append never
+// happened" crash point; torn-tail corruption is simulated separately
+// by truncating the file contents directly.
+func (f *FaultFS) Append(name string, data []byte) error {
+	if err := f.check("append", name); err != nil {
+		return err
+	}
+	return f.Inner.Append(name, data)
+}
+
 // ReadFile implements FS.
 func (f *FaultFS) ReadFile(name string) ([]byte, error) {
 	if err := f.check("read", name); err != nil {

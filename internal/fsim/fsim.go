@@ -37,6 +37,11 @@ import (
 type FS interface {
 	// WriteFile atomically creates or replaces a file.
 	WriteFile(name string, data []byte) error
+	// Append adds data to the end of a file, creating it if absent. A
+	// single Append is atomic on SimFS; on a real file system a crash
+	// mid-append can leave a torn tail, which is why the manifest log
+	// frames and checksums every record it appends.
+	Append(name string, data []byte) error
 	// ReadFile returns the full contents of a file. It is a convenience
 	// equivalent to Open + one ReadAt of the whole file.
 	ReadFile(name string) ([]byte, error)
@@ -222,6 +227,29 @@ func (s *SimFS) WriteFile(name string, data []byte) error {
 	cost := Cost{Meta: s.model.OpLatency, Write: s.model.transferTime(int64(len(data)))}
 	s.charge(cost)
 	s.observeOp("write", start, cost, int64(len(data)))
+	return nil
+}
+
+// Append implements FS. The whole append lands atomically (SimFS holds
+// its lock across the mutation), and the cost model charges one metadata
+// latency plus transfer time for the appended bytes alone — which is
+// what makes a manifest-log append O(1) in store size where WriteFile
+// of a full manifest is O(fragments).
+func (s *SimFS) Append(name string, data []byte) error {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Copy-on-append keeps outstanding Open handles (which snapshot the
+	// current slice) immutable, mirroring WriteFile's replace semantics.
+	old := s.files[name]
+	grown := make([]byte, 0, len(old)+len(data))
+	grown = append(append(grown, old...), data...)
+	s.files[name] = grown
+	s.stats.WriteOps++
+	s.stats.BytesWritten += int64(len(data))
+	cost := Cost{Meta: s.model.OpLatency, Write: s.model.transferTime(int64(len(data)))}
+	s.charge(cost)
+	s.observeOp("append", start, cost, int64(len(data)))
 	return nil
 }
 
@@ -419,6 +447,26 @@ func (o *OSFS) WriteFile(name string, data []byte) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), p)
+}
+
+// Append implements FS. The data goes out in one O_APPEND write, which
+// keeps concurrent appenders from interleaving; durability against a
+// torn tail after a crash is the caller's problem (the manifest log
+// CRC-frames its records and truncates a torn tail on replay).
+func (o *OSFS) Append(name string, data []byte) error {
+	p := o.path(name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(p, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // ReadFile implements FS.

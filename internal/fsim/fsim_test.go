@@ -28,6 +28,25 @@ func testFSBehavior(t *testing.T, f FS) {
 	if n, err := f.Size("a/b/one"); err != nil || n != 3 {
 		t.Fatalf("Size = %d, %v", n, err)
 	}
+	// Append extends an existing file and creates a missing one.
+	if err := f.Append("a/b/one", []byte("!!")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := f.ReadFile("a/b/one"); string(data) != "bye!!" {
+		t.Fatalf("append: got %q", data)
+	}
+	if err := f.Append("a/b/fresh", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := f.ReadFile("a/b/fresh"); string(data) != "new" {
+		t.Fatalf("append-create: got %q", data)
+	}
+	if err := f.Remove("a/b/fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteFile("a/b/one", []byte("bye")); err != nil {
+		t.Fatal(err)
+	}
 	// List is sorted and prefix-filtered.
 	if err := f.WriteFile("a/b/two", []byte("x")); err != nil {
 		t.Fatal(err)
@@ -92,6 +111,39 @@ func TestSimFSIsolation(t *testing.T) {
 	again, _ := f.ReadFile("x")
 	if again[1] != 2 {
 		t.Fatal("SimFS aliases reader's buffer")
+	}
+}
+
+// TestSimFSAppendSnapshot: a handle opened before an append must keep
+// seeing the file as it was at open time (the same immutability
+// WriteFile's replace gives), and the append must charge only its own
+// bytes to the cost model.
+func TestSimFSAppendSnapshot(t *testing.T) {
+	f := NewPerlmutterSim()
+	if err := f.WriteFile("x", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.Open("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	f.TakeCost()
+	if err := f.Append("x", make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	cost := f.TakeCost()
+	if cost.Meta != PerlmutterLustre().OpLatency {
+		t.Fatalf("append meta cost %v, want one op latency", cost.Meta)
+	}
+	if want := PerlmutterLustre().transferTime(4096); cost.Write != want {
+		t.Fatalf("append write cost %v, want %v (appended bytes only)", cost.Write, want)
+	}
+	if h.Size() != 3 {
+		t.Fatalf("open handle grew to %d bytes after append", h.Size())
+	}
+	if n, _ := f.Size("x"); n != 3+4096 {
+		t.Fatalf("file size %d after append", n)
 	}
 }
 

@@ -139,11 +139,12 @@ func (s *Store) ReadRegionAuto(region tensor.Region) (*Result, *ReadReport, erro
 		rep.Probe += time.Since(t)
 	}
 	sp := root.Child(obsReadMerge)
-	res, mergeDur := mergeHits(s, hits, s.tombstonesBefore(len(s.frags)))
+	res, mergeDur := mergeHits(s, hits, s.tombstonesOverlapping(len(s.frags), queryBox))
 	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()
 	reg.Counter("store.read.count", "kind", kind).Inc()
+	reg.Counter("store.read.fragments", "kind", kind).Add(int64(rep.Fragments))
 	reg.Counter("store.read.scans", "kind", kind).Add(int64(rep.Scans))
 	reg.Counter("store.read.probed", "kind", kind).Add(int64(rep.Probed))
 	reg.Counter("store.read.found", "kind", kind).Add(int64(rep.Found))

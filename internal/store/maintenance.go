@@ -80,6 +80,13 @@ func (s *Store) Compact() (*CompactReport, error) {
 		s.frags = old // the old fragments remain intact on failure
 		return nil, err
 	}
+	// Fold the consolidated state into a checkpoint before touching the
+	// old files: once MANIFEST lists only the new fragment (and the log
+	// is gone), removing the superseded files can no longer strand a
+	// manifest that references them.
+	if err := s.checkpoint(); err != nil {
+		return nil, err
+	}
 	oldNames := make([]string, len(old))
 	for i, fr := range old {
 		oldNames[i] = fr.name
@@ -92,14 +99,29 @@ func (s *Store) Compact() (*CompactReport, error) {
 			return nil, fmt.Errorf("store: remove %s: %w", fr.name, err)
 		}
 	}
-	if err := s.writeManifest(); err != nil {
-		return nil, err
-	}
 	rep.FragmentsAfter = 1
 	rep.PointsAfter = wrep.NNZ
 	rep.BytesAfter = s.TotalBytes()
 	return rep, nil
 }
+
+// Checkpoint folds the manifest delta log into a fresh MANIFEST
+// checkpoint. It is a no-op when the log is empty. Stores fold
+// automatically per the WithManifestCheckpointEvery cadence; an
+// explicit Checkpoint (or Close) bounds the replay work the next Open
+// pays.
+func (s *Store) Checkpoint() error {
+	if s.logRecords == 0 {
+		return nil
+	}
+	return s.checkpoint()
+}
+
+// Close flushes manifest state — today that means folding any pending
+// log records into a checkpoint. The store remains usable afterwards
+// (fragments are plain files; there are no open handles to release),
+// but callers should treat a closed store as done.
+func (s *Store) Close() error { return s.Checkpoint() }
 
 // Convert writes the store's full contents into a new store under a
 // different organization (or codec), the migration path between

@@ -112,11 +112,12 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 		rep.IO += cost.Total()
 	}
 	sp := root.Child(obsReadMerge)
-	res, mergeDur := mergeHits(s, hits, s.tombstonesBefore(len(s.frags)))
+	res, mergeDur := mergeHits(s, hits, s.tombstonesOverlapping(len(s.frags), queryBox))
 	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()
 	reg.Counter("store.read.count", "kind", kind).Inc()
+	reg.Counter("store.read.fragments", "kind", kind).Add(int64(rep.Fragments))
 	reg.Counter("store.read.probed", "kind", kind).Add(int64(rep.Probed))
 	reg.Counter("store.read.found", "kind", kind).Add(int64(rep.Found))
 	return res, rep, nil

@@ -18,7 +18,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"sort"
 	"strconv"
 	"time"
 
@@ -28,6 +27,7 @@ import (
 	"sparseart/internal/fragment"
 	"sparseart/internal/fsim"
 	"sparseart/internal/obs"
+	"sparseart/internal/psort"
 	"sparseart/internal/store/fragcache"
 	"sparseart/internal/tensor"
 )
@@ -131,6 +131,21 @@ func (s *Store) tombstonesBefore(limit int) []tombstoneRef {
 	return out
 }
 
+// tombstonesOverlapping lists the deletion fragments among the first
+// limit fragments whose region intersects box — the only ones that can
+// kill a hit inside it. Query paths pass their bounding box so
+// mergeHits' per-cell tombstone walk scales with relevant tombstones,
+// not every deletion the store has ever seen.
+func (s *Store) tombstonesOverlapping(limit int, box tensor.BBox) []tombstoneRef {
+	var out []tombstoneRef
+	for i := 0; i < limit && i < len(s.frags); i++ {
+		if s.frags[i].tomb && s.frags[i].tombRegion.BBox().Overlaps(box) {
+			out = append(out, tombstoneRef{idx: i, region: s.frags[i].tombRegion})
+		}
+	}
+	return out
+}
+
 // Store is a single-tensor fragment store bound to one organization.
 type Store struct {
 	fs        fsim.FS
@@ -150,6 +165,14 @@ type Store struct {
 	cache       *fragcache.Cache
 	cacheBudget int64
 	cacheSet    bool
+
+	// Manifest-log state (see manifest.go): the checkpoint cadence, the
+	// number of records currently in MANIFEST.LOG, and the fragment
+	// count at the last checkpoint (the adaptive cadence's threshold).
+	ckptEvery     int
+	ckptSet       bool
+	logRecords    int
+	lastCkptFrags int
 }
 
 // obsReg resolves the store's registry: the injected one if any,
@@ -198,6 +221,7 @@ func Create(fs fsim.FS, prefix string, kind core.Kind, shape tensor.Shape, opts 
 		return nil, err
 	}
 	s.initCache()
+	s.initManifestPolicy()
 	if err := s.writeManifest(); err != nil {
 		return nil, err
 	}
@@ -261,11 +285,22 @@ func Open(fs fsim.FS, prefix string, opts ...Option) (*Store, error) {
 	}
 	s.codec = codec // the manifest's codec is authoritative
 	s.initCache()
+	s.initManifestPolicy()
+	s.lastCkptFrags = len(s.frags)
+	// The checkpoint reflects the last fold; fragments committed since
+	// live in the delta log. Pre-log stores simply have no log file.
+	if err := s.replayLog(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
+// writeManifest writes the full-state checkpoint. The byte format is
+// unchanged since the first release, which is what keeps pre-log stores
+// openable; the delta log (manifest.go) layers on top of it.
 func (s *Store) writeManifest() error {
-	w := buf.NewWriter(64 + len(s.frags)*(48+16*s.shape.Dims()))
+	w := buf.GetWriter(64 + len(s.frags)*(48+16*s.shape.Dims()))
+	defer buf.PutWriter(w)
 	w.U32(manifestMagic)
 	w.U8(uint8(s.kind))
 	w.U8(uint8(s.codec))
@@ -437,9 +472,7 @@ func (s *Store) Write(c *tensor.Coords, vals []float64) (*WriteReport, error) {
 	sp = root.Child(obsWriteOthers)
 	sp.Add(pendingMeta)
 	t = time.Now()
-	s.nextID++
-	s.frags = append(s.frags, fragRef{name: name, nnz: frag.NNZ, bytes: int64(len(encoded)), bbox: bbox})
-	if err := s.writeManifest(); err != nil {
+	if err := s.commitFragment(fragRef{name: name, nnz: frag.NNZ, bytes: int64(len(encoded)), bbox: bbox}); err != nil {
 		sp.End()
 		reg.Counter("store.write.errors", "kind", kind).Inc()
 		return nil, err
@@ -511,12 +544,10 @@ func (s *Store) DeleteRegion(region tensor.Region) (*WriteReport, error) {
 	}
 
 	t = time.Now()
-	s.nextID++
-	s.frags = append(s.frags, fragRef{
+	if err := s.commitFragment(fragRef{
 		name: name, bytes: int64(len(encoded)),
 		bbox: region.BBox(), tomb: true, tombRegion: region,
-	})
-	if err := s.writeManifest(); err != nil {
+	}); err != nil {
 		reg.Counter("store.write.errors", "kind", kind).Inc()
 		return nil, err
 	}
@@ -626,7 +657,7 @@ func (s *Store) readAsOf(probe *tensor.Coords, limit int) (*Result, *ReadReport,
 	}
 
 	sp := root.Child(obsReadMerge)
-	res, mergeDur := mergeHits(s, hits, s.tombstonesBefore(limit))
+	res, mergeDur := mergeHits(s, hits, s.tombstonesOverlapping(limit, queryBox))
 	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()
@@ -639,20 +670,34 @@ func (s *Store) readAsOf(probe *tensor.Coords, limit int) (*Result, *ReadReport,
 
 // mergeHits implements Algorithm 3 line 12: sort hits by linear address
 // (ties by fragment recency), keep the newest value per cell, and drop
-// cells whose newest write precedes a covering tombstone.
+// cells whose newest write precedes a covering tombstone. The sort is a
+// psort permutation sort, so large merges (region reads pulling
+// millions of hits) use every core; small ones stay serial under
+// psort's cutoff.
 func mergeHits(s *Store, hits []hit, tombs []tombstoneRef) (*Result, time.Duration) {
 	t := time.Now()
-	sort.Slice(hits, func(a, b int) bool {
+	// The comparison must be strict (a total order): ReadParallel
+	// appends hits in nondeterministic worker order, and a duplicated
+	// probe point yields identical (addr, frag) pairs, so ties fall
+	// through to the index. Entries equal on (addr, frag) carry the
+	// same value, which keeps the merged result deterministic. A plain
+	// SortPermByKey on the address would lose the fragment-recency
+	// tie-break that newest-wins depends on.
+	perm := psort.SortPerm(len(hits), 0, func(a, b int) bool {
 		if hits[a].addr != hits[b].addr {
 			return hits[a].addr < hits[b].addr
 		}
-		return hits[a].frag < hits[b].frag
+		if hits[a].frag != hits[b].frag {
+			return hits[a].frag < hits[b].frag
+		}
+		return a < b
 	})
 	out := &Result{Coords: tensor.NewCoords(s.shape.Dims(), len(hits))}
 	p := make([]uint64, s.shape.Dims())
 	var overwritten, tombDead int64
-	for i, h := range hits {
-		if i+1 < len(hits) && hits[i+1].addr == h.addr {
+	for i := range perm {
+		h := hits[perm[i]]
+		if i+1 < len(perm) && hits[perm[i+1]].addr == h.addr {
 			overwritten++
 			continue // a newer fragment overwrote this cell
 		}
@@ -738,11 +783,12 @@ func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, erro
 		rep.Scans++
 	}
 	sp := root.Child(obsReadMerge)
-	res, mergeDur := mergeHits(s, hits, s.tombstonesBefore(len(s.frags)))
+	res, mergeDur := mergeHits(s, hits, s.tombstonesOverlapping(len(s.frags), queryBox))
 	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()
 	reg.Counter("store.read.count", "kind", kind).Inc()
+	reg.Counter("store.read.fragments", "kind", kind).Add(int64(rep.Fragments))
 	reg.Counter("store.read.scans", "kind", kind).Add(int64(rep.Scans))
 	reg.Counter("store.read.probed", "kind", kind).Add(int64(rep.Probed))
 	reg.Counter("store.read.found", "kind", kind).Add(int64(rep.Found))

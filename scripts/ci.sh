@@ -37,6 +37,16 @@ SPARSEART_FRAGCACHE_BUDGET=off go test ./internal/store/...
 echo "==> go test (fragment-reader cache budget=1)"
 SPARSEART_FRAGCACHE_BUDGET=1 go test ./internal/store/...
 
+# The manifest delta log must behave identically across checkpoint
+# cadences: K=1 folds on every write (the pre-log worst case — every
+# commit exercises checkpoint + log removal), and a huge K never folds
+# (every Open replays the full log).
+echo "==> go test (manifest checkpoint every write)"
+SPARSEART_MANIFEST_CHECKPOINT_EVERY=1 go test ./internal/store/...
+
+echo "==> go test (manifest checkpoint effectively never)"
+SPARSEART_MANIFEST_CHECKPOINT_EVERY=1000000 go test ./internal/store/...
+
 if [ "$FUZZ_SECONDS" -gt 0 ]; then
     echo "==> fuzz smoke (${FUZZ_SECONDS}s per target)"
     # Enumerate every fuzz target and give each a short budget. Go only

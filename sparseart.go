@@ -88,6 +88,9 @@ type (
 	StoreOption = store.Option
 	// CompactReport summarizes a fragment consolidation.
 	CompactReport = store.CompactReport
+	// Batch is one fragment's worth of input to Store.WriteBatch: the
+	// arguments of one Write, ingested through the parallel pipeline.
+	Batch = store.Batch
 )
 
 // ConvertStore rewrites a store's full logical contents into a new
@@ -120,6 +123,13 @@ const (
 
 // WithCodec compresses fragment payloads with the given codec.
 func WithCodec(id CodecID) StoreOption { return store.WithCodec(id) }
+
+// WithManifestCheckpointEvery folds the store's manifest delta log into
+// a fresh checkpoint every k fragment commits (1 = rewrite the manifest
+// on every write; k <= 0 = the adaptive amortized-O(1) default).
+func WithManifestCheckpointEvery(k int) StoreOption {
+	return store.WithManifestCheckpointEvery(k)
+}
 
 // NewCoords returns an empty coordinate buffer.
 func NewCoords(dims, capHint int) *Coords { return tensor.NewCoords(dims, capHint) }
