@@ -613,3 +613,55 @@ func BenchmarkAblationReaderCache(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkChunkedIngest compares a serial per-batch loop of
+// Chunked.Write against the cross-tile batched ingest, which prepares
+// every tile's fragments on one shared worker pool and group-commits
+// each tile's manifest log. The dataset fans out across the 8 tiles of
+// a 2x2x2 chunked store.
+func BenchmarkChunkedIngest(b *testing.B) {
+	ds := dataset(b, bench.Case{Pattern: gen.MSP, Dims: 3})
+	shape := ds.Data.Config.Shape
+	tile := make(tensor.Shape, len(shape))
+	for d := range shape {
+		tile[d] = (shape[d] + 1) / 2
+	}
+	const parts = 16
+	n := ds.Data.NNZ()
+	var batches []store.Batch
+	for w := 0; w < parts; w++ {
+		lo, hi := w*n/parts, (w+1)*n/parts
+		c := tensor.NewCoords(shape.Dims(), hi-lo)
+		for i := lo; i < hi; i++ {
+			c.AppendFlat(ds.Data.Coords.At(i))
+		}
+		batches = append(batches, store.Batch{Coords: c, Values: ds.Data.Values[lo:hi]})
+	}
+	b.Run("serial-write-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ch, err := store.NewChunked(fsim.NewPerlmutterSim(), "ci", core.GCSR, shape, tile)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, ba := range batches {
+				if _, err := ch.Write(ba.Coords, ba.Values); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("cross-tile-%dworkers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ch, err := store.NewChunked(fsim.NewPerlmutterSim(), "ci", core.GCSR, shape, tile)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ch.WriteBatch(batches, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -11,6 +11,16 @@
 //	sparsestore export  -dir /path/to/store -o dump.txt
 //	sparsestore import  -dir /path/to/new -kind GCSR++ -shape 64,64 -in dump.txt
 //
+// Import can split the dataset into several fragments and ingest them
+// through the parallel batched pipeline (-fragments=N, or
+// -fragments=auto to size the split from the dataset's measured
+// profile), and can build a tiled chunked store (-tile=t1,t2,...),
+// ingesting across all tiles at once with one shared reader-cache
+// budget:
+//
+//	sparsestore import -dir /path/to/new -kind CSF -shape 4096,4096 \
+//	    -tile 512,512 -fragments=auto -in dump.txt
+//
 // The global flags -cpuprofile=FILE and -memprofile=FILE, given before
 // the subcommand, capture runtime/pprof profiles around it:
 //
@@ -38,6 +48,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sparseart/internal/advisor"
 	"sparseart/internal/core"
 	_ "sparseart/internal/core/all"
 	"sparseart/internal/dataio"
@@ -368,8 +379,9 @@ func runImport(args []string) error {
 	format := fs.String("format", "text", "input format: text|binary|mtx (Matrix Market, e.g. SuiteSparse)")
 	binary := fs.Bool("binary", false, "alias for -format binary")
 	dedup := fs.Bool("dedup", false, "normalize the dataset first: sort by linear address and drop duplicate cells (newest wins)")
-	fragments := fs.Int("fragments", 1, "split the dataset into this many fragments, ingested through the batched write pipeline")
+	fragmentsSpec := fs.String("fragments", "1", "split the dataset into this many fragments for the batched write pipeline, or 'auto' to size the split from the dataset's profile")
 	workers := fs.Int("workers", 0, "CPU workers for the batched pipeline when -fragments > 1 (0 = all cores)")
+	tileSpec := fs.String("tile", "", "tile extents 't1,t2,...': create a chunked store and ingest across tiles (required for shapes beyond uint64 addressing)")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("import: -dir is required")
@@ -417,6 +429,10 @@ func runImport(args []string) error {
 			return err
 		}
 	}
+	fragments, err := resolveFragments(*fragmentsSpec, t.Coords, shape, *workers)
+	if err != nil {
+		return err
+	}
 	osfs, err := fsim.NewOSFS(*dir)
 	if err != nil {
 		return err
@@ -425,12 +441,39 @@ func runImport(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *tileSpec != "" {
+		// Chunked import: the batches fan out across tiles through the
+		// cross-tile ingest, and the -cache budget becomes one shared
+		// reader-cache budget for the whole chunked store.
+		tile, err := parseShape(*tileSpec)
+		if err != nil {
+			return err
+		}
+		ch, err := store.NewChunked(osfs, "tensor", kind, shape, tile, opts...)
+		if err != nil {
+			return err
+		}
+		reps, err := ch.WriteBatch(splitBatches(t.Coords, t.Values, fragments), *workers)
+		if err != nil {
+			return err
+		}
+		var bytes int64
+		for _, rep := range reps {
+			bytes += rep.Bytes
+		}
+		if err := ch.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("imported %d points into chunked %v store at %s (%d tiles, %d fragments, %d bytes)\n",
+			t.Coords.Len(), kind, *dir, ch.Tiles(), len(reps), bytes)
+		return nil
+	}
 	st, err := store.Create(osfs, "tensor", kind, shape, opts...)
 	if err != nil {
 		return err
 	}
-	if *fragments > 1 {
-		reps, err := st.WriteBatch(splitBatches(t.Coords, t.Values, *fragments), *workers)
+	if fragments > 1 {
+		reps, err := st.WriteBatch(splitBatches(t.Coords, t.Values, fragments), *workers)
 		if err != nil {
 			return err
 		}
@@ -451,6 +494,26 @@ func runImport(args []string) error {
 	fmt.Printf("imported %d points into %v store at %s (%d bytes)\n",
 		rep.NNZ, kind, *dir, rep.Bytes)
 	return nil
+}
+
+// resolveFragments turns the -fragments flag into a concrete split:
+// a positive integer verbatim, or "auto" to size the split from the
+// dataset's measured profile via the advisor's heuristic.
+func resolveFragments(spec string, coords *tensor.Coords, shape tensor.Shape, workers int) (int, error) {
+	if spec == "auto" {
+		profile, err := advisor.Characterize(coords, shape)
+		if err != nil {
+			return 0, fmt.Errorf("import: -fragments=auto: %w", err)
+		}
+		n := advisor.SuggestFragments(profile, workers)
+		fmt.Fprintf(os.Stderr, "auto fragment split: %d fragments for %d points\n", n, coords.Len())
+		return n, nil
+	}
+	n, err := strconv.Atoi(spec)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf(`import: bad -fragments value %q (want a positive integer or "auto")`, spec)
+	}
+	return n, nil
 }
 
 // splitBatches cuts a dataset into n contiguous fragment-sized batches

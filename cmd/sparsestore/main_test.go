@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -244,5 +245,78 @@ func TestImportDedup(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "1 1 99") || strings.Contains(string(data), "1 1 10") {
 		t.Fatalf("newest value must win:\n%s", data)
+	}
+}
+
+// writeBigDataset produces a dataset large enough to split.
+func writeBigDataset(t *testing.T, points int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "big.txt")
+	var b strings.Builder
+	b.WriteString("# shape: 64 64\n")
+	for i := 0; i < points; i++ {
+		fmt.Fprintf(&b, "%d %d %d\n", i/64, i%64, i+1)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestImportFragmentsAuto(t *testing.T) {
+	ds := writeBigDataset(t, 500)
+	dir := filepath.Join(t.TempDir(), "store")
+	// 500 points is under the advisor's floor: auto resolves to one
+	// fragment and the import still lands everything.
+	out, err := capture(t, func() error {
+		return runImport([]string{"-dir", dir, "-in", ds, "-kind", "LINEAR", "-fragments", "auto"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "imported 500 points") {
+		t.Fatalf("auto import output:\n%s", out)
+	}
+	if err := runImport([]string{"-dir", dir, "-in", ds, "-fragments", "bogus"}); err == nil {
+		t.Error("bad -fragments value accepted")
+	}
+	if err := runImport([]string{"-dir", dir, "-in", ds, "-fragments", "0"}); err == nil {
+		t.Error("-fragments=0 accepted")
+	}
+}
+
+func TestImportChunkedTile(t *testing.T) {
+	ds := writeBigDataset(t, 300)
+	dir := filepath.Join(t.TempDir(), "store")
+	out, err := capture(t, func() error {
+		return runImport([]string{"-dir", dir, "-in", ds, "-kind", "CSF",
+			"-tile", "16,16", "-fragments", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "imported 300 points into chunked CSF store") {
+		t.Fatalf("chunked import output:\n%s", out)
+	}
+	if !strings.Contains(out, "tiles") {
+		t.Fatalf("chunked import output missing tile count:\n%s", out)
+	}
+	// Tile directories exist on disk under the store prefix.
+	entries, err := os.ReadDir(filepath.Join(dir, "tensor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tiles int
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "t-") {
+			tiles++
+		}
+	}
+	if tiles == 0 {
+		t.Fatalf("no tile directories under %s/tensor", dir)
+	}
+	if err := runImport([]string{"-dir", filepath.Join(t.TempDir(), "x"), "-in", ds,
+		"-tile", "bad"}); err == nil {
+		t.Error("bad -tile value accepted")
 	}
 }

@@ -260,3 +260,45 @@ func clamp(v, lo, hi float64) float64 {
 	}
 	return v
 }
+
+// Fragment-split advice for the batched ingest pipeline.
+const (
+	// suggestTargetPoints is the per-fragment point count the split
+	// aims for: large enough that the paper's assembly-dominated
+	// Build/Encode phases amortize their per-fragment overhead, small
+	// enough that a multi-core pipeline keeps every worker busy.
+	suggestTargetPoints = 64 << 10
+	// suggestMinPoints floors the per-fragment size: below this,
+	// splitting further only multiplies manifest records and
+	// per-fragment headers.
+	suggestMinPoints = 4 << 10
+	// suggestMaxFragments bounds manifest growth for one ingest.
+	suggestMaxFragments = 256
+)
+
+// SuggestFragments picks how many fragments a batched ingest should
+// split a profiled dataset into: about suggestTargetPoints points per
+// fragment, raised to give each of the workers (0 = unknown) at least
+// one fragment when the data is large enough to share, floored so no
+// fragment falls under suggestMinPoints, and capped at
+// suggestMaxFragments. Small datasets return 1 — a single Write is
+// cheaper than any pipeline.
+func SuggestFragments(p Profile, workers int) int {
+	if p.NNZ <= suggestMinPoints {
+		return 1
+	}
+	n := (p.NNZ + suggestTargetPoints - 1) / suggestTargetPoints
+	if workers > n && p.NNZ/workers >= suggestMinPoints {
+		n = workers
+	}
+	if max := p.NNZ / suggestMinPoints; n > max {
+		n = max
+	}
+	if n > suggestMaxFragments {
+		n = suggestMaxFragments
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

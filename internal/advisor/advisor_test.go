@@ -203,3 +203,33 @@ func TestRecommendValidation(t *testing.T) {
 		t.Errorf("zero read fraction rejected: %v", err)
 	}
 }
+
+func TestSuggestFragments(t *testing.T) {
+	cases := []struct {
+		nnz, workers, want int
+	}{
+		{0, 8, 1},                // empty: one Write
+		{1000, 8, 1},             // tiny: below the min floor
+		{suggestMinPoints, 8, 1}, // exactly the floor: still one
+		{100_000, 0, 2},          // ~64k target, workers unknown
+		{100_000, 8, 8},          // enough data to feed every worker
+		{100_000, 64, 2},         // more workers can't push past the min-points floor
+		{10_000_000, 4, 153},     // big data: target-sized fragments
+		{100_000_000, 8, 256},    // capped
+	}
+	for _, tc := range cases {
+		got := SuggestFragments(Profile{NNZ: tc.nnz}, tc.workers)
+		if got != tc.want {
+			t.Errorf("SuggestFragments(nnz=%d, workers=%d) = %d, want %d",
+				tc.nnz, tc.workers, got, tc.want)
+		}
+	}
+	// The suggestion always respects the floor: no fragment smaller than
+	// suggestMinPoints unless the dataset itself is that small.
+	for _, nnz := range []int{5000, 50_000, 500_000, 5_000_000} {
+		n := SuggestFragments(Profile{NNZ: nnz}, 16)
+		if n > 1 && nnz/n < suggestMinPoints {
+			t.Errorf("nnz=%d: %d fragments of ~%d points under the floor", nnz, n, nnz/n)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"sparseart/internal/core"
 	"sparseart/internal/fsim"
 	"sparseart/internal/obs"
+	"sparseart/internal/store/fragcache"
 	"sparseart/internal/tensor"
 )
 
@@ -29,9 +31,17 @@ type Chunked struct {
 	codec  compress.ID
 	stores map[string]*Store
 	// opts are forwarded to every tile Store, so tiles share the parent's
-	// observability registry, build options, and reader-cache budget.
+	// observability registry, build options, and manifest policy.
 	opts []Option
 	obs  *obs.Registry
+	// cache is the reader cache shared by every tile: one byte budget
+	// for the whole chunked store instead of one per tile. nil when
+	// caching is off or per-tile budgeting was requested (see
+	// sharedCacheEnv); tiles then resolve their own budgets.
+	cache *fragcache.Cache
+	// ingestWorkers is the WithIngestWorkers default for the cross-tile
+	// batched ingest (chunked_ingest.go).
+	ingestWorkers int
 }
 
 // Observability span names for the chunked store's composite operations.
@@ -74,13 +84,64 @@ func NewChunked(fs fsim.FS, prefix string, kind core.Kind, shape, tile tensor.Sh
 		stores: map[string]*Store{},
 		opts:   opts,
 	}
+	// Probe the option set once: misuse is rejected here (before any
+	// tile exists) rather than on the first write that materializes one.
 	var probe Store
 	for _, o := range opts {
 		o(&probe)
 	}
+	if err := probe.finishOptions(); err != nil {
+		return nil, err
+	}
 	c.codec = probe.codec
 	c.obs = probe.obs
+	c.ingestWorkers = probe.ingestWorkers
+	// One reader cache for all tiles: the budget the options/environment
+	// would give a single store becomes the chunked store's global
+	// budget, so N tiles stop claiming N budgets. SPARSEART_CHUNKED_SHARED_CACHE=off
+	// restores independent per-tile budgeting (the CI matrix pins both).
+	switch {
+	case probe.sharedCache != nil:
+		c.cache = probe.sharedCache
+	case os.Getenv(sharedCacheEnv) == "off":
+		// Tiles resolve their own budgets from the forwarded options.
+	default:
+		if budget := probe.resolveCacheBudget(); budget > 0 {
+			c.cache = fragcache.New(budget, c.obsReg)
+		}
+	}
 	return c, nil
+}
+
+// sharedCacheEnv disables the chunked store's shared reader cache
+// ("off"): tiles fall back to budgeting independently, the pre-share
+// behavior CI pins in its chunked-ingest matrix.
+const sharedCacheEnv = "SPARSEART_CHUNKED_SHARED_CACHE"
+
+// SharedCache returns the reader cache all tiles share, or nil when
+// tiles budget independently (or caching is off). The property tests
+// use it to assert the one-budget invariant.
+func (c *Chunked) SharedCache() *fragcache.Cache { return c.cache }
+
+// Close folds every tile's manifest log into its checkpoint, bounding
+// the replay work the next open of each tile pays. Tiles remain usable.
+func (c *Chunked) Close() error {
+	for _, key := range c.sortedTileKeys() {
+		if err := c.stores[key].Close(); err != nil {
+			return fmt.Errorf("store: close tile %s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// sortedTileKeys returns the non-empty tile keys in deterministic order.
+func (c *Chunked) sortedTileKeys() []string {
+	keys := make([]string, 0, len(c.stores))
+	for key := range c.stores {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Shape returns the global shape.
@@ -134,13 +195,57 @@ func (c *Chunked) tileStore(idx []uint64) (*Store, error) {
 	if s, ok := c.stores[key]; ok {
 		return s, nil
 	}
-	s, err := Create(c.fs, c.prefix+"/"+key, c.kind, c.tileShape(idx), c.opts...)
+	opts := c.opts
+	if c.cache != nil {
+		// Inject the shared cache (superseding any forwarded per-tile
+		// budget — it was already spent on the shared cache) and label
+		// this tile's traffic for per-tile hit metrics.
+		opts = append(opts[:len(opts):len(opts)], withTileCache(c.cache), withCacheScope(key))
+	}
+	s, err := Create(c.fs, c.prefix+"/"+key, c.kind, c.tileShape(idx), opts...)
 	if err != nil {
 		return nil, err
 	}
 	c.stores[key] = s
 	c.obsReg().Gauge("store.chunked.tiles", "kind", c.kind.String()).Set(int64(len(c.stores)))
 	return s, nil
+}
+
+// tilePart is one tile's slice of a partitioned point set, in tile-local
+// coordinates.
+type tilePart struct {
+	idx    []uint64
+	coords *tensor.Coords
+	vals   []float64
+}
+
+// partitionByTile splits global points into per-tile buckets with
+// tile-local coordinates, preserving input order within each bucket.
+// Returned keys are in first-seen order; callers sort for determinism.
+func (c *Chunked) partitionByTile(coords *tensor.Coords, vals []float64) (map[string]*tilePart, []string, error) {
+	parts := map[string]*tilePart{}
+	var keys []string
+	local := make([]uint64, coords.Dims())
+	for i, n := 0, coords.Len(); i < n; i++ {
+		p := coords.At(i)
+		if !c.shape.Contains(p) {
+			return nil, nil, fmt.Errorf("store: point %v outside shape %v", p, c.shape)
+		}
+		idx := c.tileIndex(p)
+		key := tileKey(idx)
+		g, ok := parts[key]
+		if !ok {
+			g = &tilePart{idx: idx, coords: tensor.NewCoords(coords.Dims(), 0)}
+			parts[key] = g
+			keys = append(keys, key)
+		}
+		for d := range p {
+			local[d] = p[d] - idx[d]*c.tile[d]
+		}
+		g.coords.Append(local...)
+		g.vals = append(g.vals, vals[i])
+	}
+	return parts, keys, nil
 }
 
 // Write partitions the points by tile and writes one fragment per
@@ -155,32 +260,9 @@ func (c *Chunked) Write(coords *tensor.Coords, vals []float64) (*WriteReport, er
 	}
 	root := c.obsReg().Start(obsChunkedWrite)
 	defer root.End()
-	type group struct {
-		idx    []uint64
-		coords *tensor.Coords
-		vals   []float64
-	}
-	groups := map[string]*group{}
-	var keys []string
-	local := make([]uint64, coords.Dims())
-	for i, n := 0, coords.Len(); i < n; i++ {
-		p := coords.At(i)
-		if !c.shape.Contains(p) {
-			return nil, fmt.Errorf("store: point %v outside shape %v", p, c.shape)
-		}
-		idx := c.tileIndex(p)
-		key := tileKey(idx)
-		g, ok := groups[key]
-		if !ok {
-			g = &group{idx: idx, coords: tensor.NewCoords(coords.Dims(), 0)}
-			groups[key] = g
-			keys = append(keys, key)
-		}
-		for d := range p {
-			local[d] = p[d] - idx[d]*c.tile[d]
-		}
-		g.coords.Append(local...)
-		g.vals = append(g.vals, vals[i])
+	groups, keys, err := c.partitionByTile(coords, vals)
+	if err != nil {
+		return nil, err
 	}
 	sort.Strings(keys) // deterministic tile order
 	total := &WriteReport{NNZ: coords.Len()}
@@ -313,12 +395,7 @@ func (c *Chunked) DeleteRegion(region tensor.Region) (*WriteReport, error) {
 	defer root.End()
 	total := &WriteReport{}
 	box := region.BBox()
-	var keys []string
-	for key := range c.stores {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	for _, key := range keys {
+	for _, key := range c.sortedTileKeys() {
 		st := c.stores[key]
 		idx := c.tileIndexFromKey(key)
 		if idx == nil {

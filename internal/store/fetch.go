@@ -95,7 +95,9 @@ func (s *Store) fetchFragment(root *obs.Span, fr fragRef, rep *ReadReport) (*fra
 	if s.cache == nil {
 		return s.loadFragment(root, fr, rep)
 	}
-	return s.cache.Get(fr.name, func() (*fragcache.Entry, error) {
+	// cacheScope labels this store's traffic (a chunked store sets it to
+	// the tile key) so a shared cache's hit rates stay attributable.
+	return s.cache.GetScoped(s.cacheScope, fr.name, func() (*fragcache.Entry, error) {
 		return s.loadFragment(root, fr, rep)
 	})
 }

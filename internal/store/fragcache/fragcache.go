@@ -12,12 +12,24 @@
 // goroutines race on it. Entries are invalidated explicitly when
 // compaction or deletion removes their fragment files.
 //
+// Admission is guarded: an entry whose footprint exceeds half the byte
+// budget is served to its caller but never retained, so one giant
+// fragment (a scan pulling a whole-store fragment through the cache)
+// cannot evict a hot working set of small fragments. Such fills count
+// as fragcache.rejected rather than churning the LRU.
+//
+// A cache may be shared by several stores — the tiles of a Chunked
+// store budget against one Cache. GetScoped labels the hit/miss
+// counters with the caller's scope (the tile key) so per-tile hit
+// rates stay observable even though residency is pooled.
+//
 // Observability (per store registry):
 //
-//	fragcache.hits       counter — entry served from cache
-//	fragcache.coalesced  counter — miss served by waiting on another fill
-//	fragcache.misses     counter — miss that performed the fill
+//	fragcache.hits       counter — entry served from cache (also per scope)
+//	fragcache.coalesced  counter — miss served by waiting on another fill (also per scope)
+//	fragcache.misses     counter — miss that performed the fill (also per scope)
 //	fragcache.evictions  counter — entries evicted over budget
+//	fragcache.rejected   counter — fills too large to admit (> budget/2)
 //	fragcache.bytes      gauge   — resident footprint estimate
 //	fragcache.entries    gauge   — resident entry count
 //	fragcache.fill       span    — one cache fill (fetch + decode + open)
@@ -86,8 +98,28 @@ func New(budget int64, reg func() *obs.Registry) *Cache {
 // Get returns the cached entry for name, or runs fill to produce it.
 // Concurrent Gets for the same name share one fill. A fill error is
 // returned to every waiter and nothing is cached. The returned entry is
-// valid even when it was immediately evicted for exceeding the budget.
+// valid even when it was not admitted or was immediately evicted.
 func (c *Cache) Get(name string, fill func() (*Entry, error)) (*Entry, error) {
+	return c.GetScoped("", name, fill)
+}
+
+// count increments the unlabeled counter for family and, when the
+// caller declared a scope, its scope-labeled twin. The unlabeled family
+// stays the cache-wide total; the labeled one attributes traffic to one
+// sharer (a Chunked tile) of a shared cache.
+func (c *Cache) count(reg *obs.Registry, family, scope string) {
+	reg.Counter(family).Inc()
+	if scope != "" {
+		reg.Counter(family, "scope", scope).Inc()
+	}
+}
+
+// GetScoped is Get with a scope label on the hit/miss/coalesced
+// counters, so sharers of one cache (the tiles of a Chunked store) keep
+// individually observable hit rates. scope "" is plain Get. Residency
+// and eviction are cache-wide regardless of scope — names must be
+// unique across sharers (fragment names embed the tile prefix).
+func (c *Cache) GetScoped(scope, name string, fill func() (*Entry, error)) (*Entry, error) {
 	if c == nil {
 		return fill()
 	}
@@ -96,13 +128,13 @@ func (c *Cache) Get(name string, fill func() (*Entry, error)) (*Entry, error) {
 		c.ll.MoveToFront(el)
 		reg := c.reg
 		c.mu.Unlock()
-		reg().Counter("fragcache.hits").Inc()
+		c.count(reg(), "fragcache.hits", scope)
 		return el.Value.(*Entry), nil
 	}
 	if fl, ok := c.flights[name]; ok {
 		reg := c.reg
 		c.mu.Unlock()
-		reg().Counter("fragcache.coalesced").Inc()
+		c.count(reg(), "fragcache.coalesced", scope)
 		<-fl.done
 		return fl.e, fl.err
 	}
@@ -110,7 +142,7 @@ func (c *Cache) Get(name string, fill func() (*Entry, error)) (*Entry, error) {
 	c.flights[name] = fl
 	c.mu.Unlock()
 
-	c.reg().Counter("fragcache.misses").Inc()
+	c.count(c.reg(), "fragcache.misses", scope)
 	sp := c.reg().Start("fragcache.fill")
 	fl.e, fl.err = fill()
 	sp.End()
@@ -118,14 +150,22 @@ func (c *Cache) Get(name string, fill func() (*Entry, error)) (*Entry, error) {
 	c.mu.Lock()
 	delete(c.flights, name)
 	if fl.err == nil && fl.e != nil {
-		// A fill can race with Invalidate (a compaction finishing while
-		// the fill is in flight). Inserting the stale entry is harmless:
-		// once the manifest drops a fragment its name is never requested
-		// again, so the entry just ages out of the LRU.
-		if _, ok := c.items[name]; !ok {
-			c.items[name] = c.ll.PushFront(fl.e)
-			c.size += fl.e.Bytes
-			c.evictLocked()
+		switch {
+		case fl.e.Bytes*2 > c.budget:
+			// Admission guard: an entry that would claim more than half
+			// the budget is served but not retained — caching it would
+			// evict an entire hot working set for one probably-cold read.
+			c.reg().Counter("fragcache.rejected").Inc()
+		default:
+			// A fill can race with Invalidate (a compaction finishing while
+			// the fill is in flight). Inserting the stale entry is harmless:
+			// once the manifest drops a fragment its name is never requested
+			// again, so the entry just ages out of the LRU.
+			if _, ok := c.items[name]; !ok {
+				c.items[name] = c.ll.PushFront(fl.e)
+				c.size += fl.e.Bytes
+				c.evictLocked()
+			}
 		}
 		c.updateGaugesLocked()
 	}
@@ -135,9 +175,9 @@ func (c *Cache) Get(name string, fill func() (*Entry, error)) (*Entry, error) {
 }
 
 // evictLocked removes least-recently-used entries until the size fits
-// the budget. An entry larger than the whole budget is evicted
-// immediately after insertion; its caller keeps using the returned
-// pointer, the cache just retains nothing.
+// the budget. The admission guard keeps any single entry at or below
+// half the budget, so eviction only ever trims the LRU tail — it never
+// has to clear the whole cache for one oversized insert.
 func (c *Cache) evictLocked() {
 	for c.size > c.budget && c.ll.Len() > 0 {
 		el := c.ll.Back()
@@ -192,4 +232,13 @@ func (c *Cache) SizeBytes() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.size
+}
+
+// Budget returns the byte budget the cache was created with (0 for the
+// nil, disabled cache).
+func (c *Cache) Budget() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.budget
 }

@@ -111,6 +111,76 @@ func TestBudgetOneInsertThenEvict(t *testing.T) {
 	}
 }
 
+// TestAdmissionRejectsGiantEntries: one oversized fill must not evict a
+// hot working set — it is served to its caller and never retained.
+func TestAdmissionRejectsGiantEntries(t *testing.T) {
+	reg := obs.New()
+	c := New(100, func() *obs.Registry { return reg })
+	var calls atomic.Int64
+	c.Get("hot1", mkFill("hot1", 30, &calls))
+	c.Get("hot2", mkFill("hot2", 30, &calls))
+
+	e, err := c.Get("giant", mkFill("giant", 60, &calls))
+	if err != nil || e == nil || e.Name != "giant" {
+		t.Fatalf("Get(giant) = %v, %v", e, err)
+	}
+	if c.Len() != 2 || c.SizeBytes() != 60 {
+		t.Errorf("after giant fill: len=%d size=%d, want 2/60 (working set intact)", c.Len(), c.SizeBytes())
+	}
+	// The working set still hits; the giant refills every time.
+	before := calls.Load()
+	c.Get("hot1", mkFill("hot1", 30, &calls))
+	c.Get("hot2", mkFill("hot2", 30, &calls))
+	if calls.Load() != before {
+		t.Errorf("hot entries evicted by a rejected giant (%d extra fills)", calls.Load()-before)
+	}
+	c.Get("giant", mkFill("giant", 60, &calls))
+	if calls.Load() != before+1 {
+		t.Errorf("rejected giant was retained (fills = %d, want %d)", calls.Load(), before+1)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["fragcache.rejected"]; got != 2 {
+		t.Errorf("rejected = %d, want 2", got)
+	}
+	if got := snap.Counters["fragcache.evictions"]; got != 0 {
+		t.Errorf("evictions = %d, want 0 (admission must preempt eviction)", got)
+	}
+	// Exactly half the budget is still admissible: a repeat Get hits.
+	c.Get("half", mkFill("half", 50, &calls))
+	before = calls.Load()
+	c.Get("half", mkFill("half", 50, &calls))
+	if calls.Load() != before {
+		t.Error("a budget/2 entry was rejected")
+	}
+}
+
+// TestScopedCounters: GetScoped attributes hits and misses to each
+// sharer of the cache while the unlabeled totals cover everyone.
+func TestScopedCounters(t *testing.T) {
+	reg := obs.New()
+	c := New(1<<20, func() *obs.Registry { return reg })
+	var calls atomic.Int64
+	c.GetScoped("t-0", "t-0/frag-000000", mkFill("t-0/frag-000000", 8, &calls))
+	c.GetScoped("t-0", "t-0/frag-000000", mkFill("t-0/frag-000000", 8, &calls))
+	c.GetScoped("t-1", "t-1/frag-000000", mkFill("t-1/frag-000000", 8, &calls))
+	c.Get("plain", mkFill("plain", 8, &calls))
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"fragcache.misses": 3,
+		"fragcache.hits":   1,
+		obs.Name("fragcache.misses", "scope", "t-0"): 1,
+		obs.Name("fragcache.hits", "scope", "t-0"):   1,
+		obs.Name("fragcache.misses", "scope", "t-1"): 1,
+		obs.Name("fragcache.hits", "scope", "t-1"):   0,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
 func TestFillErrorNotCached(t *testing.T) {
 	c := New(100, nil)
 	boom := errors.New("boom")

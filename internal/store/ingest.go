@@ -1,7 +1,9 @@
 package store
 
 import (
+	"errors"
 	"fmt"
+	"iter"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,26 +15,36 @@ import (
 	"sparseart/internal/tensor"
 )
 
-// This file implements the batched ingest pipeline: WriteBatch runs the
-// CPU phases of Algorithm 3's WRITE (format Build, value Reorg,
-// fragment Encode — including payload compression) for many fragments
-// concurrently on a bounded worker pool, while the caller's goroutine
-// acts as the committer, performing the file writes and manifest-log
-// appends in deterministic fragment order. The result is byte-identical
-// to a serial loop of Write — same fragment names, same file contents,
-// same manifest state — only faster, because the paper's
-// assembly-dominated Build/Encode phases overlap across fragments.
+// This file implements the batched ingest pipeline: the CPU phases of
+// Algorithm 3's WRITE (format Build, value Reorg, fragment Encode —
+// including payload compression) run for many fragments concurrently on
+// a bounded worker pool, while the caller's goroutine acts as the
+// committer, performing the file writes and manifest commits in
+// deterministic fragment order. The result is byte-identical to a
+// serial loop of Write — same fragment names, same file contents, same
+// manifest state — only faster, because the paper's assembly-dominated
+// Build/Encode phases overlap across fragments, and (with group commit)
+// cheaper in metadata, because manifest-log records land in one Append
+// per checkpoint interval instead of one per fragment.
+//
+// The primary surface is streaming: WriteBatchFunc delivers each
+// fragment's WriteReport as it becomes durable, WriteBatchSeq wraps
+// that as an iterator, and WriteBatch is a thin collector kept for
+// callers that want the full report slice. The same committer drives
+// Chunked's cross-tile ingest (chunked_ingest.go), which moves it
+// across tile stores in (tile, fragment) order.
 
 // Observability names for the ingest pipeline. Per-fragment phase work
 // still feeds the store.write.* histograms (so Table III tooling sees
 // one distribution regardless of ingest path); the names below cover
 // the pipeline itself.
 const (
-	obsIngest = "store.ingest" // root span per WriteBatch
+	obsIngest = "store.ingest" // root span per WriteBatch/WriteBatchFunc
 )
 
-// Batch is one fragment's worth of input to WriteBatch: a coordinate
-// buffer and its aligned values, exactly the arguments of one Write.
+// Batch is one fragment's worth of input to the batched ingest: a
+// coordinate buffer and its aligned values, exactly the arguments of
+// one Write.
 type Batch struct {
 	Coords *tensor.Coords
 	Values []float64
@@ -52,40 +64,78 @@ type ingestJob struct {
 	bbox    tensor.BBox
 	err     error
 	done    chan struct{}
+	// extraOthers is charged to the report's Others phase at commit
+	// time; the chunked ingest uses it to attribute tile-store setup
+	// cost to the tile's first fragment.
+	extraOthers time.Duration
 }
 
-// WriteBatch ingests many fragments through a parallel build pipeline.
-// Fragments are numbered and committed in batch order, so the on-disk
-// result is byte-identical to calling Write once per batch; workers
-// bounds the CPU-phase concurrency (values < 1 mean all cores, as in
-// psort.Workers).
-//
-// Reporting semantics under concurrency match ReadParallel: each
-// returned WriteReport's phase durations measure that fragment's
-// aggregate work (Build/Reorg/Encode on whichever worker ran them,
-// Write/Others on the committer), not elapsed wall time, and on a
-// cost-modeled backend the modeled I/O is attributed exactly because
-// only the committer touches the file system.
-//
-// On error, ingestion stops: fragments committed before the failure
-// remain durable and visible (exactly as if that prefix of Writes had
-// run), and no report list is returned.
-func (s *Store) WriteBatch(batches []Batch, workers int) ([]*WriteReport, error) {
+// errStopIngest is the sentinel the iterator wrappers use when their
+// consumer breaks out of the range loop; it never escapes to callers.
+var errStopIngest = errors.New("store: ingest stopped by consumer")
+
+// resolveIngestWorkers picks the CPU-stage pool width: an explicit
+// request >= 1 wins, then the store's WithIngestWorkers default, then
+// every core (psort.Workers); always clamped to the job count.
+func resolveIngestWorkers(requested, configured, jobs int) int {
+	if requested < 1 && configured > 0 {
+		requested = configured
+	}
+	w := psort.Workers(requested)
+	if w > jobs {
+		w = jobs
+	}
+	return w
+}
+
+// validateBatches runs the per-batch argument checks shared by every
+// ingest entry point.
+func (s *Store) validateBatches(batches []Batch) error {
 	for i, b := range batches {
 		if b.Coords.Len() != len(b.Values) {
-			return nil, fmt.Errorf("store: batch %d: %d points with %d values", i, b.Coords.Len(), len(b.Values))
+			return fmt.Errorf("store: batch %d: %d points with %d values", i, b.Coords.Len(), len(b.Values))
 		}
 		if b.Coords.Dims() != s.shape.Dims() {
-			return nil, fmt.Errorf("store: batch %d: %d-dim coords for %d-dim store", i, b.Coords.Dims(), s.shape.Dims())
+			return fmt.Errorf("store: batch %d: %d-dim coords for %d-dim store", i, b.Coords.Dims(), s.shape.Dims())
 		}
 	}
+	return nil
+}
+
+// WriteBatchFunc ingests many fragments through the parallel build
+// pipeline, streaming results instead of materializing them. Fragments
+// are numbered and committed in batch order, so the on-disk result is
+// byte-identical to calling Write once per batch; workers bounds the
+// CPU-phase concurrency (values < 1 mean the WithIngestWorkers default,
+// or all cores).
+//
+// fn runs on the caller's goroutine: once per fragment, in batch order,
+// with (index, report, nil) — called only after the fragment is durable
+// (its manifest record flushed, under group commit possibly together
+// with its neighbors') — and at most once more with (index, nil, err)
+// if ingestion stops on an error. Returning a non-nil error from fn
+// stops the ingest after the fragments already committed; that error is
+// what WriteBatchFunc returns.
+//
+// Reporting semantics under concurrency match ReadParallel: each
+// WriteReport's phase durations measure that fragment's aggregate work
+// (Build/Reorg/Encode on whichever worker ran them, Write/Others on the
+// committer), not elapsed wall time, and on a cost-modeled backend the
+// modeled I/O is attributed exactly because only the committer touches
+// the file system. Under group commit the flush's metadata cost lands
+// on the fragment whose commit triggered it.
+//
+// On error, ingestion stops: fragments committed before the failure
+// remain durable and visible, exactly as if that prefix of Writes had
+// run.
+func (s *Store) WriteBatchFunc(batches []Batch, workers int, fn func(i int, rep *WriteReport, err error) error) error {
+	if err := s.validateBatches(batches); err != nil {
+		return err
+	}
 	if len(batches) == 0 {
-		return nil, nil
+		return nil
 	}
-	workers = psort.Workers(workers)
-	if workers > len(batches) {
-		workers = len(batches)
-	}
+	workers = resolveIngestWorkers(workers, s.ingestWorkers, len(batches))
 	s.takeCost() // discard any cost accrued outside this call
 
 	reg := s.obsReg()
@@ -94,15 +144,98 @@ func (s *Store) WriteBatch(batches []Batch, workers int) ([]*WriteReport, error)
 	defer root.End()
 	reg.Gauge("store.ingest.workers", "kind", kind).Set(int64(workers))
 
+	jobs, abort, wg := s.startPrepare(batches, workers, root)
+
+	// Commit stage, on the caller's goroutine: deterministic fragment
+	// order, one file write per fragment, manifest records appended
+	// singly or group-committed per the store's policy.
+	ic := &ingestCommitter{root: root, fn: fn}
+	for i := range jobs {
+		<-jobs[i].done
+		j := &jobs[i]
+		if ic.firstErr != nil {
+			recycleJob(j)
+			continue
+		}
+		if j.err != nil {
+			ic.failPrepared(s, i, j.err)
+		} else {
+			ic.commit(s, i, j, i == len(jobs)-1)
+		}
+		if ic.firstErr != nil {
+			abort.Store(true)
+		}
+	}
+	wg.Wait()
+	if ic.firstErr != nil {
+		if ic.firstErr != errStopIngest {
+			reg.Counter("store.write.errors", "kind", kind).Inc()
+		}
+		return ic.firstErr
+	}
+	reg.Counter("store.ingest.count", "kind", kind).Inc()
+	reg.Counter("store.ingest.fragments", "kind", kind).Add(int64(ic.committed))
+	reg.Gauge("store.fragments", "kind", kind).Set(int64(len(s.frags)))
+	return nil
+}
+
+// WriteBatchSeq returns the ingest as a Go 1.23 iterator over
+// (report, error) pairs: reports stream in batch order as fragments
+// become durable; on failure the final pair carries the error. Breaking
+// out of the loop stops the ingest after the fragments already
+// committed (they stay durable, like every error path).
+//
+//	for rep, err := range st.WriteBatchSeq(batches, 8) {
+//		if err != nil { ... }
+//	}
+func (s *Store) WriteBatchSeq(batches []Batch, workers int) iter.Seq2[*WriteReport, error] {
+	return func(yield func(*WriteReport, error) bool) {
+		err := s.WriteBatchFunc(batches, workers, func(_ int, rep *WriteReport, err error) error {
+			if err != nil {
+				return nil // surfaced by the final yield below
+			}
+			if !yield(rep, nil) {
+				return errStopIngest
+			}
+			return nil
+		})
+		if err != nil && err != errStopIngest {
+			yield(nil, err)
+		}
+	}
+}
+
+// WriteBatch is the collecting form of WriteBatchFunc, kept for callers
+// that want every report at once; new code should prefer the streaming
+// surfaces, which don't hold O(batches) reports alive. On error no
+// report list is returned (the committed prefix is durable regardless).
+func (s *Store) WriteBatch(batches []Batch, workers int) ([]*WriteReport, error) {
+	if len(batches) == 0 {
+		return nil, s.validateBatches(batches)
+	}
+	reports := make([]*WriteReport, 0, len(batches))
+	err := s.WriteBatchFunc(batches, workers, func(_ int, rep *WriteReport, err error) error {
+		if err == nil {
+			reports = append(reports, rep)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reports, nil
+}
+
+// startPrepare launches the CPU stage: a bounded pool drains the batch
+// list in order (order only matters for cache locality; the committer
+// re-establishes commit order by waiting on each job in turn). The
+// abort flag lets workers skip useless work once the committer has seen
+// a failure.
+func (s *Store) startPrepare(batches []Batch, workers int, root *obs.Span) ([]ingestJob, *atomic.Bool, *sync.WaitGroup) {
 	jobs := make([]ingestJob, len(batches))
 	for i := range jobs {
 		jobs[i].done = make(chan struct{})
 	}
-
-	// CPU stage: a bounded pool drains the batch list in order (order
-	// only matters for cache locality; the committer re-establishes
-	// commit order by waiting on each job in turn). An abort flag lets
-	// workers skip useless work once the committer has seen a failure.
 	var abort atomic.Bool
 	feed := make(chan int)
 	var wg sync.WaitGroup
@@ -124,40 +257,115 @@ func (s *Store) WriteBatch(batches []Batch, workers int) ([]*WriteReport, error)
 		}
 		close(feed)
 	}()
+	return jobs, &abort, &wg
+}
 
-	// Commit stage, on the caller's goroutine: deterministic fragment
-	// order, one file write plus one manifest-log append per fragment.
-	reports := make([]*WriteReport, 0, len(batches))
-	var firstErr error
-	for i := range jobs {
-		<-jobs[i].done
-		j := &jobs[i]
-		if firstErr != nil {
-			recycleJob(j)
-			continue
+// queuedReport is a committed-but-not-yet-durable fragment's report,
+// held back until its group's flush so callers never see a report the
+// log could still lose.
+type queuedReport struct {
+	idx int
+	rep *WriteReport
+}
+
+// commitOutcome classifies what commitPrepared made durable.
+type commitOutcome int
+
+const (
+	// commitStaged: the fragment's record joined the group buffer; it
+	// becomes durable at the group's flush.
+	commitStaged commitOutcome = iota
+	// commitDurable: the fragment (and any group it flushed with) is
+	// durable. May still carry an error if a checkpoint fold failed
+	// after the flush — the records survive and replay on the next Open.
+	commitDurable
+	// commitRolledBack: the group flush failed; every fragment staged
+	// since the last flush was rolled back from the in-memory state.
+	commitRolledBack
+	// commitFailed: this fragment failed before reaching the log; any
+	// staged prefix is untouched.
+	commitFailed
+)
+
+// ingestCommitter drives the commit stage of a batched ingest: it
+// applies prepared fragments in deterministic order, holds reports back
+// until their manifest records are durable, and streams them through
+// fn. One committer serves the flat WriteBatchFunc and the chunked
+// cross-tile ingest (which moves it across tile stores; reports are
+// only ever queued against the store currently committing, because each
+// tile flushes before the committer moves to the next). Methods run on
+// one goroutine — the ingest caller's.
+type ingestCommitter struct {
+	root      *obs.Span
+	fn        func(int, *WriteReport, error) error
+	queued    []queuedReport
+	committed int
+	firstErr  error
+}
+
+// deliver streams the queued reports — now durable — to fn in order.
+// If fn asks to stop, remaining reports are dropped (their fragments
+// stay durable) and firstErr records the stop.
+func (ic *ingestCommitter) deliver() {
+	for _, q := range ic.queued {
+		if ic.firstErr == nil {
+			if err := ic.fn(q.idx, q.rep, nil); err != nil {
+				ic.firstErr = err
+			} else {
+				ic.committed++
+			}
 		}
-		if j.err != nil {
-			firstErr = j.err
-			abort.Store(true)
-			continue
-		}
-		rep, err := s.commitPrepared(j, root)
-		if err != nil {
-			firstErr = err
-			abort.Store(true)
-			continue
-		}
-		reports = append(reports, rep)
 	}
-	wg.Wait()
-	if firstErr != nil {
-		reg.Counter("store.write.errors", "kind", kind).Inc()
-		return nil, firstErr
+	ic.queued = ic.queued[:0]
+}
+
+// abort reports the terminal error to fn (unless fn already stopped the
+// ingest itself) and records it.
+func (ic *ingestCommitter) abort(idx int, err error) {
+	if ic.firstErr == nil {
+		ic.fn(idx, nil, err)
+		ic.firstErr = err
 	}
-	reg.Counter("store.ingest.count", "kind", kind).Inc()
-	reg.Counter("store.ingest.fragments", "kind", kind).Add(int64(len(reports)))
-	reg.Gauge("store.fragments", "kind", kind).Set(int64(len(s.frags)))
-	return reports, nil
+}
+
+// failPrepared handles a fragment that failed before its manifest
+// commit (a prepare error or fragment-file write error): the staged
+// prefix, if any, is flushed so fragments committed before the failure
+// stay visible, then the failure is reported.
+func (ic *ingestCommitter) failPrepared(st *Store, idx int, err error) {
+	if rolledBack, ferr := st.flushStaged(); ferr != nil {
+		if rolledBack {
+			ic.queued = ic.queued[:0]
+		} else {
+			ic.deliver() // records landed; only the checkpoint fold failed
+		}
+		// The original failure still wins over the flush error.
+	} else {
+		ic.deliver()
+	}
+	ic.abort(idx, err)
+}
+
+// commit persists one prepared fragment into st and streams whatever
+// became durable. final marks st's last fragment of this ingest,
+// forcing the group flush.
+func (ic *ingestCommitter) commit(st *Store, idx int, j *ingestJob, final bool) {
+	rep, outcome, err := st.commitPrepared(j, ic.root, final)
+	switch outcome {
+	case commitStaged:
+		ic.queued = append(ic.queued, queuedReport{idx: idx, rep: rep})
+	case commitDurable:
+		ic.queued = append(ic.queued, queuedReport{idx: idx, rep: rep})
+		ic.deliver()
+		if err != nil { // the checkpoint fold failed after a durable flush
+			ic.abort(idx, err)
+		}
+	case commitRolledBack:
+		ic.queued = ic.queued[:0]
+		ic.abort(idx, err)
+	case commitFailed:
+		ic.failPrepared(st, idx, err)
+	}
 }
 
 // prepareBatch runs the CPU phases for one batch on a pool worker:
@@ -218,9 +426,14 @@ func (s *Store) prepareBatch(j *ingestJob, b Batch, root *obs.Span) {
 }
 
 // commitPrepared persists one prepared fragment: the file write, the
-// manifest-log append, and the cost-model accounting, in exactly the
-// order and attribution Write uses. Runs only on the committer.
-func (s *Store) commitPrepared(j *ingestJob, root *obs.Span) (*WriteReport, error) {
+// manifest commit, and the cost-model accounting, in exactly the order
+// and attribution Write uses. Under group commit the manifest record is
+// staged, and flushed (in one Append with its group) when the
+// checkpoint cadence is reached or final is set — exactly the fragment
+// boundaries where a serial commit loop would have checkpointed, which
+// is what keeps the on-disk bytes identical. Runs only on the
+// committer goroutine.
+func (s *Store) commitPrepared(j *ingestJob, root *obs.Span, final bool) (*WriteReport, commitOutcome, error) {
 	reg := s.obsReg()
 	kind := s.kind.String()
 	rep := j.rep
@@ -232,7 +445,7 @@ func (s *Store) commitPrepared(j *ingestJob, root *obs.Span) (*WriteReport, erro
 	t := time.Now()
 	if err := s.fs.WriteFile(name, enc); err != nil {
 		sp.End()
-		return nil, fmt.Errorf("store: write fragment: %w", err)
+		return nil, commitFailed, fmt.Errorf("store: write fragment: %w", err)
 	}
 	wall := time.Since(t)
 	var pendingMeta time.Duration
@@ -250,11 +463,25 @@ func (s *Store) commitPrepared(j *ingestJob, root *obs.Span) (*WriteReport, erro
 	sp = root.Child(obsWriteOthers)
 	sp.Add(pendingMeta)
 	t = time.Now()
-	if err := s.commitFragment(fragRef{
-		name: name, nnz: uint64(rep.NNZ), bytes: int64(len(enc)), bbox: j.bbox,
-	}); err != nil {
+	outcome := commitDurable
+	var commitErr error
+	fr := fragRef{name: name, nnz: uint64(rep.NNZ), bytes: int64(len(enc)), bbox: j.bbox}
+	if s.groupCommit {
+		s.stageFragment(fr)
+		if final || s.groupFlushDue() {
+			rolledBack, err := s.flushStaged()
+			if err != nil {
+				if rolledBack {
+					outcome = commitRolledBack
+				}
+				commitErr = err
+			}
+		} else {
+			outcome = commitStaged
+		}
+	} else if err := s.commitFragment(fr); err != nil {
 		sp.End()
-		return nil, err
+		return nil, commitFailed, err
 	}
 	wall = time.Since(t)
 	if cost, ok := s.takeCost(); ok {
@@ -263,7 +490,12 @@ func (s *Store) commitPrepared(j *ingestJob, root *obs.Span) (*WriteReport, erro
 	} else {
 		rep.Others += wall
 	}
+	rep.Others += j.extraOthers
+	sp.Add(j.extraOthers)
 	sp.End()
+	if outcome == commitRolledBack {
+		return nil, outcome, commitErr
+	}
 	reg.Histogram(obsWriteOthers, "kind", kind).Observe(rep.Others)
 
 	rep.Bytes = int64(len(enc))
@@ -271,7 +503,7 @@ func (s *Store) commitPrepared(j *ingestJob, root *obs.Span) (*WriteReport, erro
 	reg.Counter("store.write.count", "kind", kind).Inc()
 	reg.Counter("store.write.bytes", "kind", kind).Add(rep.Bytes)
 	reg.Counter("store.write.nnz", "kind", kind).Add(int64(rep.NNZ))
-	return rep, nil
+	return rep, outcome, commitErr
 }
 
 // recycleJob returns a job's pooled encode buffer. Idempotent.

@@ -75,9 +75,18 @@ func WithManifestCheckpointEvery(k int) Option {
 	}
 }
 
-// initManifestPolicy resolves the checkpoint cadence after options are
-// applied (the environment knob fills in when no option did).
+// groupCommitEnv disables manifest-log group commit ("off"), so CI can
+// pin the per-fragment-append behavior across the whole test suite. An
+// explicit WithGroupCommit wins over the environment.
+const groupCommitEnv = "SPARSEART_MANIFEST_GROUP_COMMIT"
+
+// initManifestPolicy resolves the checkpoint cadence and the
+// group-commit switch after options are applied (the environment knobs
+// fill in when no option did).
 func (s *Store) initManifestPolicy() {
+	if !s.groupSet {
+		s.groupCommit = os.Getenv(groupCommitEnv) != "off"
+	}
 	if s.ckptSet {
 		return
 	}
@@ -89,19 +98,25 @@ func (s *Store) initManifestPolicy() {
 // logName returns the store's manifest-log path.
 func (s *Store) logName() string { return s.prefix + "/" + manifestLogName }
 
-// checkpointDue reports whether the log has grown past the cadence.
-func (s *Store) checkpointDue() bool {
+// cadence returns the checkpoint threshold in log records: the explicit
+// WithManifestCheckpointEvery value, or the adaptive policy — let the
+// log grow to the checkpoint's size before paying an O(fragments) fold,
+// so per-write metadata cost stays amortized O(1) no matter how many
+// fragments accumulate.
+func (s *Store) cadence() int {
 	k := s.ckptEvery
 	if k <= 0 {
-		// Adaptive: let the log grow to the checkpoint's size before
-		// paying an O(fragments) fold, so per-write metadata cost stays
-		// amortized O(1) no matter how many fragments accumulate.
 		k = s.lastCkptFrags
 		if k < defaultCheckpointMin {
 			k = defaultCheckpointMin
 		}
 	}
-	return s.logRecords >= k
+	return k
+}
+
+// checkpointDue reports whether the log has grown past the cadence.
+func (s *Store) checkpointDue() bool {
+	return s.logRecords >= s.cadence()
 }
 
 // encodeLogBody serializes one record body (see the frame spec above).
@@ -151,25 +166,34 @@ func decodeLogBody(body []byte, dims int) (fr fragRef, id uint64, err error) {
 	return fr, id, nil
 }
 
-// appendRecord frames and appends one fragment record to the manifest
-// log — the O(1) replacement for the per-write manifest rewrite.
-func (s *Store) appendRecord(fr fragRef, id uint64) error {
-	body := buf.GetWriter(64 + 32*s.shape.Dims())
+// appendFramedRecord frames one record (magic, CRC, length, body) onto
+// dst. The frame is identical whether a record travels alone
+// (appendRecord) or concatenated with its group (stageFragment +
+// flushStaged): replay never needs to know how records were batched.
+func appendFramedRecord(dst []byte, fr fragRef, id uint64, dims int) []byte {
+	body := buf.GetWriter(64 + 32*dims)
 	defer buf.PutWriter(body)
-	encodeLogBody(body, fr, id, s.shape.Dims())
+	encodeLogBody(body, fr, id, dims)
 	rec := buf.GetWriter(12 + body.Len())
 	defer buf.PutWriter(rec)
 	rec.U32(manifestLogMagic)
 	rec.U32(crc32.ChecksumIEEE(body.Bytes()))
 	rec.Bytes32(body.Bytes())
-	if err := s.fs.Append(s.logName(), rec.Bytes()); err != nil {
+	return append(dst, rec.Bytes()...)
+}
+
+// appendRecord frames and appends one fragment record to the manifest
+// log — the O(1) replacement for the per-write manifest rewrite.
+func (s *Store) appendRecord(fr fragRef, id uint64) error {
+	rec := appendFramedRecord(nil, fr, id, s.shape.Dims())
+	if err := s.fs.Append(s.logName(), rec); err != nil {
 		return fmt.Errorf("store: append manifest log: %w", err)
 	}
 	s.logRecords++
 	reg := s.obsReg()
 	kind := s.kind.String()
 	reg.Counter("store.manifest.log.appends", "kind", kind).Inc()
-	reg.Counter("store.manifest.log.bytes", "kind", kind).Add(int64(rec.Len()))
+	reg.Counter("store.manifest.log.bytes", "kind", kind).Add(int64(len(rec)))
 	reg.Gauge("store.manifest.log.records", "kind", kind).Set(int64(s.logRecords))
 	return nil
 }
@@ -192,6 +216,64 @@ func (s *Store) commitFragment(fr fragRef) error {
 		return s.checkpoint()
 	}
 	return nil
+}
+
+// stageFragment publishes one fragment into the in-memory state and the
+// group-commit staging buffer: the framed record joins its group and
+// becomes durable at the next flushStaged, which lands every staged
+// record in one manifest-log Append. Callers (the batched-ingest
+// committer) must flush before reporting the fragment as committed —
+// the recovery invariant "fragment file durable before its record" is
+// unchanged; the record is just not durable yet.
+func (s *Store) stageFragment(fr fragRef) {
+	id := s.nextID
+	s.nextID++
+	s.frags = append(s.frags, fr)
+	s.staged = appendFramedRecord(s.staged, fr, id, s.shape.Dims())
+	s.stagedRecs++
+}
+
+// groupFlushDue reports whether the staged group has reached the
+// checkpoint cadence. Flushing exactly when (durable + staged) records
+// hit the threshold keeps checkpoint timing — and therefore the final
+// on-disk bytes — identical to a serial per-fragment commit loop.
+func (s *Store) groupFlushDue() bool {
+	return s.logRecords+s.stagedRecs >= s.cadence()
+}
+
+// flushStaged group-commits every staged record in one Append, then
+// checkpoints if the cadence says so — the same sequence the equivalent
+// serial appends would have produced, in O(1) metadata operations
+// instead of O(records). On append failure the staged fragments are
+// rolled back from the in-memory state (their records never reached
+// disk, so a fresh Open agrees they were never committed) and
+// rolledBack is true; a checkpoint failure after a successful append
+// leaves the records durable (rolledBack false) — the next Open simply
+// replays them.
+func (s *Store) flushStaged() (rolledBack bool, err error) {
+	if s.stagedRecs == 0 {
+		return false, nil
+	}
+	n, bytes := s.stagedRecs, len(s.staged)
+	if err := s.fs.Append(s.logName(), s.staged); err != nil {
+		s.frags = s.frags[:len(s.frags)-n]
+		s.nextID -= uint64(n)
+		s.staged, s.stagedRecs = s.staged[:0], 0
+		return true, fmt.Errorf("store: group-commit manifest log: %w", err)
+	}
+	s.logRecords += n
+	s.staged, s.stagedRecs = s.staged[:0], 0
+	reg := s.obsReg()
+	kind := s.kind.String()
+	reg.Counter("store.manifest.log.appends", "kind", kind).Inc()
+	reg.Counter("store.manifest.log.bytes", "kind", kind).Add(int64(bytes))
+	reg.Counter("store.manifest.group.flushes", "kind", kind).Inc()
+	reg.Counter("store.manifest.group.records", "kind", kind).Add(int64(n))
+	reg.Gauge("store.manifest.log.records", "kind", kind).Set(int64(s.logRecords))
+	if s.checkpointDue() {
+		return false, s.checkpoint()
+	}
+	return false, nil
 }
 
 // checkpoint folds the current state into MANIFEST and drops the log.

@@ -1,0 +1,122 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"sparseart/internal/store/fragcache"
+)
+
+// This file holds the chunked-scale configuration surface added with
+// cross-tile batched ingest: a shared reader cache spanning every tile
+// of a Chunked store, a default ingest-pool width, and the manifest
+// group-commit switch. Option misuse is a typed error (OptionError,
+// matching ErrBadOption) surfaced by Create/Open/NewChunked instead of
+// being silently accepted.
+
+// ErrBadOption is the sentinel every option-misuse error matches:
+//
+//	if errors.Is(err, store.ErrBadOption) { ... }
+var ErrBadOption = errors.New("store: invalid option")
+
+// OptionError reports a misused store option: which option, and why its
+// arguments were rejected. It matches ErrBadOption via errors.Is and is
+// returned by Create, Open, and NewChunked — options themselves cannot
+// fail (they run inside the constructor), so the constructor carries
+// the verdict.
+type OptionError struct {
+	Option string // the option's name, e.g. "WithIngestWorkers"
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("store: invalid option %s: %s", e.Option, e.Reason)
+}
+
+func (e *OptionError) Unwrap() error { return ErrBadOption }
+
+// recordOptErr keeps the first misuse seen while options apply.
+func (s *Store) recordOptErr(option, reason string) {
+	if s.optErr == nil {
+		s.optErr = &OptionError{Option: option, Reason: reason}
+	}
+}
+
+// finishOptions validates the applied option set as a whole. Called by
+// Create and Open after every option ran (NewChunked validates the same
+// way on its probe store before forwarding options to tiles).
+func (s *Store) finishOptions() error {
+	if s.optErr != nil {
+		return s.optErr
+	}
+	if s.sharedCache != nil && s.cacheSet {
+		return &OptionError{
+			Option: "WithSharedCache",
+			Reason: "conflicts with WithReaderCache: the shared cache already carries its byte budget",
+		}
+	}
+	return nil
+}
+
+// WithSharedCache makes the store resolve fragments through an
+// externally owned reader cache instead of creating its own. Every
+// store handed the same cache budgets against one pool — this is how
+// the tiles of a Chunked store share a single byte budget (NewChunked
+// wires it automatically; pass it explicitly to share a cache across
+// independent stores or several Chunked stores). Mutually exclusive
+// with WithReaderCache: the shared cache was created with its budget.
+func WithSharedCache(c *fragcache.Cache) Option {
+	return func(s *Store) {
+		if c == nil {
+			s.recordOptErr("WithSharedCache", "nil cache (disable caching with WithReaderCache(0))")
+			return
+		}
+		s.sharedCache = c
+	}
+}
+
+// WithIngestWorkers sets the default CPU-stage pool width for the
+// batched ingest pipeline (WriteBatch and friends) when the call site
+// passes workers < 1. n must be at least 1; without this option the
+// default is every core, as in psort.Workers.
+func WithIngestWorkers(n int) Option {
+	return func(s *Store) {
+		if n < 1 {
+			s.recordOptErr("WithIngestWorkers", fmt.Sprintf("%d workers (need >= 1; omit the option for the all-cores default)", n))
+			return
+		}
+		s.ingestWorkers = n
+	}
+}
+
+// WithGroupCommit sets whether batched ingest group-commits the
+// manifest log: fragment records staged between checkpoint boundaries
+// land in one Append per flush instead of one per fragment, making the
+// metadata cost of an N-fragment batch O(flushes) rather than O(N). On
+// by default; the option exists to pin either behavior against the
+// SPARSEART_MANIFEST_GROUP_COMMIT environment override. The on-disk
+// result is byte-identical either way — only the Append granularity
+// changes. Single-fragment Write/DeleteRegion never group.
+func WithGroupCommit(on bool) Option {
+	return func(s *Store) {
+		s.groupCommit = on
+		s.groupSet = true
+	}
+}
+
+// withTileCache injects a Chunked store's shared cache into one of its
+// tiles, bypassing WithSharedCache's conflict check — the chunked layer
+// has already folded the user's cache options into this one cache, so a
+// forwarded WithReaderCache budget is spent, not conflicting.
+func withTileCache(c *fragcache.Cache) Option {
+	return func(s *Store) {
+		s.sharedCache = c
+		s.cacheSet = false
+	}
+}
+
+// withCacheScope labels this store's traffic on a shared cache (the
+// scope is the tile key), keeping per-tile hit rates observable.
+func withCacheScope(scope string) Option {
+	return func(s *Store) { s.cacheScope = scope }
+}

@@ -82,8 +82,11 @@ func WithReaderCache(budget int64) Option {
 	}
 }
 
-// initCache builds the reader cache after options are applied.
-func (s *Store) initCache() {
+// resolveCacheBudget applies the budget resolution rules — explicit
+// option, then environment override, then the default — without
+// building the cache. NewChunked uses the same resolution to size the
+// one cache all its tiles share.
+func (s *Store) resolveCacheBudget() int64 {
 	budget := s.cacheBudget
 	if !s.cacheSet {
 		budget = DefaultCacheBudget
@@ -97,7 +100,18 @@ func (s *Store) initCache() {
 			}
 		}
 	}
-	if budget > 0 {
+	return budget
+}
+
+// initCache builds the reader cache after options are applied. An
+// injected shared cache (WithSharedCache, or a Chunked parent's cache)
+// takes precedence over any per-store budget.
+func (s *Store) initCache() {
+	if s.sharedCache != nil {
+		s.cache = s.sharedCache
+		return
+	}
+	if budget := s.resolveCacheBudget(); budget > 0 {
 		s.cache = fragcache.New(budget, s.obsReg)
 	}
 }
@@ -161,18 +175,36 @@ type Store struct {
 	nextID    uint64
 
 	// cache holds decoded fragment readers; nil when disabled. See
-	// WithReaderCache for the budget resolution rules.
+	// WithReaderCache for the budget resolution rules. sharedCache is an
+	// externally owned cache (WithSharedCache or a Chunked parent) that
+	// overrides the per-store budget; cacheScope labels this store's
+	// traffic on a shared cache (per-tile hit metrics).
 	cache       *fragcache.Cache
+	sharedCache *fragcache.Cache
+	cacheScope  string
 	cacheBudget int64
 	cacheSet    bool
+
+	// Batched-ingest configuration (options.go): the default worker-pool
+	// width when a WriteBatch call passes workers < 1, and whether the
+	// committer group-commits manifest-log records. optErr holds the
+	// first option misuse, surfaced by Create/Open/NewChunked.
+	ingestWorkers int
+	groupCommit   bool
+	groupSet      bool
+	optErr        error
 
 	// Manifest-log state (see manifest.go): the checkpoint cadence, the
 	// number of records currently in MANIFEST.LOG, and the fragment
 	// count at the last checkpoint (the adaptive cadence's threshold).
+	// staged buffers framed records awaiting a group-commit flush
+	// (stagedRecs fragments' worth, appended in one fs.Append).
 	ckptEvery     int
 	ckptSet       bool
 	logRecords    int
 	lastCkptFrags int
+	staged        []byte
+	stagedRecs    int
 }
 
 // obsReg resolves the store's registry: the injected one if any,
@@ -216,6 +248,9 @@ func Create(fs fsim.FS, prefix string, kind core.Kind, shape tensor.Shape, opts 
 	s := &Store{fs: fs, prefix: prefix, kind: kind, format: f, shape: shape.Clone(), lin: lin}
 	for _, o := range opts {
 		o(s)
+	}
+	if err := s.finishOptions(); err != nil {
+		return nil, err
 	}
 	if _, err := compress.Get(s.codec); err != nil {
 		return nil, err
@@ -282,6 +317,9 @@ func Open(fs fsim.FS, prefix string, opts ...Option) (*Store, error) {
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if err := s.finishOptions(); err != nil {
+		return nil, err
 	}
 	s.codec = codec // the manifest's codec is authoritative
 	s.initCache()

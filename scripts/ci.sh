@@ -47,6 +47,20 @@ SPARSEART_MANIFEST_CHECKPOINT_EVERY=1 go test ./internal/store/...
 echo "==> go test (manifest checkpoint effectively never)"
 SPARSEART_MANIFEST_CHECKPOINT_EVERY=1000000 go test ./internal/store/...
 
+# The chunked store must behave identically with the shared reader
+# cache replaced by per-tile caches, with manifest group commit
+# disabled (one append per fragment), and with both off at once —
+# the full scale-out feature matrix.
+echo "==> go test (chunked shared cache off)"
+SPARSEART_CHUNKED_SHARED_CACHE=off go test ./internal/store/...
+
+echo "==> go test (manifest group commit off)"
+SPARSEART_MANIFEST_GROUP_COMMIT=off go test ./internal/store/...
+
+echo "==> go test (shared cache off + group commit off)"
+SPARSEART_CHUNKED_SHARED_CACHE=off SPARSEART_MANIFEST_GROUP_COMMIT=off \
+    go test ./internal/store/...
+
 if [ "$FUZZ_SECONDS" -gt 0 ]; then
     echo "==> fuzz smoke (${FUZZ_SECONDS}s per target)"
     # Enumerate every fuzz target and give each a short budget. Go only

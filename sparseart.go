@@ -30,7 +30,9 @@ import (
 	"sparseart/internal/fsim"
 	"sparseart/internal/gen"
 	"sparseart/internal/linalg"
+	"sparseart/internal/obs"
 	"sparseart/internal/store"
+	"sparseart/internal/store/fragcache"
 	"sparseart/internal/tensor"
 )
 
@@ -88,10 +90,61 @@ type (
 	StoreOption = store.Option
 	// CompactReport summarizes a fragment consolidation.
 	CompactReport = store.CompactReport
-	// Batch is one fragment's worth of input to Store.WriteBatch: the
+	// Batch is one fragment's worth of input to the batched ingest: the
 	// arguments of one Write, ingested through the parallel pipeline.
 	Batch = store.Batch
+	// ReaderCache is a byte-budgeted LRU fragment cache; share one
+	// across stores (or across a ChunkedStore's tiles) with
+	// WithSharedCache.
+	ReaderCache = fragcache.Cache
 )
+
+// Streaming ingest is the primary batched-write surface. Both Store and
+// ChunkedStore expose it in three forms:
+//
+//	err := st.WriteBatchFunc(batches, workers, func(i int, rep *sparseart.WriteReport, err error) error {
+//		// Called in commit order, after each fragment is durable.
+//		return nil
+//	})
+//
+//	for rep, err := range st.WriteBatchSeq(batches, workers) { ... }
+//
+//	reps, err := st.WriteBatch(batches, workers) // collecting form
+//
+// All three leave the file system byte-identical to a serial loop of
+// Write; ChunkedStore additionally fans one logical batch list out
+// across every tile it touches, preparing all tiles' fragments on one
+// shared worker pool. Prefer the streaming forms for large ingests —
+// they don't hold O(batches) reports alive.
+
+// NewReaderCache builds a shared fragment cache with a global byte
+// budget, for WithSharedCache. Entries larger than half the budget are
+// served but never retained.
+func NewReaderCache(budgetBytes int64) *ReaderCache {
+	return fragcache.New(budgetBytes, obs.Global)
+}
+
+// Option misuse (a nil shared cache, a non-positive worker count,
+// conflicting cache options) surfaces from the constructors as a typed
+// error matching ErrBadOption.
+var ErrBadOption = store.ErrBadOption
+
+// OptionError reports which store option was misused and why.
+type OptionError = store.OptionError
+
+// WithSharedCache makes the store resolve fragments through an
+// externally owned cache, sharing its single byte budget; handed to
+// CreateChunkedStore it becomes the budget for every tile.
+func WithSharedCache(c *ReaderCache) StoreOption { return store.WithSharedCache(c) }
+
+// WithIngestWorkers sets the default CPU-pool width batched ingest uses
+// when the call site passes workers < 1 (default: all cores).
+func WithIngestWorkers(n int) StoreOption { return store.WithIngestWorkers(n) }
+
+// WithGroupCommit pins whether batched ingest group-commits manifest
+// records — one log append per checkpoint interval instead of one per
+// fragment. On by default; the on-disk bytes are identical either way.
+func WithGroupCommit(on bool) StoreOption { return store.WithGroupCommit(on) }
 
 // ConvertStore rewrites a store's full logical contents into a new
 // store under a different organization or codec.
