@@ -29,11 +29,13 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"sparseart/internal/bench"
 	"sparseart/internal/fsim"
 	"sparseart/internal/gen"
 	"sparseart/internal/obs"
+	"sparseart/internal/obs/export"
 )
 
 func main() {
@@ -50,6 +52,8 @@ func main() {
 		chart      = flag.Bool("chart", false, "render fig3/fig4/fig5 as grouped bar charts instead of tables")
 		metrics    = flag.String("metrics", "", "enable the obs registry and write its JSON snapshot to this file after the run")
 		trace      = flag.Bool("trace", false, "enable the obs registry and print the span timeline to stderr after the run")
+		otlp       = flag.String("otlp", "", "enable the obs registry and write its OTLP-JSON export to this file after the run")
+		chromeOut  = flag.String("chrome-trace", "", "enable the obs registry and write the span timeline as Chrome trace_event JSON to this file (load in chrome://tracing or ui.perfetto.dev)")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "manifest checkpoint cadence for every store the run creates: fold the delta log every K commits (1 = rewrite per write; 0 = the adaptive default)")
 	)
 	flag.Parse()
@@ -58,13 +62,28 @@ func main() {
 		// the environment knob reaches them all.
 		os.Setenv("SPARSEART_MANIFEST_CHECKPOINT_EVERY", fmt.Sprint(*ckptEvery))
 	}
-	if err := run(*experiment, *scaleName, *fsName, *osDir, *seed, *csvPath, *quiet, *probeLimit, *trials, *chart, *metrics, *trace); err != nil {
+	if err := run(*experiment, *scaleName, *fsName, *osDir, *seed, *csvPath, *quiet, *probeLimit, *trials, *chart, obsOutputs{
+		metricsPath: *metrics, trace: *trace, otlpPath: *otlp, chromePath: *chromeOut,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sparsebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, scaleName, fsName, osDir string, seed uint64, csvPath string, quiet bool, probeLimit, trials int, chart bool, metricsPath string, trace bool) error {
+// obsOutputs collects the flags that export the run's obs registry.
+// Any being set enables observation for the run.
+type obsOutputs struct {
+	metricsPath string // raw snapshot JSON
+	trace       bool   // span timeline to stderr
+	otlpPath    string // OTLP-JSON ExportMetricsServiceRequest
+	chromePath  string // Chrome trace_event JSON
+}
+
+func (o obsOutputs) enabled() bool {
+	return o.metricsPath != "" || o.trace || o.otlpPath != "" || o.chromePath != ""
+}
+
+func run(experiment, scaleName, fsName, osDir string, seed uint64, csvPath string, quiet bool, probeLimit, trials int, chart bool, obsOut obsOutputs) error {
 	scale, err := gen.ParseScale(scaleName)
 	if err != nil {
 		return err
@@ -90,7 +109,7 @@ func run(experiment, scaleName, fsName, osDir string, seed uint64, csvPath strin
 		}
 	}
 
-	if metricsPath != "" || trace {
+	if obsOut.enabled() {
 		obs.Enable()
 	}
 
@@ -150,7 +169,7 @@ func run(experiment, scaleName, fsName, osDir string, seed uint64, csvPath strin
 		fmt.Print(text)
 	}
 	if !needRun {
-		return dumpObs(metricsPath, trace)
+		return dumpObs(obsOut)
 	}
 
 	ms, dss, err := runner.Run()
@@ -186,29 +205,49 @@ func run(experiment, scaleName, fsName, osDir string, seed uint64, csvPath strin
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", csvPath)
 	}
-	return dumpObs(metricsPath, trace)
+	return dumpObs(obsOut)
 }
 
-// dumpObs exports the process-wide obs registry after a run: the JSON
-// snapshot to metricsPath when set, and the span timeline to stderr
-// when trace is set.
-func dumpObs(metricsPath string, trace bool) error {
+// dumpObs exports the process-wide obs registry after a run, in every
+// format the flags asked for: the raw JSON snapshot, the OTLP-JSON
+// document, the Chrome trace, and the stderr span timeline.
+func dumpObs(o obsOutputs) error {
 	reg := obs.Global()
 	if reg == nil {
 		return nil
 	}
 	snap := reg.Snapshot()
-	if metricsPath != "" {
+	if o.metricsPath != "" {
 		data, err := snap.JSON()
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(metricsPath, data, 0o644); err != nil {
+		if err := os.WriteFile(o.metricsPath, data, 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", metricsPath)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", o.metricsPath)
 	}
-	if trace {
+	if o.otlpPath != "" {
+		data, err := export.OTLP(snap, export.OTLPOptions{TimeUnixNano: uint64(time.Now().UnixNano())})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.otlpPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", o.otlpPath)
+	}
+	if o.chromePath != "" {
+		data, err := export.ChromeTrace(snap)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.chromePath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", o.chromePath)
+	}
+	if o.trace {
 		fmt.Fprintln(os.Stderr, "span timeline:")
 		snap.WriteTimeline(os.Stderr, 0)
 	}

@@ -12,6 +12,7 @@ import (
 
 	"sparseart/internal/core"
 	"sparseart/internal/obs"
+	"sparseart/internal/obs/export"
 )
 
 // capture runs f with stdout redirected and returns what it printed.
@@ -38,7 +39,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestRunTable1Only(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("table1", "small", "sim", "", 1, "", true, 0, 1, false, "", false)
+		return run("table1", "small", "sim", "", 1, "", true, 0, 1, false, obsOutputs{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +55,7 @@ func TestRunTable1Only(t *testing.T) {
 func TestRunSingleExperimentWithCSV(t *testing.T) {
 	csv := filepath.Join(t.TempDir(), "out.csv")
 	out, err := capture(t, func() error {
-		return run("table2", "small", "sim", "", 1, csv, true, 0, 2, false, "", false)
+		return run("table2", "small", "sim", "", 1, csv, true, 0, 2, false, obsOutputs{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -73,13 +74,13 @@ func TestRunSingleExperimentWithCSV(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run("fig9", "small", "sim", "", 1, "", true, 0, 1, false, "", false); err == nil {
+	if err := run("fig9", "small", "sim", "", 1, "", true, 0, 1, false, obsOutputs{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("table1", "galactic", "sim", "", 1, "", true, 0, 1, false, "", false); err == nil {
+	if err := run("table1", "galactic", "sim", "", 1, "", true, 0, 1, false, obsOutputs{}); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if err := run("table1", "small", "nfs", "", 1, "", true, 0, 1, false, "", false); err == nil {
+	if err := run("table1", "small", "nfs", "", 1, "", true, 0, 1, false, obsOutputs{}); err == nil {
 		t.Error("unknown fs accepted")
 	}
 }
@@ -87,7 +88,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestRunOSBackend(t *testing.T) {
 	dir := t.TempDir()
 	out, err := capture(t, func() error {
-		return run("fig4", "small", "os", dir, 1, "", true, 0, 1, false, "", false)
+		return run("fig4", "small", "os", dir, 1, "", true, 0, 1, false, obsOutputs{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +111,7 @@ func TestRunOSBackend(t *testing.T) {
 
 func TestRunFig1(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("fig1", "small", "sim", "", 1, "", true, 0, 1, false, "", false)
+		return run("fig1", "small", "sim", "", 1, "", true, 0, 1, false, obsOutputs{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -124,7 +125,7 @@ func TestRunFig1(t *testing.T) {
 
 func TestRunChartMode(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("fig4", "small", "sim", "", 1, "", true, 0, 1, true, "", false)
+		return run("fig4", "small", "sim", "", 1, "", true, 0, 1, true, obsOutputs{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -144,7 +145,7 @@ func TestMetricsAgreeWithTableIII(t *testing.T) {
 	defer obs.SetGlobal(nil)
 	metrics := filepath.Join(t.TempDir(), "metrics.json")
 	out, err := capture(t, func() error {
-		return run("table3", "small", "sim", "", 1, "", true, 0, 1, false, metrics, false)
+		return run("table3", "small", "sim", "", 1, "", true, 0, 1, false, obsOutputs{metricsPath: metrics})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -201,7 +202,7 @@ func TestRunTraceTimeline(t *testing.T) {
 		done <- buf.String()
 	}()
 	_, runErr := capture(t, func() error {
-		return run("table3", "small", "sim", "", 1, "", true, 0, 1, false, "", true)
+		return run("table3", "small", "sim", "", 1, "", true, 0, 1, false, obsOutputs{trace: true})
 	})
 	w.Close()
 	os.Stderr = oldErr
@@ -218,7 +219,7 @@ func TestRunTraceTimeline(t *testing.T) {
 
 func TestRunTable4IncludesSensitivity(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("table4", "small", "sim", "", 1, "", true, 0, 1, false, "", false)
+		return run("table4", "small", "sim", "", 1, "", true, 0, 1, false, obsOutputs{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -226,6 +227,49 @@ func TestRunTable4IncludesSensitivity(t *testing.T) {
 	for _, want := range []string{"Table IV:", "sensitivity", "write-heavy", "space-heavy"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("table4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestOTLPAndChromeOutputs: -otlp and -chrome-trace write decodable
+// documents whose contents reflect the run (write counters in the OTLP
+// export, write spans in the trace).
+func TestOTLPAndChromeOutputs(t *testing.T) {
+	defer obs.SetGlobal(nil)
+	otlp := filepath.Join(t.TempDir(), "metrics.otlp.json")
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	if _, err := capture(t, func() error {
+		return run("table3", "small", "sim", "", 1, "", true, 0, 1, false,
+			obsOutputs{otlpPath: otlp, chromePath: trace})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(otlp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := export.DecodeOTLP(data)
+	if err != nil {
+		t.Fatalf("-otlp output not decodable: %v", err)
+	}
+	var writes int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "store.write.count") {
+			writes += v
+		}
+	}
+	if writes == 0 {
+		t.Fatal("OTLP export carries no store.write.count")
+	}
+
+	tdata, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"traceEvents"`, `"ph": "X"`, "store.write"} {
+		if !strings.Contains(string(tdata), want) {
+			t.Fatalf("-chrome-trace output missing %s:\n%.400s", want, tdata)
 		}
 	}
 }

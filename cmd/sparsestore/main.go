@@ -65,6 +65,12 @@ var cacheFlag string
 // library default (subject to SPARSEART_MANIFEST_CHECKPOINT_EVERY).
 var ckptFlag string
 
+// listenFlag holds the global -listen=ADDR value: when set, the
+// process-wide obs registry is enabled and served over HTTP for the
+// duration of the command, so a long compact or import can be watched
+// live on /metrics (and profiled via /debug/pprof/).
+var listenFlag string
+
 func main() {
 	args := os.Args[1:]
 	var cpuProfile, memProfile string
@@ -80,6 +86,8 @@ func main() {
 			cacheFlag = v
 		} else if v, ok := strings.CutPrefix(arg, "checkpoint-every="); ok {
 			ckptFlag = v
+		} else if v, ok := strings.CutPrefix(arg, "listen="); ok {
+			listenFlag = v
 		} else {
 			break
 		}
@@ -122,6 +130,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote heap profile %s\n", memProfile)
 		}()
 	}
+	if listenFlag != "" {
+		stop, lerr := startListener(listenFlag)
+		if lerr != nil {
+			fmt.Fprintln(os.Stderr, "sparsestore:", lerr)
+			os.Exit(1)
+		}
+		defer stop()
+	}
 	var err error
 	switch cmd {
 	case "info":
@@ -136,6 +152,8 @@ func main() {
 		err = runExport(args)
 	case "import":
 		err = runImport(args)
+	case "serve":
+		err = runServe(args)
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -160,6 +178,8 @@ global flags (before the command):
   -checkpoint-every=K
                     fold the manifest delta log into a checkpoint every
                     K fragment commits (1 = rewrite per write)
+  -listen=ADDR      serve live telemetry (/metrics, /metrics.json,
+                    /trace, /debug/pprof/) on ADDR while the command runs
 
 commands:
   info     print a store's organization, shape, and fragment inventory
@@ -168,7 +188,9 @@ commands:
   convert  rewrite the store under another organization
   delete   write a tombstone fragment over a region
   export   dump the logical contents as a dataset file
-  import   create a store from a dataset file`)
+  import   create a store from a dataset file
+  serve    open a store and serve its telemetry over HTTP until
+           interrupted`)
 }
 
 // openStore opens the store rooted at dir (stores created by the

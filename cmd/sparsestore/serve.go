@@ -1,0 +1,128 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sparseart/internal/fsim"
+	"sparseart/internal/obs"
+	"sparseart/internal/obs/serve"
+	"sparseart/internal/store"
+	"sparseart/internal/tensor"
+)
+
+// startListener implements the global -listen flag: enable the
+// process-wide registry and serve it on addr for the duration of the
+// command. The returned stop function closes the server (commands are
+// short-lived; the last scrape wins).
+func startListener(addr string) (stop func(), err error) {
+	obs.Enable()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "serving telemetry on http://%s/metrics\n", ln.Addr())
+	srv := &http.Server{Handler: serve.New(nil).Handler()}
+	go srv.Serve(ln)
+	return func() { srv.Close() }, nil
+}
+
+// runServe opens a store and serves its telemetry over HTTP until
+// interrupted: Prometheus text on /metrics, OTLP-JSON on
+// /metrics.json, the span timeline as a Chrome trace on /trace, and
+// pprof under /debug/pprof/. The process stays open-and-idle
+// otherwise, so the metrics reflect the open itself (manifest replay,
+// cache warming) plus whatever traffic -readall or -report generate —
+// and, through the shared cache budget, any reads a co-resident
+// process drives through the same endpoints' pprof handlers.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory")
+	addr := fs.String("addr", "127.0.0.1:0", "HTTP listen address")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts using -addr :0)")
+	warm := fs.Int("warm", 0, "pre-fill the reader cache with the newest K fragments on open")
+	readall := fs.Bool("readall", false, "run one whole-tensor region read after opening, so the scrape shows read-path metrics and spans")
+	report := fs.String("report", "", "append interval OTLP-JSON delta documents to this file while serving")
+	reportEvery := fs.Duration("report-interval", 10*time.Second, "emission interval for -report")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("serve: -dir is required")
+	}
+
+	reg := obs.Enable()
+	opts, err := cacheOptions()
+	if err != nil {
+		return err
+	}
+	if *warm > 0 {
+		opts = append(opts, store.WithWarmFragments(*warm))
+	}
+	osfs, err := fsim.NewOSFS(*dir)
+	if err != nil {
+		return err
+	}
+	st, err := store.Open(osfs, "tensor", opts...)
+	if err != nil {
+		return err
+	}
+	if *readall {
+		region, err := tensor.NewRegion(st.Shape(), make([]uint64, st.Shape().Dims()), st.Shape())
+		if err != nil {
+			return err
+		}
+		if _, _, err := st.ReadRegion(region); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "serving telemetry for %s on http://%s/metrics\n", *dir, bound)
+
+	if *report != "" {
+		f, err := os.OpenFile(*report, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rep := serve.NewReporter(reg, *reportEvery, serve.WriteOTLP(f))
+		rep.Start()
+		defer func() {
+			if err := rep.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "sparsestore: report:", err)
+			}
+		}()
+	}
+
+	srv := &http.Server{Handler: serve.New(st.Obs()).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "sparsestore: %v, shutting down\n", s)
+		srv.Close()
+		<-errc
+		return nil
+	case err := <-errc:
+		return err
+	}
+}

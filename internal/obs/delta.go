@@ -1,0 +1,95 @@
+package obs
+
+// Delta computes what happened between two snapshots of the same
+// registry: prev taken earlier, cur taken later. It is the inverse of
+// the Absorb merge — absorbing the returned delta into a registry that
+// matches prev reproduces cur's counters and histogram contents — and
+// is what the serve handler's ?since= mode and the interval Reporter
+// emit.
+//
+// Semantics per section:
+//
+//   - Counters subtract; a counter that did not move is omitted. A
+//     counter that went backwards (the registry was swapped out) is
+//     reported at its current value, as a cumulative reset would be.
+//   - Gauges are instantaneous, so the delta carries cur's values
+//     verbatim for every gauge present.
+//   - Histograms subtract bucket-wise along with count and sum; a
+//     histogram with no new observations is omitted. MinNs/MaxNs remain
+//     the lifetime extremes (the histogram does not track per-interval
+//     extremes), which Absorb folds in harmlessly.
+//   - Spans: the timeline is append-only, so the delta is cur's tail
+//     beyond prev's length. SpanDrops subtracts.
+//
+// A nil prev (or one with no sections) makes Delta equivalent to cur.
+func Delta(prev, cur *Snapshot) *Snapshot {
+	if cur == nil {
+		return &Snapshot{}
+	}
+	if prev == nil {
+		prev = &Snapshot{}
+	}
+	d := &Snapshot{InFlight: cur.InFlight}
+	for name, v := range cur.Counters {
+		dv := v - prev.Counters[name]
+		if dv < 0 {
+			dv = v // registry reset: report the new cumulative value
+		}
+		if dv != 0 {
+			if d.Counters == nil {
+				d.Counters = map[string]int64{}
+			}
+			d.Counters[name] = dv
+		}
+	}
+	if len(cur.Gauges) > 0 {
+		d.Gauges = make(map[string]int64, len(cur.Gauges))
+		for name, v := range cur.Gauges {
+			d.Gauges[name] = v
+		}
+	}
+	for name, h := range cur.Histograms {
+		dh := subtractHistogram(prev.Histograms[name], h)
+		if dh.Count == 0 && dh.SumNs == 0 && len(dh.Buckets) == 0 {
+			continue
+		}
+		if d.Histograms == nil {
+			d.Histograms = map[string]HistogramSnapshot{}
+		}
+		d.Histograms[name] = dh
+	}
+	if len(cur.Spans) > len(prev.Spans) {
+		d.Spans = append([]SpanEvent(nil), cur.Spans[len(prev.Spans):]...)
+	}
+	if drops := cur.SpanDrops - prev.SpanDrops; drops > 0 {
+		d.SpanDrops = drops
+	}
+	return d
+}
+
+// subtractHistogram computes cur minus prev bucket-wise. A shrunken
+// count (registry reset) returns cur whole, mirroring the counter rule.
+func subtractHistogram(prev, cur HistogramSnapshot) HistogramSnapshot {
+	if prev.Count == 0 {
+		return cur
+	}
+	if cur.Count < prev.Count || cur.SumNs < prev.SumNs {
+		return cur
+	}
+	d := HistogramSnapshot{
+		Count: cur.Count - prev.Count,
+		SumNs: cur.SumNs - prev.SumNs,
+		MinNs: cur.MinNs,
+		MaxNs: cur.MaxNs,
+	}
+	prevByLow := make(map[int64]int64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevByLow[b.LowNs] = b.Count
+	}
+	for _, b := range cur.Buckets {
+		if n := b.Count - prevByLow[b.LowNs]; n > 0 {
+			d.Buckets = append(d.Buckets, BucketCount{LowNs: b.LowNs, Count: n})
+		}
+	}
+	return d
+}

@@ -1,0 +1,102 @@
+package export
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+
+	"sparseart/internal/obs"
+)
+
+// Chrome trace_event JSON (the chrome://tracing / Perfetto "JSON Array
+// with metadata" container). Each completed span becomes a ph:"X"
+// complete event; nesting depth maps to its own named track (tid), so
+// the Build/Reorg/Write phases of one store.write stack visually under
+// their root span instead of flattening into one row. Timestamps are
+// microseconds (the trace_event unit) with sub-microsecond precision
+// kept as fractions.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders the snapshot's span timeline as a trace_event
+// JSON document. Span start offsets are relative to the registry's
+// first span (the obs timeline convention); spans absorbed from other
+// registries keep their source-relative offsets, exactly as
+// WriteTimeline prints them. Output is deterministic.
+func ChromeTrace(s *obs.Snapshot) ([]byte, error) {
+	tr := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	depths := map[int]bool{}
+	for _, e := range s.Spans {
+		depths[e.Depth] = true
+	}
+	if len(depths) > 0 {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: 1,
+			Args: map[string]any{"name": "sparseart"},
+		})
+		sorted := make([]int, 0, len(depths))
+		for d := range depths {
+			sorted = append(sorted, d)
+		}
+		sort.Ints(sorted)
+		for _, d := range sorted {
+			tr.TraceEvents = append(tr.TraceEvents,
+				chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: 1, Tid: d + 1,
+					Args: map[string]any{"name": threadName(d)},
+				},
+				chromeEvent{
+					Name: "thread_sort_index", Ph: "M", Pid: 1, Tid: d + 1,
+					Args: map[string]any{"sort_index": d},
+				},
+			)
+		}
+	}
+	for _, e := range s.Spans {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: e.Name,
+			Ph:   "X",
+			Ts:   float64(e.StartNs) / 1e3,
+			Dur:  float64(e.DurNs) / 1e3,
+			Pid:  1,
+			Tid:  e.Depth + 1,
+			Args: map[string]any{"depth": e.Depth},
+		})
+	}
+	if s.SpanDrops > 0 {
+		// Surface capture-time drops as an instant event at the end of
+		// the visible timeline so a truncated trace says so on screen.
+		last := int64(0)
+		for _, e := range s.Spans {
+			if end := e.StartNs + e.DurNs; end > last {
+				last = end
+			}
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "span events dropped", Ph: "i", Ts: float64(last) / 1e3,
+			Pid: 1, Tid: 1,
+			Args: map[string]any{"dropped": s.SpanDrops},
+		})
+	}
+	return json.MarshalIndent(tr, "", "  ")
+}
+
+func threadName(depth int) string {
+	if depth == 0 {
+		return "spans (root)"
+	}
+	return "spans depth " + strconv.Itoa(depth)
+}

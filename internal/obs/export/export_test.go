@@ -1,0 +1,331 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sparseart/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// canonicalSnapshot builds one snapshot exercising every exporter
+// feature: labeled and unlabeled counters, gauges, histograms spanning
+// the zero bucket through millisecond buckets, a label value full of
+// metacharacters, and a hand-fixed span timeline (spans carry wall
+// times, so golden tests pin them rather than record them).
+func canonicalSnapshot() *obs.Snapshot {
+	reg := obs.New()
+	reg.Counter("store.write.count", "kind", "CSF").Add(3)
+	reg.Counter("store.write.bytes", "kind", "CSF").Add(4096)
+	reg.Counter("store.write.count", "kind", "COO").Add(2)
+	reg.Counter("fragcache.hits").Add(10)
+	reg.Counter("fragcache.hits", "scope", "t-1-2").Add(7)
+	reg.Counter("fragcache.hits", "scope", `odd"value,with=meta\and`+"\nnewline").Inc()
+	reg.Gauge("store.fragments", "kind", "CSF").Set(5)
+	reg.Gauge("fragcache.bytes").Set(1 << 20)
+	h := reg.Histogram("store.write.build", "kind", "CSF")
+	h.Observe(0)
+	h.Observe(800 * time.Nanosecond)
+	h.Observe(801 * time.Nanosecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(900 * time.Microsecond)
+	reg.Histogram("store.read.io").Observe(42 * time.Millisecond)
+	snap := reg.Snapshot()
+	snap.Spans = []obs.SpanEvent{
+		{Name: "store.write", Depth: 0, StartNs: 0, DurNs: 14_100_000},
+		{Name: "store.write.build", Depth: 1, StartNs: 1_000, DurNs: 2_300_000},
+		{Name: "store.write.reorg", Depth: 1, StartNs: 2_301_000, DurNs: 150_000},
+		{Name: "store.write.write", Depth: 1, StartNs: 2_451_000, DurNs: 11_000_000},
+		{Name: "store.read", Depth: 0, StartNs: 20_000_000, DurNs: 5_000_000},
+	}
+	snap.SpanDrops = 2
+	return snap
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs/export -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestOTLPGolden(t *testing.T) {
+	out, err := OTLP(canonicalSnapshot(), OTLPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "canonical.otlp.json", out)
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	checkGolden(t, "canonical.prom.txt", Prometheus(canonicalSnapshot()))
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	out, err := ChromeTrace(canonicalSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "canonical.trace.json", out)
+}
+
+// randomRegistry fills a registry with seeded-random metrics, the
+// property tests' snapshot source.
+func randomRegistry(rng *rand.Rand) *obs.Registry {
+	reg := obs.New()
+	kinds := []string{"COO", "LINEAR", "GCSR++", "CSF", "weird\"label\\value,=x"}
+	for i := 0; i < 30; i++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		reg.Counter("prop.ops", "kind", kind).Add(rng.Int63n(1 << 40))
+		reg.Gauge("prop.level", "kind", kind).Set(rng.Int63n(1<<40) - (1 << 39))
+		// Durations across the full bucket range, including zero.
+		d := time.Duration(0)
+		if rng.Intn(5) > 0 {
+			d = time.Duration(rng.Int63n(int64(1) << uint(rng.Intn(40))))
+		}
+		reg.Histogram("prop.lat", "kind", kind).Observe(d)
+	}
+	return reg
+}
+
+// TestOTLPRoundTripProperty holds the acceptance criterion: export →
+// decode → Absorb into a fresh registry reproduces the source
+// snapshot's counters exactly and its histogram bucket contents
+// exactly.
+func TestOTLPRoundTripProperty(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomRegistry(rng).Snapshot()
+		data, err := OTLP(src, OTLPOptions{TimeUnixNano: 1700000000000000000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := DecodeOTLP(data)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fresh := obs.New()
+		fresh.Absorb(decoded)
+		got := fresh.Snapshot()
+		if !reflect.DeepEqual(got.Counters, src.Counters) {
+			t.Fatalf("seed %d: counters diverged\n got %v\nwant %v", seed, got.Counters, src.Counters)
+		}
+		if !reflect.DeepEqual(got.Gauges, src.Gauges) {
+			t.Fatalf("seed %d: gauges diverged\n got %v\nwant %v", seed, got.Gauges, src.Gauges)
+		}
+		if len(got.Histograms) != len(src.Histograms) {
+			t.Fatalf("seed %d: histogram families %d want %d", seed, len(got.Histograms), len(src.Histograms))
+		}
+		for name, want := range src.Histograms {
+			h, ok := got.Histograms[name]
+			if !ok {
+				t.Fatalf("seed %d: histogram %q lost", seed, name)
+			}
+			if h.Count != want.Count {
+				t.Fatalf("seed %d: %q count %d want %d", seed, name, h.Count, want.Count)
+			}
+			if !reflect.DeepEqual(h.Buckets, want.Buckets) {
+				t.Fatalf("seed %d: %q buckets\n got %v\nwant %v", seed, name, h.Buckets, want.Buckets)
+			}
+			if h.SumNs != want.SumNs || h.MinNs != want.MinNs || h.MaxNs != want.MaxNs {
+				t.Fatalf("seed %d: %q sum/min/max %d/%d/%d want %d/%d/%d",
+					seed, name, h.SumNs, h.MinNs, h.MaxNs, want.SumNs, want.MinNs, want.MaxNs)
+			}
+		}
+	}
+}
+
+// TestPrometheusWellFormed runs the canonical and random snapshots
+// through the exposition writer and the strict parser, then pins
+// _count/_sum agreement with the snapshot for every histogram series
+// and value agreement for every counter and gauge.
+func TestPrometheusWellFormed(t *testing.T) {
+	snaps := []*obs.Snapshot{canonicalSnapshot()}
+	for seed := int64(1); seed <= 10; seed++ {
+		snaps = append(snaps, randomRegistry(rand.New(rand.NewSource(seed))).Snapshot())
+	}
+	for si, snap := range snaps {
+		text := Prometheus(snap)
+		fams, err := ParsePrometheus(text)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v\n%s", si, err, text)
+		}
+		// Index parsed samples back by canonical obs name.
+		counterVals := map[string]float64{}
+		gaugeVals := map[string]float64{}
+		histCount := map[string]float64{}
+		histSum := map[string]float64{}
+		for _, fam := range fams {
+			for _, s := range fam.Samples {
+				flat := make([]string, 0, 2*len(s.Labels))
+				for _, l := range s.Labels {
+					if fam.Type == "histogram" && l.Key == "le" {
+						continue
+					}
+					flat = append(flat, l.Key, l.Value)
+				}
+				switch fam.Type {
+				case "counter":
+					counterVals[obs.Name(strings.TrimSuffix(fam.Name, "_total"), flat...)] = s.Value
+				case "gauge":
+					gaugeVals[obs.Name(fam.Name, flat...)] = s.Value
+				case "histogram":
+					base := obs.Name(strings.TrimSuffix(fam.Name, "_seconds"), flat...)
+					if strings.HasSuffix(s.Name, "_count") {
+						histCount[base] = s.Value
+					}
+					if strings.HasSuffix(s.Name, "_sum") {
+						histSum[base] = s.Value
+					}
+				}
+			}
+		}
+		for name, v := range snap.Counters {
+			key := promKeyed(name)
+			if got, ok := counterVals[key]; !ok || got != float64(v) {
+				t.Fatalf("snapshot %d: counter %q: parsed %v (present %v), want %d", si, name, got, ok, v)
+			}
+		}
+		for name, v := range snap.Gauges {
+			key := promKeyed(name)
+			if got, ok := gaugeVals[key]; !ok || got != float64(v) {
+				t.Fatalf("snapshot %d: gauge %q: parsed %v (present %v), want %d", si, name, got, ok, v)
+			}
+		}
+		for name, hs := range snap.Histograms {
+			key := promKeyed(name)
+			if got, ok := histCount[key]; !ok || got != float64(hs.Count) {
+				t.Fatalf("snapshot %d: histogram %q _count = %v (present %v), want %d", si, name, got, ok, hs.Count)
+			}
+			wantSum := float64(hs.SumNs) / 1e9
+			if got := histSum[key]; math.Abs(got-wantSum) > math.Abs(wantSum)*1e-12+1e-12 {
+				t.Fatalf("snapshot %d: histogram %q _sum = %v, want %v", si, name, got, wantSum)
+			}
+		}
+	}
+}
+
+// promKeyed re-renders a canonical obs name the way it comes back from
+// the Prometheus parser: family untouched (the family charsets under
+// test are already Prometheus-clean except the dots, which both sides
+// drop), label keys sanitized.
+func promKeyed(name string) string {
+	fam, labels := obs.ParseName(name)
+	flat := make([]string, 0, 2*len(labels))
+	for _, l := range labels {
+		flat = append(flat, promLabelName(l.Key), l.Value)
+	}
+	return obs.Name(promName(fam), flat...)
+}
+
+// TestPrometheusParserRejects pins the parser's strictness: each
+// mutation of a valid exposition must fail.
+func TestPrometheusParserRejects(t *testing.T) {
+	for _, bad := range []string{
+		"no_type_line 1\n",
+		"# TYPE m counter\nm{x=\"v\" 1\n",                        // unterminated labels
+		"# TYPE m counter\nm{x=\"v\\q\"} 1\n",                    // bad escape
+		"# TYPE m counter\nm 1 2 3\n",                            // trailing junk
+		"# TYPE m counter\nm notanumber\n",                       // bad value
+		"# TYPE m counter\n# TYPE m gauge\n",                     // duplicate TYPE
+		"# TYPE m wat\n",                                         // unknown type
+		"# TYPE 0m counter\n",                                    // bad name
+		"# TYPE m counter\nm{0x=\"v\"} 1\n",                      // bad label name
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0\n", // no _count
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 1\nh_sum 0\nh_count 1\n", // buckets exceed +Inf
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 0\nh_count 1\n",                       // +Inf != count
+	} {
+		if _, err := ParsePrometheus([]byte(bad)); err == nil {
+			t.Errorf("parser accepted malformed input:\n%s", bad)
+		}
+	}
+}
+
+// TestChromeTraceShape decodes the trace JSON and checks every span
+// became a complete event on the track of its depth.
+func TestChromeTraceShape(t *testing.T) {
+	snap := canonicalSnapshot()
+	out, err := ChromeTrace(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &tr); err != nil {
+		t.Fatal(err)
+	}
+	var complete, meta, instant int
+	for _, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "X":
+			complete++
+			if e.Tid < 1 {
+				t.Fatalf("complete event %q on tid %d", e.Name, e.Tid)
+			}
+		case "M":
+			meta++
+		case "i":
+			instant++
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if complete != len(snap.Spans) {
+		t.Fatalf("complete events = %d, want %d", complete, len(snap.Spans))
+	}
+	if instant != 1 { // the span-drops marker
+		t.Fatalf("instant events = %d, want 1", instant)
+	}
+	// Spot-check the root span's mapping to microseconds.
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "X" && e.Name == "store.write" {
+			if e.Ts != 0 || e.Dur != 14100 || e.Tid != 1 {
+				t.Fatalf("store.write event = ts %v dur %v tid %d", e.Ts, e.Dur, e.Tid)
+			}
+		}
+	}
+}
+
+// TestOTLPDeltaTemporality checks the Reporter's delta mode marks sums
+// and histograms with delta temporality.
+func TestOTLPDeltaTemporality(t *testing.T) {
+	out, err := OTLP(canonicalSnapshot(), OTLPOptions{Delta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out, []byte(`"aggregationTemporality": 1`)) {
+		t.Fatal("delta export missing delta temporality")
+	}
+	if bytes.Contains(out, []byte(`"aggregationTemporality": 2`)) {
+		t.Fatal("delta export still carries cumulative temporality")
+	}
+}

@@ -1,0 +1,53 @@
+package export
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"sparseart/internal/obs"
+)
+
+// FuzzOTLPRoundTrip feeds arbitrary bytes to the OTLP decoder. The
+// decoder must never panic; when it does accept the input, exporting
+// the decoded snapshot and decoding that must reach a fixed point (the
+// second decode equals the first), so every document the package emits
+// is also a document it fully understands.
+func FuzzOTLPRoundTrip(f *testing.F) {
+	reg := obs.New()
+	reg.Counter("fuzz.ops", "kind", "CSF").Add(41)
+	reg.Gauge("fuzz.level").Set(-7)
+	reg.Histogram("fuzz.lat").Observe(0)
+	reg.Histogram("fuzz.lat").Observe(900)
+	seed, err := OTLP(reg.Snapshot(), OTLPOptions{TimeUnixNano: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"resourceMetrics":[{"scopeMetrics":[{"metrics":[{"name":"x","sum":{"dataPoints":[{"asInt":"9"}]}}]}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeOTLP(data)
+		if err != nil {
+			return
+		}
+		out, err := OTLP(snap, OTLPOptions{TimeUnixNano: 1})
+		if err != nil {
+			t.Fatalf("re-export of decoded snapshot failed: %v", err)
+		}
+		again, err := DecodeOTLP(out)
+		if err != nil {
+			t.Fatalf("decoder rejected its own exporter's output: %v\n%s", err, out)
+		}
+		out2, err := OTLP(again, OTLPOptions{TimeUnixNano: 1})
+		if err != nil {
+			t.Fatalf("second re-export failed: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("export not a fixed point\n--- first ---\n%s\n--- second ---\n%s", out, out2)
+		}
+		if !reflect.DeepEqual(snap.Counters, again.Counters) {
+			t.Fatalf("counters drifted through round-trip: %v vs %v", snap.Counters, again.Counters)
+		}
+	})
+}

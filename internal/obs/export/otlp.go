@@ -1,0 +1,360 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"sparseart/internal/obs"
+)
+
+// The OTLP/HTTP JSON shapes below follow the protobuf JSON mapping of
+// opentelemetry-proto's ExportMetricsServiceRequest: 64-bit integers
+// are strings, enums are their numeric values, and absent fields are
+// omitted. Only the subset the registry can populate is modeled.
+
+// Aggregation temporality enum values from the OTLP metrics proto.
+const (
+	otlpTemporalityDelta      = 1
+	otlpTemporalityCumulative = 2
+)
+
+type otlpRequest struct {
+	ResourceMetrics []otlpResourceMetrics `json:"resourceMetrics"`
+}
+
+type otlpResourceMetrics struct {
+	Resource     otlpResource       `json:"resource"`
+	ScopeMetrics []otlpScopeMetrics `json:"scopeMetrics"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKV `json:"attributes,omitempty"`
+}
+
+type otlpScopeMetrics struct {
+	Scope   otlpScope    `json:"scope"`
+	Metrics []otlpMetric `json:"metrics"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpKV struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpValue struct {
+	StringValue *string `json:"stringValue,omitempty"`
+	IntValue    *string `json:"intValue,omitempty"`
+}
+
+type otlpMetric struct {
+	Name                 string       `json:"name"`
+	Unit                 string       `json:"unit,omitempty"`
+	Sum                  *otlpSum     `json:"sum,omitempty"`
+	Gauge                *otlpGauge   `json:"gauge,omitempty"`
+	ExponentialHistogram *otlpExpHist `json:"exponentialHistogram,omitempty"`
+}
+
+type otlpSum struct {
+	DataPoints             []otlpNumberPoint `json:"dataPoints"`
+	AggregationTemporality int               `json:"aggregationTemporality"`
+	IsMonotonic            bool              `json:"isMonotonic,omitempty"`
+}
+
+type otlpGauge struct {
+	DataPoints []otlpNumberPoint `json:"dataPoints"`
+}
+
+type otlpNumberPoint struct {
+	Attributes   []otlpKV `json:"attributes,omitempty"`
+	TimeUnixNano string   `json:"timeUnixNano,omitempty"`
+	AsInt        string   `json:"asInt"`
+}
+
+type otlpExpHist struct {
+	DataPoints             []otlpExpHistPoint `json:"dataPoints"`
+	AggregationTemporality int                `json:"aggregationTemporality"`
+}
+
+type otlpExpHistPoint struct {
+	Attributes   []otlpKV        `json:"attributes,omitempty"`
+	TimeUnixNano string          `json:"timeUnixNano,omitempty"`
+	Count        string          `json:"count"`
+	Sum          float64         `json:"sum"`
+	Scale        int             `json:"scale"`
+	ZeroCount    string          `json:"zeroCount,omitempty"`
+	Positive     *otlpExpBuckets `json:"positive,omitempty"`
+	Min          float64         `json:"min"`
+	Max          float64         `json:"max"`
+}
+
+type otlpExpBuckets struct {
+	Offset       int      `json:"offset,omitempty"`
+	BucketCounts []string `json:"bucketCounts"`
+}
+
+// OTLPOptions configures one OTLP export.
+type OTLPOptions struct {
+	// TimeUnixNano stamps every data point; 0 omits timestamps (the
+	// golden tests rely on that for byte-stable output).
+	TimeUnixNano uint64
+	// Delta marks sums and histograms with delta aggregation
+	// temporality instead of cumulative — the interval Reporter's mode.
+	Delta bool
+}
+
+// OTLP renders the snapshot as an OTLP-JSON ExportMetricsServiceRequest:
+// one resource ("service.name" = sparseart), one scope, and one metric
+// entry per family, with every labeled series of the family as a data
+// point carrying its labels as attributes. Counters map to monotonic
+// sums, gauges to gauges, and histograms to exponential histograms at
+// base-2 scale 0: the zero bucket carries the ns==0 observations, and
+// bit-length bucket i (durations in [2^(i-1), 2^i) ns) lands at
+// positive-bucket index i-1, whose scale-0 reference interval is
+// (2^(i-1), 2^i] — the same width, shifted by the boundary-inclusion
+// convention, a sub-nanosecond distinction documented rather than
+// resampled. Output is deterministic: same snapshot, same bytes.
+func OTLP(s *obs.Snapshot, o OTLPOptions) ([]byte, error) {
+	temporality := otlpTemporalityCumulative
+	if o.Delta {
+		temporality = otlpTemporalityDelta
+	}
+	ts := ""
+	if o.TimeUnixNano != 0 {
+		ts = strconv.FormatUint(o.TimeUnixNano, 10)
+	}
+
+	var metrics []otlpMetric
+	for _, fam := range groupByFamily(sortedNames(s.Counters)) {
+		m := otlpMetric{Name: fam.name, Sum: &otlpSum{
+			AggregationTemporality: temporality,
+			IsMonotonic:            true,
+		}}
+		for _, pt := range fam.points {
+			m.Sum.DataPoints = append(m.Sum.DataPoints, otlpNumberPoint{
+				Attributes:   otlpAttrs(pt.labels),
+				TimeUnixNano: ts,
+				AsInt:        strconv.FormatInt(s.Counters[pt.name], 10),
+			})
+		}
+		metrics = append(metrics, m)
+	}
+	for _, fam := range groupByFamily(sortedNames(s.Gauges)) {
+		m := otlpMetric{Name: fam.name, Gauge: &otlpGauge{}}
+		for _, pt := range fam.points {
+			m.Gauge.DataPoints = append(m.Gauge.DataPoints, otlpNumberPoint{
+				Attributes:   otlpAttrs(pt.labels),
+				TimeUnixNano: ts,
+				AsInt:        strconv.FormatInt(s.Gauges[pt.name], 10),
+			})
+		}
+		metrics = append(metrics, m)
+	}
+	for _, fam := range groupByFamily(sortedNames(s.Histograms)) {
+		m := otlpMetric{Name: fam.name, Unit: "ns", ExponentialHistogram: &otlpExpHist{
+			AggregationTemporality: temporality,
+		}}
+		for _, pt := range fam.points {
+			hs := s.Histograms[pt.name]
+			dp := otlpExpHistPoint{
+				Attributes:   otlpAttrs(pt.labels),
+				TimeUnixNano: ts,
+				Count:        strconv.FormatInt(hs.Count, 10),
+				Sum:          float64(hs.SumNs),
+				Min:          float64(hs.MinNs),
+				Max:          float64(hs.MaxNs),
+			}
+			counts, lo, hi := canonicalBuckets(hs)
+			if counts[0] != 0 {
+				dp.ZeroCount = strconv.FormatInt(counts[0], 10)
+			}
+			if lo <= hi {
+				pos := &otlpExpBuckets{Offset: lo - 1}
+				for i := lo; i <= hi; i++ {
+					pos.BucketCounts = append(pos.BucketCounts, strconv.FormatInt(counts[i], 10))
+				}
+				dp.Positive = pos
+			}
+			m.ExponentialHistogram.DataPoints = append(m.ExponentialHistogram.DataPoints, dp)
+		}
+		metrics = append(metrics, m)
+	}
+	if metrics == nil {
+		metrics = []otlpMetric{}
+	}
+
+	service := "sparseart"
+	req := otlpRequest{ResourceMetrics: []otlpResourceMetrics{{
+		Resource: otlpResource{Attributes: []otlpKV{
+			{Key: "service.name", Value: otlpValue{StringValue: &service}},
+		}},
+		ScopeMetrics: []otlpScopeMetrics{{
+			Scope:   otlpScope{Name: "sparseart/internal/obs"},
+			Metrics: metrics,
+		}},
+	}}}
+	return json.MarshalIndent(req, "", "  ")
+}
+
+// otlpAttrs converts parsed labels to OTLP attributes.
+func otlpAttrs(labels []obs.Label) []otlpKV {
+	if len(labels) == 0 {
+		return nil
+	}
+	kvs := make([]otlpKV, len(labels))
+	for i, l := range labels {
+		v := l.Value
+		kvs[i] = otlpKV{Key: l.Key, Value: otlpValue{StringValue: &v}}
+	}
+	return kvs
+}
+
+// DecodeOTLP parses an OTLP-JSON export back into a Snapshot,
+// inverting OTLP: sums to counters, gauges to gauges, exponential
+// histograms to bit-length buckets. Metric families re-key through
+// obs.Name, so a decoded snapshot absorbs into a registry exactly as
+// the source snapshot would. Resource and scope are ignored; data
+// points whose shape cannot map back (non-zero scale, out-of-range
+// bucket offsets, unparseable integer strings) are rejected with an
+// error rather than silently dropped.
+func DecodeOTLP(data []byte) (*obs.Snapshot, error) {
+	var req otlpRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("export: decode otlp: %w", err)
+	}
+	s := &obs.Snapshot{}
+	for _, rm := range req.ResourceMetrics {
+		for _, sm := range rm.ScopeMetrics {
+			for _, m := range sm.Metrics {
+				if err := decodeOTLPMetric(s, m); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+func decodeOTLPMetric(s *obs.Snapshot, m otlpMetric) error {
+	switch {
+	case m.Sum != nil:
+		for _, dp := range m.Sum.DataPoints {
+			v, err := otlpInt(dp.AsInt)
+			if err != nil {
+				return fmt.Errorf("export: otlp sum %s: %w", m.Name, err)
+			}
+			if s.Counters == nil {
+				s.Counters = map[string]int64{}
+			}
+			s.Counters[nameFor(m.Name, dp.Attributes)] = v
+		}
+	case m.Gauge != nil:
+		for _, dp := range m.Gauge.DataPoints {
+			v, err := otlpInt(dp.AsInt)
+			if err != nil {
+				return fmt.Errorf("export: otlp gauge %s: %w", m.Name, err)
+			}
+			if s.Gauges == nil {
+				s.Gauges = map[string]int64{}
+			}
+			s.Gauges[nameFor(m.Name, dp.Attributes)] = v
+		}
+	case m.ExponentialHistogram != nil:
+		for _, dp := range m.ExponentialHistogram.DataPoints {
+			hs, err := decodeOTLPHistPoint(m.Name, dp)
+			if err != nil {
+				return err
+			}
+			if s.Histograms == nil {
+				s.Histograms = map[string]obs.HistogramSnapshot{}
+			}
+			s.Histograms[nameFor(m.Name, dp.Attributes)] = hs
+		}
+	}
+	return nil
+}
+
+func decodeOTLPHistPoint(name string, dp otlpExpHistPoint) (obs.HistogramSnapshot, error) {
+	var hs obs.HistogramSnapshot
+	if dp.Scale != 0 {
+		return hs, fmt.Errorf("export: otlp histogram %s: unsupported scale %d (this decoder only speaks the registry's base-2 scale 0)", name, dp.Scale)
+	}
+	var err error
+	if hs.Count, err = otlpInt(dp.Count); err != nil {
+		return hs, fmt.Errorf("export: otlp histogram %s: %w", name, err)
+	}
+	hs.SumNs = roundNs(dp.Sum)
+	hs.MinNs = roundNs(dp.Min)
+	hs.MaxNs = roundNs(dp.Max)
+	if dp.ZeroCount != "" {
+		zc, err := otlpInt(dp.ZeroCount)
+		if err != nil {
+			return hs, fmt.Errorf("export: otlp histogram %s: %w", name, err)
+		}
+		if zc != 0 {
+			hs.Buckets = append(hs.Buckets, obs.BucketCount{LowNs: 0, Count: zc})
+		}
+	}
+	if dp.Positive != nil {
+		off := dp.Positive.Offset
+		if off < 0 || off+len(dp.Positive.BucketCounts) > 63 {
+			return hs, fmt.Errorf("export: otlp histogram %s: bucket offset %d with %d buckets out of the scale-0 range", name, off, len(dp.Positive.BucketCounts))
+		}
+		for j, cs := range dp.Positive.BucketCounts {
+			n, err := otlpInt(cs)
+			if err != nil {
+				return hs, fmt.Errorf("export: otlp histogram %s: %w", name, err)
+			}
+			if n != 0 {
+				hs.Buckets = append(hs.Buckets, obs.BucketCount{LowNs: 1 << (off + j), Count: n})
+			}
+		}
+	}
+	return hs, nil
+}
+
+// nameFor rebuilds the registry's canonical key from an OTLP metric
+// name and attribute list.
+func nameFor(family string, attrs []otlpKV) string {
+	if len(attrs) == 0 {
+		return family
+	}
+	flat := make([]string, 0, 2*len(attrs))
+	for _, kv := range attrs {
+		v := ""
+		if kv.Value.StringValue != nil {
+			v = *kv.Value.StringValue
+		} else if kv.Value.IntValue != nil {
+			v = *kv.Value.IntValue
+		}
+		flat = append(flat, kv.Key, v)
+	}
+	return obs.Name(family, flat...)
+}
+
+func otlpInt(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+// roundNs converts an OTLP double (ns) back to the snapshot's integer
+// nanoseconds. Values beyond int64 clamp.
+func roundNs(f float64) int64 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if f <= math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(math.Round(f))
+}

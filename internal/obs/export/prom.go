@@ -1,0 +1,484 @@
+package export
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sparseart/internal/obs"
+)
+
+// Prometheus text exposition format v0.0.4. Metric and label names are
+// sanitized to the Prometheus charsets (dots become underscores), label
+// values are escaped per the exposition rules (\\, \", \n), and series
+// within a family keep the registry's sorted-label order. Durations are
+// rendered in seconds per Prometheus convention, with the unit in the
+// metric name.
+
+// ContentTypePrometheus is the scrape response content type for the
+// text exposition format.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a dotted family to the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(family string) string {
+	var b strings.Builder
+	b.Grow(len(family))
+	for i := 0; i < len(family); i++ {
+		c := family[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promLabelName sanitizes a label key to [a-zA-Z_][a-zA-Z0-9_]*.
+func promLabelName(key string) string {
+	n := promName(key)
+	return strings.ReplaceAll(n, ":", "_")
+}
+
+// promEscape escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set as {k="v",...}; extra appends one more
+// pair (the histogram series' le) after the sorted set. Empty input
+// with no extra renders as "".
+func promLabels(labels []obs.Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promLabelName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteString(`"`)
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects.
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// secondsOfNs converts integer nanoseconds to seconds.
+func secondsOfNs(ns int64) float64 { return float64(ns) / 1e9 }
+
+// Prometheus renders the snapshot in the text exposition format:
+// counters as `<family>_total` (counter), gauges verbatim (gauge), and
+// each latency histogram as a `<family>_seconds` histogram whose
+// cumulative `_bucket` series carry one `le` per occupied power-of-two
+// bucket. The bit-length bucket i holds durations in [2^(i-1), 2^i) ns,
+// whose largest member is exactly 2^i−1 ns — so `le` = (2^i−1)/1e9 is a
+// faithful inclusive upper bound, not an approximation. The `+Inf`
+// bucket and `_count` both render the snapshot's observation count
+// (never less than the cumulative bucket total, which the coherent
+// snapshot capture guarantees for live registries and the exporter
+// enforces for absorbed ones). Output is deterministic.
+func Prometheus(s *obs.Snapshot) []byte {
+	var b strings.Builder
+	for _, fam := range groupByFamily(sortedNames(s.Counters)) {
+		name := promName(fam.name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n", name)
+		for _, pt := range fam.points {
+			fmt.Fprintf(&b, "%s%s %d\n", name, promLabels(pt.labels, "", ""), s.Counters[pt.name])
+		}
+	}
+	for _, fam := range groupByFamily(sortedNames(s.Gauges)) {
+		name := promName(fam.name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+		for _, pt := range fam.points {
+			fmt.Fprintf(&b, "%s%s %d\n", name, promLabels(pt.labels, "", ""), s.Gauges[pt.name])
+		}
+	}
+	for _, fam := range groupByFamily(sortedNames(s.Histograms)) {
+		name := promName(fam.name) + "_seconds"
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		for _, pt := range fam.points {
+			hs := s.Histograms[pt.name]
+			counts, lo, hi := canonicalBuckets(hs)
+			var cum int64
+			if counts[0] != 0 {
+				cum += counts[0]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", name, promLabels(pt.labels, "le", "0"), cum)
+			}
+			for i := lo; i <= hi && lo <= hi; i++ {
+				if counts[i] == 0 {
+					continue
+				}
+				cum += counts[i]
+				// The bucket's largest member: 2^i - 1 ns, in seconds.
+				le := promFloat(secondsOfNs(2*obs.BucketLow(i) - 1))
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", name, promLabels(pt.labels, "le", le), cum)
+			}
+			count := hs.Count
+			if count < cum {
+				// An absorbed or decoded snapshot can carry a stale count;
+				// the exposition invariant (+Inf >= every bucket) wins.
+				count = cum
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", name, promLabels(pt.labels, "le", "+Inf"), count)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", name, promLabels(pt.labels, "", ""), promFloat(secondsOfNs(hs.SumNs)))
+			fmt.Fprintf(&b, "%s_count%s %d\n", name, promLabels(pt.labels, "", ""), count)
+		}
+	}
+	return []byte(b.String())
+}
+
+// PromSample is one parsed exposition line: a metric name, its label
+// pairs in order of appearance, and the sample value.
+type PromSample struct {
+	Name   string
+	Labels []obs.Label
+	Value  float64
+}
+
+// Label returns the value of the named label, or "".
+func (s PromSample) Label(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// PromFamily is one `# TYPE`d metric family and its samples. For
+// histogram families the samples span the `_bucket`, `_sum`, and
+// `_count` series.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParsePrometheus is a strict hand-rolled parser for the subset of the
+// v0.0.4 text exposition format the exporter emits (plus HELP lines and
+// comments for compatibility). It rejects, with a line-numbered error:
+// malformed names, unterminated or badly escaped label values,
+// unparseable sample values, samples with no preceding TYPE, duplicate
+// TYPE lines, and histogram families whose cumulative buckets decrease
+// or whose `+Inf` bucket disagrees with `_count`. The tests and the CI
+// endpoint check use it to hold every emitted line to the grammar.
+func ParsePrometheus(data []byte) ([]PromFamily, error) {
+	var fams []PromFamily
+	idx := map[string]int{} // family name -> index in fams
+	owner := func(name string) (int, bool) {
+		if i, ok := idx[name]; ok {
+			return i, true
+		}
+		// Histogram series attach to their base family.
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok {
+				if i, ok := idx[base]; ok && fams[i].Type == "histogram" {
+					return i, true
+				}
+			}
+		}
+		return 0, false
+	}
+
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("prom parse line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validPromName(name) {
+					return nil, fmt.Errorf("prom parse line %d: bad metric name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("prom parse line %d: unknown type %q", lineNo, typ)
+				}
+				if _, dup := idx[name]; dup {
+					return nil, fmt.Errorf("prom parse line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				idx[name] = len(fams)
+				fams = append(fams, PromFamily{Name: name, Type: typ})
+			}
+			continue // HELP and other comments pass through
+		}
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom parse line %d: %w", lineNo, err)
+		}
+		i, ok := owner(sample.Name)
+		if !ok {
+			return nil, fmt.Errorf("prom parse line %d: sample %q has no preceding TYPE", lineNo, sample.Name)
+		}
+		fams[i].Samples = append(fams[i].Samples, sample)
+	}
+	for _, fam := range fams {
+		if fam.Type == "histogram" {
+			if err := checkPromHistogram(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// parsePromSample parses `name[{labels}] value [timestamp]`.
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return s, fmt.Errorf("no value on line %q", line)
+	}
+	s.Name = rest[:end]
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		body, tail, err := splitPromLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = body
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want value [timestamp] after %q, got %q", s.Name, rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		// The format also allows +Inf/-Inf/NaN which ParseFloat accepts;
+		// anything else is malformed.
+		return s, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// splitPromLabels parses a `{k="v",...}` block, returning the pairs and
+// the remainder of the line after the closing brace.
+func splitPromLabels(rest string) ([]obs.Label, string, error) {
+	i := 1 // past '{'
+	var labels []obs.Label
+	if i < len(rest) && rest[i] == '}' {
+		return nil, rest[i+1:], nil
+	}
+	for {
+		start := i
+		for i < len(rest) && rest[i] != '=' {
+			i++
+		}
+		if i >= len(rest) {
+			return nil, "", fmt.Errorf("unterminated label block in %q", rest)
+		}
+		name := rest[start:i]
+		if !validPromLabelName(name) {
+			return nil, "", fmt.Errorf("bad label name %q", name)
+		}
+		i++ // '='
+		if i >= len(rest) || rest[i] != '"' {
+			return nil, "", fmt.Errorf("label %s: value not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				return nil, "", fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return nil, "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: bad escape \\%c", name, rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, obs.Label{Key: name, Value: val.String()})
+		if i >= len(rest) {
+			return nil, "", fmt.Errorf("unterminated label block in %q", rest)
+		}
+		switch rest[i] {
+		case ',':
+			i++
+		case '}':
+			return labels, rest[i+1:], nil
+		default:
+			return nil, "", fmt.Errorf("unexpected %q after label %s", rest[i], name)
+		}
+	}
+}
+
+// validPromName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validPromLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validPromLabelName(name string) bool {
+	return validPromName(name) && !strings.Contains(name, ":")
+}
+
+// checkPromHistogram validates the synthesized histogram series: per
+// label set, cumulative buckets must not decrease, the +Inf bucket must
+// exist, and _count must equal it.
+func checkPromHistogram(fam PromFamily) error {
+	type series struct {
+		lastCum  float64
+		lastLe   float64
+		inf      float64
+		hasInf   bool
+		count    float64
+		hasCount bool
+	}
+	byLabels := map[string]*series{}
+	keyOf := func(s PromSample) string {
+		var parts []string
+		for _, l := range s.Labels {
+			if l.Key == "le" {
+				continue
+			}
+			parts = append(parts, l.Key+"\x00"+l.Value)
+		}
+		return strings.Join(parts, "\x01")
+	}
+	for _, s := range fam.Samples {
+		key := keyOf(s)
+		sr := byLabels[key]
+		if sr == nil {
+			sr = &series{lastLe: -1}
+			byLabels[key] = sr
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			leStr := s.Label("le")
+			if leStr == "" {
+				return fmt.Errorf("prom histogram %s: bucket without le label", fam.Name)
+			}
+			if leStr == "+Inf" {
+				sr.inf, sr.hasInf = s.Value, true
+				break
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("prom histogram %s: bad le %q", fam.Name, leStr)
+			}
+			if le <= sr.lastLe {
+				return fmt.Errorf("prom histogram %s: le %v not increasing", fam.Name, le)
+			}
+			if s.Value < sr.lastCum {
+				return fmt.Errorf("prom histogram %s: cumulative bucket decreased at le=%v", fam.Name, le)
+			}
+			sr.lastLe, sr.lastCum = le, s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			sr.count, sr.hasCount = s.Value, true
+		}
+	}
+	for key, sr := range byLabels {
+		if !sr.hasInf {
+			return fmt.Errorf("prom histogram %s{%s}: no +Inf bucket", fam.Name, key)
+		}
+		if !sr.hasCount {
+			return fmt.Errorf("prom histogram %s{%s}: no _count series", fam.Name, key)
+		}
+		if sr.inf != sr.count {
+			return fmt.Errorf("prom histogram %s{%s}: +Inf bucket %v != _count %v", fam.Name, key, sr.inf, sr.count)
+		}
+		if sr.lastCum > sr.inf {
+			return fmt.Errorf("prom histogram %s{%s}: buckets exceed +Inf", fam.Name, key)
+		}
+	}
+	return nil
+}

@@ -133,22 +133,50 @@ func (h *Histogram) absorb(s HistogramSnapshot) {
 	}
 }
 
-// snapshot captures the histogram's state. The atomic loads are not
-// mutually consistent under concurrent observation, which is fine for a
-// monitoring snapshot.
+// snapshot captures the histogram's state coherently enough for the
+// exporters: the returned Count always equals the sum of the bucket
+// counts, and on the (overwhelmingly common) clean capture SumNs is
+// exactly the sum over those same observations. Observe touches the
+// fields in a fixed order — bucket, sum, count — so a capture whose
+// count is stable across the read and matches the bucket total saw no
+// observation mid-flight between its bucket add and its count add; a
+// handful of retries rides out concurrent observers. If contention is
+// so sustained that every retry tears, the fallback keeps the
+// exposition invariant (Count == Σ buckets) by deriving Count from the
+// buckets; SumNs may then lag by the in-flight observations, which is
+// the documented best effort under a scrape racing an ingest.
 func (h *Histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		Count: h.count.Load(),
-		SumNs: h.sum.Load(),
-		MaxNs: h.max.Load(),
-	}
-	if m := h.min.Load(); m > 0 {
-		s.MinNs = m - 1
-	}
-	for i := range h.buckets {
-		if n := h.buckets[i].Load(); n > 0 {
-			s.Buckets = append(s.Buckets, BucketCount{LowNs: BucketLow(i), Count: n})
+	const retries = 8
+	var s HistogramSnapshot
+	var total int64
+	for attempt := 0; attempt <= retries; attempt++ {
+		c := h.count.Load()
+		s = HistogramSnapshot{
+			Count:   c,
+			SumNs:   h.sum.Load(),
+			MaxNs:   h.max.Load(),
+			Buckets: s.Buckets[:0],
 		}
+		if m := h.min.Load(); m > 0 {
+			s.MinNs = m - 1
+		}
+		total = 0
+		for i := range h.buckets {
+			if n := h.buckets[i].Load(); n > 0 {
+				s.Buckets = append(s.Buckets, BucketCount{LowNs: BucketLow(i), Count: n})
+				total += n
+			}
+		}
+		if total == c && h.count.Load() == c {
+			break
+		}
+		// Torn capture: an observation landed in a bucket before its
+		// count add. Re-read; on the last attempt fall through to the
+		// bucket-derived count below.
+		s.Count = total
+	}
+	if len(s.Buckets) == 0 {
+		s.Buckets = nil
 	}
 	return s
 }

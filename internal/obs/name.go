@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file owns the canonical metric-name syntax: how a family plus
+// label pairs becomes one string key ("family{k=v,...}") and how that
+// key parses back into its parts. The syntax is load-bearing for the
+// exporters (internal/obs/export): they recover the family and label
+// set from the registry's flat name keys, so label keys and values are
+// escaped to keep the grammar unambiguous even when a value contains
+// the delimiters themselves (a tile key used as scope=, a file name, a
+// codec string). Families are code literals and are not escaped; they
+// must not contain '{'.
+
+// nameEscapes maps the characters that would make a rendered name
+// ambiguous (or multi-line) to their backslash escapes. The set covers
+// the label grammar's own delimiters plus the quote characters the
+// Prometheus exposition format escapes, so one unescape pass recovers
+// the original value exactly.
+const nameMeta = `\,={}"` + "\n\r"
+
+// escapeLabelPart renders one label key or value with backslash
+// escapes. The common case (no metacharacters) returns s unchanged.
+func escapeLabelPart(s string) string {
+	if !strings.ContainsAny(s, nameMeta) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\', ',', '=', '{', '}', '"':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// unescapeLabelPart inverts escapeLabelPart. Unknown escapes keep the
+// escaped character verbatim; a trailing lone backslash is kept as-is,
+// so the function is total over arbitrary input.
+func unescapeLabelPart(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			default:
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// Name renders a metric family name with labels in canonical form:
+// Name("core.build", "kind", "CSF") == "core.build{kind=CSF}". Label
+// pairs are sorted by key so the same label set always produces the
+// same metric name, and keys and values are backslash-escaped
+// (\\ , = { } " plus \n and \r) so ParseName can recover them exactly
+// whatever bytes they contain. An odd trailing label is ignored.
+func Name(family string, labels ...string) string {
+	if len(labels) < 2 {
+		return family
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].k != pairs[j].k {
+			return pairs[i].k < pairs[j].k
+		}
+		return pairs[i].v < pairs[j].v // total order keeps rendering canonical
+	})
+	var b strings.Builder
+	b.Grow(len(family) + 16)
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(escapeLabelPart(p.k))
+		b.WriteByte('=')
+		b.WriteString(escapeLabelPart(p.v))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Label is one parsed key=value pair of a canonical metric name.
+type Label struct{ Key, Value string }
+
+// ParseName splits a canonical metric name back into its family and
+// label pairs, inverting Name. Labels come back in the rendered
+// (key-sorted) order. The function is total: a name that does not end
+// in a well-formed "{...}" label block — including a bare family with
+// no labels at all — is returned whole as the family with nil labels,
+// so arbitrary registry keys (e.g. absorbed from a decoded snapshot)
+// never fail to export.
+func ParseName(name string) (family string, labels []Label) {
+	if !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	open := indexUnescaped(name, '{')
+	if open < 0 {
+		return name, nil
+	}
+	body := name[open+1 : len(name)-1]
+	if body == "" {
+		return name, nil // "f{}" is not a rendering Name produces
+	}
+	fam := name[:open]
+	for {
+		var pair string
+		if next := indexUnescaped(body, ','); next >= 0 {
+			pair, body = body[:next], body[next+1:]
+		} else {
+			pair, body = body, ""
+		}
+		eq := indexUnescaped(pair, '=')
+		if eq < 0 {
+			return name, nil // malformed pair: treat whole name as family
+		}
+		labels = append(labels, Label{
+			Key:   unescapeLabelPart(pair[:eq]),
+			Value: unescapeLabelPart(pair[eq+1:]),
+		})
+		if body == "" {
+			break
+		}
+	}
+	return fam, labels
+}
+
+// indexUnescaped returns the index of the first occurrence of c in s
+// that is not preceded by an odd run of backslashes, or -1.
+func indexUnescaped(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++ // skip the escaped character
+			continue
+		}
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}

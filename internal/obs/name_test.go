@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestNameParseRoundTrip drives Name -> ParseName -> Name over label
+// values containing every metacharacter the escaper handles, checking
+// both that the parsed parts equal the originals and that re-rendering
+// is the identity.
+func TestNameParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		family string
+		labels []string
+	}{
+		{"store.write.count", nil},
+		{"store.write.count", []string{"kind", "CSF"}},
+		{"fragcache.hits", []string{"scope", "t-1-2"}},
+		{"a.b", []string{"z", "1", "a", "2"}},
+		{"f", []string{"k", "a,b"}},
+		{"f", []string{"k", "a=b"}},
+		{"f", []string{"k", "{curly}"}},
+		{"f", []string{"k", `back\slash`}},
+		{"f", []string{"k", `"quoted"`}},
+		{"f", []string{"k", "new\nline"}},
+		{"f", []string{"k", "cr\rhere"}},
+		{"f", []string{"k", `every,=\{}"` + "\n\r"}},
+		{"f", []string{"k,ey", "v"}}, // metacharacters in keys too
+		{"f", []string{"k", ""}},     // empty value
+		{"f", []string{"a", "x", "b", "y", "c", "z"}},
+	}
+	for _, tc := range cases {
+		name := Name(tc.family, tc.labels...)
+		family, labels := ParseName(name)
+		if family != tc.family {
+			t.Errorf("ParseName(%q) family = %q, want %q", name, family, tc.family)
+		}
+		var want []Label
+		for i := 0; i+1 < len(tc.labels); i += 2 {
+			want = append(want, Label{tc.labels[i], tc.labels[i+1]})
+		}
+		// ParseName returns key-sorted order; sort the expectation the
+		// same way Name does.
+		for i := 1; i < len(want); i++ {
+			for j := i; j > 0 && want[j].Key < want[j-1].Key; j-- {
+				want[j], want[j-1] = want[j-1], want[j]
+			}
+		}
+		if !reflect.DeepEqual(labels, want) {
+			t.Errorf("ParseName(%q) labels = %v, want %v", name, labels, want)
+		}
+		flat := make([]string, 0, 2*len(labels))
+		for _, l := range labels {
+			flat = append(flat, l.Key, l.Value)
+		}
+		if re := Name(family, flat...); re != name {
+			t.Errorf("re-render of %q = %q", name, re)
+		}
+	}
+}
+
+// TestParseNameTotal feeds ParseName strings that are not canonical
+// renderings; they must come back whole as the family, never panic.
+func TestParseNameTotal(t *testing.T) {
+	for _, s := range []string{
+		"", "plain", "trailing}", "open{only", "f{}", "f{nopair}",
+		"f{k=v", "f{=}", `f{k=v\}`, "{k=v}",
+	} {
+		family, labels := ParseName(s)
+		if s == "{k=v}" {
+			// A name that is nothing but a label block still parses (empty
+			// family) — Name never produces it, but it is unambiguous.
+			if family != "" || len(labels) != 1 {
+				t.Errorf("ParseName(%q) = %q, %v", s, family, labels)
+			}
+			continue
+		}
+		if len(labels) == 0 && family != s {
+			t.Errorf("ParseName(%q) = %q, %v; want identity", s, family, labels)
+		}
+	}
+}
+
+// TestNameEscapedRegistryKeys checks the registry itself keeps distinct
+// metrics distinct when raw values would collide after naive
+// interpolation: the pairs ("a", "b,c=d") and ("a,b", "c=d")... collide
+// as `k=a,b,c=d` unescaped but stay distinct escaped.
+func TestNameEscapedRegistryKeys(t *testing.T) {
+	r := New()
+	r.Counter("f", "k", "a,b=c").Inc()
+	r.Counter("f", "k", `a\,b=c`).Add(5)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 2 {
+		t.Fatalf("want 2 distinct counters, got %v", snap.Counters)
+	}
+	for name, v := range snap.Counters {
+		family, labels := ParseName(name)
+		if family != "f" || len(labels) != 1 || labels[0].Key != "k" {
+			t.Fatalf("ParseName(%q) = %q, %v", name, family, labels)
+		}
+		switch labels[0].Value {
+		case "a,b=c":
+			if v != 1 {
+				t.Fatalf("value for %q = %d", name, v)
+			}
+		case `a\,b=c`:
+			if v != 5 {
+				t.Fatalf("value for %q = %d", name, v)
+			}
+		default:
+			t.Fatalf("unexpected label value %q", labels[0].Value)
+		}
+	}
+}

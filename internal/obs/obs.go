@@ -30,8 +30,6 @@
 package obs
 
 import (
-	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -135,36 +133,6 @@ func (g *Gauge) Value() int64 {
 		return 0
 	}
 	return g.v.Load()
-}
-
-// Name renders a metric family name with labels in canonical form:
-// Name("core.build", "kind", "CSF") == "core.build{kind=CSF}". Label
-// pairs are sorted by key so the same label set always produces the
-// same metric name. An odd trailing label is ignored.
-func Name(family string, labels ...string) string {
-	if len(labels) < 2 {
-		return family
-	}
-	type kv struct{ k, v string }
-	pairs := make([]kv, 0, len(labels)/2)
-	for i := 0; i+1 < len(labels); i += 2 {
-		pairs = append(pairs, kv{labels[i], labels[i+1]})
-	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
-	var b strings.Builder
-	b.Grow(len(family) + 16)
-	b.WriteString(family)
-	b.WriteByte('{')
-	for i, p := range pairs {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(p.k)
-		b.WriteByte('=')
-		b.WriteString(p.v)
-	}
-	b.WriteByte('}')
-	return b.String()
 }
 
 // Registry holds the process's metric families. The zero value is not

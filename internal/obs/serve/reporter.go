@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"sparseart/internal/obs"
+	"sparseart/internal/obs/export"
+)
+
+func nowUnixNano() uint64 { return uint64(time.Now().UnixNano()) }
+
+// Sink receives one interval delta from a Reporter. The snapshot holds
+// only the activity since the previous emission (obs.Delta semantics);
+// delta is false only for a Reporter configured to emit cumulative
+// snapshots. Returning an error does not stop the Reporter — intervals
+// keep their cadence and the next emission still covers only its own
+// interval, so one failed push loses one interval, not the stream's
+// alignment.
+type Sink func(s *obs.Snapshot, delta bool) error
+
+// WriteOTLP returns a Sink that appends each interval's OTLP-JSON
+// document to w as one line (JSONL), suitable for a file a collector
+// tails or for piping to jq. Writes are serialized by the Reporter.
+func WriteOTLP(w io.Writer) Sink {
+	return func(s *obs.Snapshot, delta bool) error {
+		out, err := export.OTLP(s, export.OTLPOptions{TimeUnixNano: nowUnixNano(), Delta: delta})
+		if err != nil {
+			return err
+		}
+		var line bytes.Buffer
+		line.Grow(len(out))
+		if err := json.Compact(&line, out); err != nil {
+			return err
+		}
+		line.WriteByte('\n')
+		_, err = w.Write(line.Bytes())
+		return err
+	}
+}
+
+// PushOTLP returns a Sink that POSTs each interval's OTLP-JSON
+// document to url (an OTLP/HTTP collector's /v1/metrics endpoint
+// speaks this shape). A nil client uses a dedicated client with a 10s
+// timeout so a stalled collector cannot wedge the report loop.
+func PushOTLP(url string, client *http.Client) Sink {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return func(s *obs.Snapshot, delta bool) error {
+		out, err := export.OTLP(s, export.OTLPOptions{TimeUnixNano: nowUnixNano(), Delta: delta})
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(out))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("push to %s: %s", url, resp.Status)
+		}
+		return nil
+	}
+}
+
+// Reporter periodically emits interval deltas of a registry to a Sink.
+// Construct with NewReporter, start with Start, stop with Close; Close
+// flushes the final partial interval before returning, so short-lived
+// processes still report their tail activity.
+type Reporter struct {
+	reg      *obs.Registry
+	interval time.Duration
+	sink     Sink
+
+	mu      sync.Mutex
+	prev    *obs.Snapshot
+	lastErr error
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewReporter builds a Reporter emitting to sink every interval. A nil
+// reg reports the process-global registry; a non-positive interval
+// defaults to 10s.
+func NewReporter(reg *obs.Registry, interval time.Duration, sink Sink) *Reporter {
+	if reg == nil {
+		reg = obs.Global()
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	return &Reporter{reg: reg, interval: interval, sink: sink}
+}
+
+// Start launches the report loop. The baseline is the registry state
+// at Start, so the first emission covers only post-Start activity.
+// Start is not idempotent; call it once.
+func (r *Reporter) Start() {
+	r.mu.Lock()
+	r.prev = r.reg.Snapshot()
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	r.mu.Unlock()
+	go r.loop()
+}
+
+func (r *Reporter) loop() {
+	defer close(r.done)
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.flush()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// flush emits the delta since the previous emission and advances the
+// baseline. The baseline advances even when the sink fails: each
+// interval is reported once, and a lossy sink drops intervals rather
+// than re-reporting them (delta streams double-count on replay).
+func (r *Reporter) flush() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.reg.Snapshot()
+	d := obs.Delta(r.prev, cur)
+	r.prev = cur
+	if err := r.sink(d, true); err != nil {
+		r.lastErr = err
+	}
+}
+
+// Close stops the loop, flushes the final partial interval, and
+// returns the most recent sink error (nil when every emission
+// succeeded). Safe to call on a Reporter that was never started.
+func (r *Reporter) Close() error {
+	r.mu.Lock()
+	started := r.stop != nil
+	r.mu.Unlock()
+	if started {
+		close(r.stop)
+		<-r.done
+	} else {
+		// Never started: emit everything once so Close-only usage still
+		// reports.
+		r.mu.Lock()
+		if r.prev == nil {
+			r.prev = &obs.Snapshot{}
+		}
+		r.mu.Unlock()
+	}
+	r.flush()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}

@@ -1,0 +1,158 @@
+// Package serve exposes an obs registry over HTTP: Prometheus text on
+// /metrics, OTLP-JSON on /metrics.json, a Chrome trace_event timeline
+// on /trace, the raw snapshot on /snapshot, and the stdlib pprof
+// handlers under /debug/pprof/. One Server wraps one registry; mount
+// its Handler on any listener.
+//
+// # Delta scrapes
+//
+// Every /metrics and /metrics.json response carries an Obs-Snapshot-Id
+// header naming the snapshot that was just served. Passing that ID
+// back as ?since=ID makes the next response a delta — only the
+// activity after the named scrape, computed with obs.Delta, with OTLP
+// sums and histograms marked delta-temporality. The server retains the
+// most recent maxBaselines snapshots; asking for an ID that has been
+// evicted (or never existed) answers 410 Gone, the signal to fall back
+// to a full scrape and start a new delta chain.
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+
+	"sparseart/internal/obs"
+	"sparseart/internal/obs/export"
+)
+
+// maxBaselines bounds the snapshots retained for ?since= delta
+// scrapes. A scrape chain only needs its own previous snapshot, so a
+// small ring tolerates several interleaved scrapers without letting an
+// abandoned chain pin memory.
+const maxBaselines = 16
+
+// Server serves one registry's telemetry. The zero value is not
+// usable; construct with New.
+type Server struct {
+	reg *obs.Registry
+
+	mu        sync.Mutex
+	nextID    uint64
+	baselines []baseline // FIFO, newest last, len <= maxBaselines
+}
+
+type baseline struct {
+	id   string
+	snap *obs.Snapshot
+}
+
+// New returns a Server over reg. A nil reg serves the process-global
+// registry.
+func New(reg *obs.Registry) *Server {
+	if reg == nil {
+		reg = obs.Global()
+	}
+	return &Server{reg: reg}
+}
+
+// Handler returns the mux with every telemetry endpoint mounted at its
+// documented path.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/metrics.json", s.metricsJSON)
+	mux.HandleFunc("/trace", s.trace)
+	mux.HandleFunc("/snapshot", s.snapshot)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// capture snapshots the registry, resolves an optional ?since=
+// baseline, and registers the new snapshot for future delta requests.
+// It returns the snapshot to render (full or delta), the new
+// snapshot's ID, and ok=false after it has already written the 410
+// response for an unknown baseline.
+func (s *Server) capture(w http.ResponseWriter, r *http.Request) (snap *obs.Snapshot, delta bool, ok bool) {
+	cur := s.reg.Snapshot()
+	since := r.URL.Query().Get("since")
+
+	s.mu.Lock()
+	var prev *obs.Snapshot
+	if since != "" {
+		for _, b := range s.baselines {
+			if b.id == since {
+				prev = b.snap
+				break
+			}
+		}
+		if prev == nil {
+			s.mu.Unlock()
+			http.Error(w, "unknown snapshot id "+strconv.Quote(since)+"; re-scrape without ?since=", http.StatusGone)
+			return nil, false, false
+		}
+	}
+	s.nextID++
+	id := "s" + strconv.FormatUint(s.nextID, 10)
+	s.baselines = append(s.baselines, baseline{id: id, snap: cur})
+	if len(s.baselines) > maxBaselines {
+		s.baselines = s.baselines[len(s.baselines)-maxBaselines:]
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Obs-Snapshot-Id", id)
+	if prev != nil {
+		return obs.Delta(prev, cur), true, true
+	}
+	return cur, false, true
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	snap, _, ok := s.capture(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", export.ContentTypePrometheus)
+	w.Write(export.Prometheus(snap))
+}
+
+func (s *Server) metricsJSON(w http.ResponseWriter, r *http.Request) {
+	snap, delta, ok := s.capture(w, r)
+	if !ok {
+		return
+	}
+	out, err := export.OTLP(snap, export.OTLPOptions{
+		TimeUnixNano: nowUnixNano(),
+		Delta:        delta,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}
+
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	out, err := export.ChromeTrace(s.reg.Snapshot())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}
+
+func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) {
+	out, err := s.reg.Snapshot().JSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}

@@ -123,6 +123,12 @@ const sharedCacheEnv = "SPARSEART_CHUNKED_SHARED_CACHE"
 // use it to assert the one-budget invariant.
 func (c *Chunked) SharedCache() *fragcache.Cache { return c.cache }
 
+// Obs returns the registry this chunked store (and every tile) reports
+// to: the injected one (WithObs) or the process-global registry. Bind
+// an internal/obs/serve Server to it to scrape per-tile cache metrics
+// and the write/read phase histograms live.
+func (c *Chunked) Obs() *obs.Registry { return c.obsReg() }
+
 // Close folds every tile's manifest log into its checkpoint, bounding
 // the replay work the next open of each tile pays. Tiles remain usable.
 func (c *Chunked) Close() error {

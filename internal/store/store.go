@@ -194,6 +194,11 @@ type Store struct {
 	groupSet      bool
 	optErr        error
 
+	// Fragcache warming (warm.go): how many of the newest fragments
+	// Open pre-loads into the reader cache.
+	warmFrags int
+	warmSet   bool
+
 	// Manifest-log state (see manifest.go): the checkpoint cadence, the
 	// number of records currently in MANIFEST.LOG, and the fragment
 	// count at the last checkpoint (the adaptive cadence's threshold).
@@ -330,6 +335,9 @@ func Open(fs fsim.FS, prefix string, opts ...Option) (*Store, error) {
 	if err := s.replayLog(); err != nil {
 		return nil, err
 	}
+	// Warm after the log replays: the log's fragments are the newest,
+	// exactly the ones warming targets.
+	s.warmCache()
 	return s, nil
 }
 

@@ -61,6 +61,33 @@ echo "==> go test (shared cache off + group commit off)"
 SPARSEART_CHUNKED_SHARED_CACHE=off SPARSEART_MANIFEST_GROUP_COMMIT=off \
     go test ./internal/store/...
 
+# Live-endpoint smoke: import a scratch store, serve its telemetry, and
+# validate both scrape formats end to end — /metrics through the strict
+# Prometheus parser, /metrics.json through the OTLP decoder, plus the
+# ?since= delta protocol (known baseline 200, unknown 410). The -warm
+# and -readall flags guarantee the scrape carries cache-warming and
+# read-path counters to assert on.
+echo "==> serve smoke (live /metrics + /metrics.json scrape)"
+SMOKE_DIR=$(mktemp -d)
+SERVE_PID=""
+trap '[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+printf '# shape: 16 16\n1 2 10\n3 4 20\n5 6 30\n' > "$SMOKE_DIR/ds.txt"
+go build -o "$SMOKE_DIR/sparsestore" ./cmd/sparsestore
+"$SMOKE_DIR/sparsestore" import -dir "$SMOKE_DIR/store" -kind GCSR++ -in "$SMOKE_DIR/ds.txt"
+"$SMOKE_DIR/sparsestore" serve -dir "$SMOKE_DIR/store" -addr 127.0.0.1:0 \
+    -addr-file "$SMOKE_DIR/addr" -warm 1 -readall &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/addr" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "serve exited early" >&2; exit 1; }
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/addr" ] || { echo "serve never wrote its address" >&2; exit 1; }
+go run ./scripts/checkmetrics -addr "$(cat "$SMOKE_DIR/addr")" \
+    -expect fragcache.warmed -expect store.read.count
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+
 if [ "$FUZZ_SECONDS" -gt 0 ]; then
     echo "==> fuzz smoke (${FUZZ_SECONDS}s per target)"
     # Enumerate every fuzz target and give each a short budget. Go only
