@@ -65,6 +65,11 @@ var cacheFlag string
 // library default (subject to SPARSEART_MANIFEST_CHECKPOINT_EVERY).
 var ckptFlag string
 
+// bgCompactFlag holds the global -bg-compact=N value: every store the
+// command opens compacts itself in the background once N fragments
+// accumulate (N >= 2). Empty disables the trigger.
+var bgCompactFlag string
+
 // listenFlag holds the global -listen=ADDR value: when set, the
 // process-wide obs registry is enabled and served over HTTP for the
 // duration of the command, so a long compact or import can be watched
@@ -86,6 +91,8 @@ func main() {
 			cacheFlag = v
 		} else if v, ok := strings.CutPrefix(arg, "checkpoint-every="); ok {
 			ckptFlag = v
+		} else if v, ok := strings.CutPrefix(arg, "bg-compact="); ok {
+			bgCompactFlag = v
 		} else if v, ok := strings.CutPrefix(arg, "listen="); ok {
 			listenFlag = v
 		} else {
@@ -178,6 +185,8 @@ global flags (before the command):
   -checkpoint-every=K
                     fold the manifest delta log into a checkpoint every
                     K fragment commits (1 = rewrite per write)
+  -bg-compact=N     compact in the background whenever a store opened by
+                    the command accumulates N fragments (N >= 2)
   -listen=ADDR      serve live telemetry (/metrics, /metrics.json,
                     /trace, /debug/pprof/) on ADDR while the command runs
 
@@ -186,7 +195,7 @@ commands:
   compact  consolidate all fragments into one (newest value wins,
            tombstones folded in)
   convert  rewrite the store under another organization
-  delete   write a tombstone fragment over a region
+  delete   append a tombstone record over a region
   export   dump the logical contents as a dataset file
   import   create a store from a dataset file
   serve    open a store and serve its telemetry over HTTP until
@@ -229,6 +238,13 @@ func cacheOptions() ([]store.Option, error) {
 			return nil, fmt.Errorf("bad -checkpoint-every value %q (want a positive integer)", ckptFlag)
 		}
 		opts = append(opts, store.WithManifestCheckpointEvery(k))
+	}
+	if bgCompactFlag != "" {
+		n, err := strconv.Atoi(bgCompactFlag)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -bg-compact value %q (want an integer >= 2)", bgCompactFlag)
+		}
+		opts = append(opts, store.WithBackgroundCompaction(n))
 	}
 	return opts, nil
 }
@@ -345,8 +361,8 @@ func runDelete(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote tombstone %s over start=%v size=%v (%d bytes)\n",
-		rep.Name, start, size, rep.Bytes)
+	fmt.Printf("appended tombstone record over start=%v size=%v (%d bytes, epoch %d)\n",
+		start, size, rep.Bytes, rep.Epoch)
 	return nil
 }
 

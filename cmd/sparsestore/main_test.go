@@ -170,7 +170,7 @@ func TestDeleteCommand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "wrote tombstone") {
+	if !strings.Contains(out, "appended tombstone record") {
 		t.Fatalf("delete output:\n%s", out)
 	}
 	out, err = capture(t, func() error { return runInfo([]string{"-dir", dir}) })

@@ -78,10 +78,12 @@ func max64(a, b uint64) uint64 {
 // ReadRegion and ReadRegionScan; only the time to produce them differs.
 // The report's Scans field tells how many fragments were scanned.
 func (s *Store) ReadRegionAuto(region tensor.Region) (*Result, *ReadReport, error) {
-	rep := &ReadReport{}
 	if region.Dims() != s.shape.Dims() {
 		return nil, nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), s.shape.Dims())
 	}
+	v := s.acquireView()
+	defer v.release()
+	rep := &ReadReport{Epoch: v.epoch}
 	s.takeCost()
 	reg := s.obsReg()
 	kind := s.kind.String()
@@ -95,7 +97,7 @@ func (s *Store) ReadRegionAuto(region tensor.Region) (*Result, *ReadReport, erro
 
 	var probe *tensor.Coords // materialized lazily, only if some fragment probes
 	var hits []hit
-	for fi, fr := range s.frags {
+	for fi, fr := range v.frags {
 		if fr.nnz == 0 || !fr.bbox.Overlaps(queryBox) {
 			continue
 		}
@@ -139,7 +141,7 @@ func (s *Store) ReadRegionAuto(region tensor.Region) (*Result, *ReadReport, erro
 		rep.Probe += time.Since(t)
 	}
 	sp := root.Child(obsReadMerge)
-	res, mergeDur := mergeHits(s, hits, s.tombstonesOverlapping(len(s.frags), queryBox))
+	res, mergeDur := mergeHits(s, hits, tombstonesOverlapping(v.frags, len(v.frags), queryBox))
 	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sparseart/internal/core"
+	"sparseart/internal/fsim"
+	"sparseart/internal/tensor"
+)
+
+// BenchmarkConcurrentRead measures region reads under goroutine
+// fan-out, idle and with a compaction/write churn loop running
+// concurrently. Readers serve from MVCC snapshots and never take the
+// writer lock, so throughput should scale with goroutines and the
+// compacting variant should track the idle one (the acceptance bar:
+// p99 within ~2x). Each sub-benchmark reports the measured p99 as
+// "p99-ns" next to the usual ns/op.
+func BenchmarkConcurrentRead(b *testing.B) {
+	shape := tensor.Shape{64, 64}
+	for _, compacting := range []bool{false, true} {
+		mode := "idle"
+		if compacting {
+			mode = "compacting"
+		}
+		for _, g := range []int{1, 4, 16, 64} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", mode, g), func(b *testing.B) {
+				st, err := Create(fsim.NewPerlmutterSim(), "t", core.CSF, shape)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(1))
+				for i := 0; i < 8; i++ {
+					c, v := randomPoints(rng, shape, 200)
+					if _, err := st.Write(c, v); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var stop atomic.Bool
+				var churn sync.WaitGroup
+				if compacting {
+					churn.Add(1)
+					go func() {
+						defer churn.Done()
+						crng := rand.New(rand.NewSource(2))
+						for !stop.Load() {
+							c, v := randomPoints(crng, shape, 50)
+							if _, err := st.Write(c, v); err != nil {
+								b.Error(err)
+								return
+							}
+							if _, err := st.Compact(); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				lats := make([][]time.Duration, g)
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < g; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						wrng := rand.New(rand.NewSource(int64(100 + w)))
+						n := b.N / g
+						if w < b.N%g {
+							n++
+						}
+						lat := make([]time.Duration, 0, n)
+						for i := 0; i < n; i++ {
+							region := randomRegion(b, wrng, shape, 8)
+							t0 := time.Now()
+							if _, _, err := st.ReadRegion(region); err != nil {
+								b.Error(err)
+								return
+							}
+							lat = append(lat, time.Since(t0))
+						}
+						lats[w] = lat
+					}(w)
+				}
+				wg.Wait()
+				b.StopTimer()
+				stop.Store(true)
+				churn.Wait()
+				var all []time.Duration
+				for _, l := range lats {
+					all = append(all, l...)
+				}
+				if len(all) > 0 {
+					sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+					p99 := all[len(all)*99/100]
+					if len(all)*99/100 >= len(all) {
+						p99 = all[len(all)-1]
+					}
+					b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns")
+				}
+			})
+		}
+	}
+}

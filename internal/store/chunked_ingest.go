@@ -156,8 +156,21 @@ func (c *Chunked) WriteBatchFunc(batches []Batch, workers int, fn func(i int, re
 	// committer across tile stores in order. A tile's last fragment is
 	// "final": its group flushes before the committer advances to the
 	// next tile, so queued reports always belong to the store currently
-	// committing.
+	// committing. The committer holds each tile store's writer lock for
+	// that tile's span of fragments — one mutation stream per tile —
+	// releasing it as it advances.
 	ic := &ingestCommitter{root: root, fn: fn}
+	var locked *Store
+	lockTile := func(st *Store) {
+		if locked == st {
+			return
+		}
+		if locked != nil {
+			locked.writeMu.Unlock()
+		}
+		st.writeMu.Lock()
+		locked = st
+	}
 	for i := range jobs {
 		<-jobs[i].done
 		j := &jobs[i]
@@ -165,6 +178,7 @@ func (c *Chunked) WriteBatchFunc(batches []Batch, workers int, fn func(i int, re
 			recycleJob(j)
 			continue
 		}
+		lockTile(frags[i].store)
 		if j.err != nil {
 			ic.failPrepared(frags[i].store, frags[i].idx, j.err)
 		} else {
@@ -173,6 +187,9 @@ func (c *Chunked) WriteBatchFunc(batches []Batch, workers int, fn func(i int, re
 		if ic.firstErr != nil {
 			abort.Store(true)
 		}
+	}
+	if locked != nil {
+		locked.writeMu.Unlock()
 	}
 	wg.Wait()
 	if ic.firstErr != nil {

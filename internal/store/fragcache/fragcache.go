@@ -203,13 +203,18 @@ func (c *Cache) Invalidate(names ...string) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var dropped int64
 	for _, name := range names {
 		if el, ok := c.items[name]; ok {
 			e := el.Value.(*Entry)
 			c.ll.Remove(el)
 			delete(c.items, name)
 			c.size -= e.Bytes
+			dropped++
 		}
+	}
+	if dropped > 0 {
+		c.reg().Counter("fragcache.invalidated").Add(dropped)
 	}
 	c.updateGaugesLocked()
 }

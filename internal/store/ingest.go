@@ -148,7 +148,11 @@ func (s *Store) WriteBatchFunc(batches []Batch, workers int, fn func(i int, rep 
 
 	// Commit stage, on the caller's goroutine: deterministic fragment
 	// order, one file write per fragment, manifest records appended
-	// singly or group-committed per the store's policy.
+	// singly or group-committed per the store's policy. The writer lock
+	// is held across the whole commit loop — the ingest is one mutation
+	// stream — so fn must not call the store's mutating methods (reads
+	// are fine: they serve from published snapshots).
+	s.writeMu.Lock()
 	ic := &ingestCommitter{root: root, fn: fn}
 	for i := range jobs {
 		<-jobs[i].done
@@ -166,6 +170,8 @@ func (s *Store) WriteBatchFunc(batches []Batch, workers int, fn func(i int, rep 
 			abort.Store(true)
 		}
 	}
+	reg.Gauge("store.fragments", "kind", kind).Set(int64(len(s.frags)))
+	s.writeMu.Unlock()
 	wg.Wait()
 	if ic.firstErr != nil {
 		if ic.firstErr != errStopIngest {
@@ -175,7 +181,6 @@ func (s *Store) WriteBatchFunc(batches []Batch, workers int, fn func(i int, rep 
 	}
 	reg.Counter("store.ingest.count", "kind", kind).Inc()
 	reg.Counter("store.ingest.fragments", "kind", kind).Add(int64(ic.committed))
-	reg.Gauge("store.fragments", "kind", kind).Set(int64(len(s.frags)))
 	return nil
 }
 
@@ -303,11 +308,14 @@ type ingestCommitter struct {
 	firstErr  error
 }
 
-// deliver streams the queued reports — now durable — to fn in order.
-// If fn asks to stop, remaining reports are dropped (their fragments
-// stay durable) and firstErr records the stop.
-func (ic *ingestCommitter) deliver() {
+// deliver streams the queued reports — now durable — to fn in order,
+// stamping each with st's current epoch (the one their flush
+// published). If fn asks to stop, remaining reports are dropped (their
+// fragments stay durable) and firstErr records the stop.
+func (ic *ingestCommitter) deliver(st *Store) {
+	epoch := st.currentEpoch()
 	for _, q := range ic.queued {
+		q.rep.Epoch = epoch
 		if ic.firstErr == nil {
 			if err := ic.fn(q.idx, q.rep, nil); err != nil {
 				ic.firstErr = err
@@ -337,11 +345,11 @@ func (ic *ingestCommitter) failPrepared(st *Store, idx int, err error) {
 		if rolledBack {
 			ic.queued = ic.queued[:0]
 		} else {
-			ic.deliver() // records landed; only the checkpoint fold failed
+			ic.deliver(st) // records landed; only the checkpoint fold failed
 		}
 		// The original failure still wins over the flush error.
 	} else {
-		ic.deliver()
+		ic.deliver(st)
 	}
 	ic.abort(idx, err)
 }
@@ -356,7 +364,7 @@ func (ic *ingestCommitter) commit(st *Store, idx int, j *ingestJob, final bool) 
 		ic.queued = append(ic.queued, queuedReport{idx: idx, rep: rep})
 	case commitDurable:
 		ic.queued = append(ic.queued, queuedReport{idx: idx, rep: rep})
-		ic.deliver()
+		ic.deliver(st)
 		if err != nil { // the checkpoint fold failed after a durable flush
 			ic.abort(idx, err)
 		}
@@ -479,7 +487,7 @@ func (s *Store) commitPrepared(j *ingestJob, root *obs.Span, final bool) (*Write
 		} else {
 			outcome = commitStaged
 		}
-	} else if err := s.commitFragment(fr); err != nil {
+	} else if _, err := s.commitFragment(fr); err != nil {
 		sp.End()
 		return nil, commitFailed, err
 	}

@@ -12,15 +12,29 @@ import (
 // core.Iterator contract every organization's reader implements:
 // fragment consolidation (the TileDB-style answer to the fragment
 // accumulation Algorithm 3's append-only WRITE causes), whole-store
-// export, and conversion between organizations.
+// export, and conversion between organizations. Compact runs under the
+// writer lock but never blocks readers: it builds the consolidated
+// fragment off to the side, swaps it in as a new snapshot epoch, and
+// defers deleting the superseded files until the last reader pinning an
+// older epoch drains (see view.go). CompactAsync and
+// WithBackgroundCompaction move the whole pass onto a background
+// worker.
 
 // ExportAll returns the store's full logical contents — every live
 // cell after overlap and tombstone resolution — sorted by linear
 // address. Fragments resolve through the reader cache, so an export
 // right after reads iterates resident indexes without re-fetching.
 func (s *Store) ExportAll() (*tensor.Coords, []float64, error) {
+	v := s.acquireView()
+	defer v.release()
+	return s.exportFrags(v.frags)
+}
+
+// exportFrags materializes the live contents of the given fragment
+// list.
+func (s *Store) exportFrags(frags []fragRef) (*tensor.Coords, []float64, error) {
 	var hits []hit
-	for fi, fr := range s.frags {
+	for fi, fr := range frags {
 		if fr.nnz == 0 {
 			continue
 		}
@@ -37,7 +51,7 @@ func (s *Store) ExportAll() (*tensor.Coords, []float64, error) {
 			return true
 		})
 	}
-	res, _ := mergeHits(s, hits, s.tombstonesBefore(len(s.frags)))
+	res, _ := mergeHits(s, hits, tombstonesUpTo(frags, len(frags)))
 	return res.Coords, res.Values, nil
 }
 
@@ -51,14 +65,26 @@ type CompactReport struct {
 // Compact consolidates all fragments into one, resolving overlapping
 // writes (newest wins) and reclaiming the space of superseded cells.
 // A store with zero or one fragment is returned unchanged.
+//
+// Compaction holds the writer lock (it serializes against writes and
+// deletes) but readers are never blocked: they keep serving from the
+// pre-compaction snapshot until the consolidated fragment's epoch is
+// published, and the superseded files are physically deleted only when
+// the last view pinning an older epoch drains.
 func (s *Store) Compact() (*CompactReport, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() (*CompactReport, error) {
 	reg := s.obsReg()
 	root := reg.Start("store.compact")
 	defer root.End()
 	reg.Counter("store.compact.count", "kind", s.kind.String()).Inc()
 	rep := &CompactReport{
 		FragmentsBefore: len(s.frags),
-		BytesBefore:     s.TotalBytes(),
+		BytesBefore:     totalFragBytes(s.frags),
 	}
 	for _, fr := range s.frags {
 		rep.PointsBefore += int(fr.nnz)
@@ -69,40 +95,103 @@ func (s *Store) Compact() (*CompactReport, error) {
 		rep.BytesAfter = rep.BytesBefore
 		return rep, nil
 	}
-	coords, vals, err := s.ExportAll()
+	coords, vals, err := s.exportFrags(s.frags)
 	if err != nil {
 		return nil, err
 	}
 	old := s.frags
 	s.frags = nil
-	wrep, err := s.Write(coords, vals)
+	wrep, err := s.writeLocked(coords, vals)
 	if err != nil {
-		s.frags = old // the old fragments remain intact on failure
+		// The swap publishes only after the consolidated fragment's
+		// manifest record is durable; an empty working list means that
+		// never happened, so the old fragments remain the truth (and the
+		// published snapshot never stopped saying so).
+		if len(s.frags) == 0 {
+			s.frags = old
+		}
 		return nil, err
 	}
 	// Fold the consolidated state into a checkpoint before touching the
 	// old files: once MANIFEST lists only the new fragment (and the log
 	// is gone), removing the superseded files can no longer strand a
-	// manifest that references them.
+	// manifest that references them. A crash before the fold is still
+	// safe — the log's consolidated record replays on top of the old
+	// fragments, and newest-wins resolution makes the two states
+	// logically identical.
 	if err := s.checkpoint(); err != nil {
 		return nil, err
 	}
-	oldNames := make([]string, len(old))
-	for i, fr := range old {
-		oldNames[i] = fr.name
-	}
-	// Drop cached readers for the superseded fragments before removing
-	// their files: their names leave the manifest for good.
-	s.cache.Invalidate(oldNames...)
+	// Retire the superseded files: cache invalidation + removal run
+	// immediately when no reader pins an older epoch, otherwise when the
+	// last such view drains. Log-structured tombstones have no file.
+	oldNames := make([]string, 0, len(old))
 	for _, fr := range old {
-		if err := s.fs.Remove(fr.name); err != nil {
-			return nil, fmt.Errorf("store: remove %s: %w", fr.name, err)
+		if fr.name != "" {
+			oldNames = append(oldNames, fr.name)
 		}
 	}
+	s.retire(oldNames)
 	rep.FragmentsAfter = 1
 	rep.PointsAfter = wrep.NNZ
-	rep.BytesAfter = s.TotalBytes()
+	rep.BytesAfter = totalFragBytes(s.frags)
 	return rep, nil
+}
+
+// CompactResult is CompactAsync's completion notice.
+type CompactResult struct {
+	Report *CompactReport
+	Err    error
+}
+
+// CompactAsync runs Compact on a background goroutine and returns a
+// channel that delivers the result (buffered; the worker never blocks
+// on it). Reads proceed concurrently throughout; writes resume as soon
+// as the consolidation's swap completes. Close waits for the worker.
+func (s *Store) CompactAsync() <-chan CompactResult {
+	ch := make(chan CompactResult, 1)
+	s.bgWG.Add(1)
+	go func() {
+		defer s.bgWG.Done()
+		rep, err := s.compactBackground()
+		ch <- CompactResult{Report: rep, Err: err}
+	}()
+	return ch
+}
+
+// compactBackground is the worker body shared by CompactAsync and the
+// WithBackgroundCompaction trigger.
+func (s *Store) compactBackground() (*CompactReport, error) {
+	reg := s.obsReg()
+	kind := s.kind.String()
+	reg.Counter("store.compact.background.runs", "kind", kind).Inc()
+	rep, err := s.Compact()
+	if err != nil {
+		reg.Counter("store.compact.background.errors", "kind", kind).Inc()
+	}
+	return rep, err
+}
+
+// maybeCompactAsync spawns the background compaction worker when the
+// just-published snapshot has accumulated enough fragments
+// (WithBackgroundCompaction) and no worker is already running. Called
+// from publishLocked; the worker blocks on the writer lock until the
+// publishing mutation finishes, then compacts — so back-to-back
+// triggers coalesce into one pass over the final fragment set.
+func (s *Store) maybeCompactAsync(frags int) {
+	if s.bgMinFrags <= 0 || frags < s.bgMinFrags {
+		return
+	}
+	if !s.bgRunning.CompareAndSwap(false, true) {
+		s.obsReg().Counter("store.compact.background.skipped", "kind", s.kind.String()).Inc()
+		return
+	}
+	s.bgWG.Add(1)
+	go func() {
+		defer s.bgWG.Done()
+		defer s.bgRunning.Store(false)
+		s.compactBackground()
+	}()
 }
 
 // Checkpoint folds the manifest delta log into a fresh MANIFEST
@@ -111,17 +200,23 @@ func (s *Store) Compact() (*CompactReport, error) {
 // explicit Checkpoint (or Close) bounds the replay work the next Open
 // pays.
 func (s *Store) Checkpoint() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	if s.logRecords == 0 {
 		return nil
 	}
 	return s.checkpoint()
 }
 
-// Close flushes manifest state — today that means folding any pending
-// log records into a checkpoint. The store remains usable afterwards
-// (fragments are plain files; there are no open handles to release),
-// but callers should treat a closed store as done.
-func (s *Store) Close() error { return s.Checkpoint() }
+// Close waits for any background compaction worker, then flushes
+// manifest state — folding pending log records into a checkpoint. The
+// store remains usable afterwards (fragments are plain files; there are
+// no open handles to release), but callers should treat a closed store
+// as done. Close must not race other mutations on the same handle.
+func (s *Store) Close() error {
+	s.bgWG.Wait()
+	return s.Checkpoint()
+}
 
 // Convert writes the store's full contents into a new store under a
 // different organization (or codec), the migration path between

@@ -184,10 +184,12 @@ func appendFramedRecord(dst []byte, fr fragRef, id uint64, dims int) []byte {
 
 // appendRecord frames and appends one fragment record to the manifest
 // log — the O(1) replacement for the per-write manifest rewrite.
-func (s *Store) appendRecord(fr fragRef, id uint64) error {
+// Returns the framed record's size in bytes (DeleteRegion reports it as
+// the tombstone's footprint).
+func (s *Store) appendRecord(fr fragRef, id uint64) (int, error) {
 	rec := appendFramedRecord(nil, fr, id, s.shape.Dims())
 	if err := s.fs.Append(s.logName(), rec); err != nil {
-		return fmt.Errorf("store: append manifest log: %w", err)
+		return 0, fmt.Errorf("store: append manifest log: %w", err)
 	}
 	s.logRecords++
 	reg := s.obsReg()
@@ -195,27 +197,33 @@ func (s *Store) appendRecord(fr fragRef, id uint64) error {
 	reg.Counter("store.manifest.log.appends", "kind", kind).Inc()
 	reg.Counter("store.manifest.log.bytes", "kind", kind).Add(int64(len(rec)))
 	reg.Gauge("store.manifest.log.records", "kind", kind).Set(int64(s.logRecords))
-	return nil
+	return len(rec), nil
 }
 
-// commitFragment publishes one written fragment: an in-memory append
-// plus one log record, folding the log into a checkpoint when the
-// cadence says so. On append failure the in-memory state is rolled
-// back, so a fresh Open and this handle agree the fragment was never
-// committed.
-func (s *Store) commitFragment(fr fragRef) error {
+// commitFragment commits one mutation: an in-memory append plus one log
+// record, then a published snapshot, folding the log into a checkpoint
+// when the cadence says so. The caller holds writeMu. A fragRef with an
+// empty name is a log-structured tombstone — the record IS the
+// mutation, no file backs it. On append failure the in-memory state is
+// rolled back, so a fresh Open and this handle agree the mutation never
+// committed. The new snapshot is published as soon as the record is
+// durable — a checkpoint-fold failure after that surfaces as an error,
+// but the commit itself stands (Open replays the log record).
+func (s *Store) commitFragment(fr fragRef) (int, error) {
 	id := s.nextID
 	s.nextID++
 	s.frags = append(s.frags, fr)
-	if err := s.appendRecord(fr, id); err != nil {
+	n, err := s.appendRecord(fr, id)
+	if err != nil {
 		s.frags = s.frags[:len(s.frags)-1]
 		s.nextID = id
-		return err
+		return 0, err
 	}
+	s.publishLocked()
 	if s.checkpointDue() {
-		return s.checkpoint()
+		return n, s.checkpoint()
 	}
-	return nil
+	return n, nil
 }
 
 // stageFragment publishes one fragment into the in-memory state and the
@@ -263,6 +271,7 @@ func (s *Store) flushStaged() (rolledBack bool, err error) {
 	}
 	s.logRecords += n
 	s.staged, s.stagedRecs = s.staged[:0], 0
+	s.publishLocked()
 	reg := s.obsReg()
 	kind := s.kind.String()
 	reg.Counter("store.manifest.log.appends", "kind", kind).Inc()

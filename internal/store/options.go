@@ -104,6 +104,23 @@ func WithGroupCommit(on bool) Option {
 	}
 }
 
+// WithBackgroundCompaction makes the store compact itself: whenever a
+// mutation publishes a snapshot holding at least minFragments
+// fragments and no compaction worker is already running, one is
+// spawned. The worker serializes with writers through the writer lock;
+// readers are never blocked (MVCC snapshots, see view.go). minFragments
+// must be at least 2 — a one-fragment store is already compact. Close
+// waits for an in-flight worker.
+func WithBackgroundCompaction(minFragments int) Option {
+	return func(s *Store) {
+		if minFragments < 2 {
+			s.recordOptErr("WithBackgroundCompaction", fmt.Sprintf("threshold %d (need >= 2 fragments for a compaction to exist)", minFragments))
+			return
+		}
+		s.bgMinFrags = minFragments
+	}
+}
+
 // withTileCache injects a Chunked store's shared cache into one of its
 // tiles, bypassing WithSharedCache's conflict check — the chunked layer
 // has already folded the user's cache options into this one cache, so a

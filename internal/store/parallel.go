@@ -28,10 +28,12 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 	if workers <= 1 {
 		return s.Read(probe)
 	}
-	rep := &ReadReport{}
 	if probe.Dims() != s.shape.Dims() {
 		return nil, nil, fmt.Errorf("store: %d-dim probe for %d-dim store", probe.Dims(), s.shape.Dims())
 	}
+	v := s.acquireView()
+	defer v.release()
+	rep := &ReadReport{Epoch: v.epoch}
 	s.takeCost()
 	reg := s.obsReg()
 	kind := s.kind.String()
@@ -43,7 +45,7 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 	}
 
 	var overlapping []int
-	for fi, fr := range s.frags {
+	for fi, fr := range v.frags {
 		if fr.nnz > 0 && fr.bbox.Overlaps(queryBox) {
 			overlapping = append(overlapping, fi)
 		}
@@ -59,7 +61,7 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 	var wg sync.WaitGroup
 	for _, fi := range overlapping {
 		fi := fi
-		fr := s.frags[fi]
+		fr := v.frags[fi]
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
@@ -112,7 +114,7 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 		rep.IO += cost.Total()
 	}
 	sp := root.Child(obsReadMerge)
-	res, mergeDur := mergeHits(s, hits, s.tombstonesOverlapping(len(s.frags), queryBox))
+	res, mergeDur := mergeHits(s, hits, tombstonesOverlapping(v.frags, len(v.frags), queryBox))
 	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sparseart/internal/buf"
@@ -134,27 +136,33 @@ type tombstoneRef struct {
 }
 
 // tombstonesBefore lists the deletion fragments among the first limit
-// fragments.
+// fragments of the current snapshot.
 func (s *Store) tombstonesBefore(limit int) []tombstoneRef {
+	return tombstonesUpTo(s.currentFrags(), limit)
+}
+
+// tombstonesUpTo lists the deletion fragments among the first limit
+// entries of frags.
+func tombstonesUpTo(frags []fragRef, limit int) []tombstoneRef {
 	var out []tombstoneRef
-	for i := 0; i < limit && i < len(s.frags); i++ {
-		if s.frags[i].tomb {
-			out = append(out, tombstoneRef{idx: i, region: s.frags[i].tombRegion})
+	for i := 0; i < limit && i < len(frags); i++ {
+		if frags[i].tomb {
+			out = append(out, tombstoneRef{idx: i, region: frags[i].tombRegion})
 		}
 	}
 	return out
 }
 
 // tombstonesOverlapping lists the deletion fragments among the first
-// limit fragments whose region intersects box — the only ones that can
-// kill a hit inside it. Query paths pass their bounding box so
+// limit entries of frags whose region intersects box — the only ones
+// that can kill a hit inside it. Query paths pass their bounding box so
 // mergeHits' per-cell tombstone walk scales with relevant tombstones,
 // not every deletion the store has ever seen.
-func (s *Store) tombstonesOverlapping(limit int, box tensor.BBox) []tombstoneRef {
+func tombstonesOverlapping(frags []fragRef, limit int, box tensor.BBox) []tombstoneRef {
 	var out []tombstoneRef
-	for i := 0; i < limit && i < len(s.frags); i++ {
-		if s.frags[i].tomb && s.frags[i].tombRegion.BBox().Overlaps(box) {
-			out = append(out, tombstoneRef{idx: i, region: s.frags[i].tombRegion})
+	for i := 0; i < limit && i < len(frags); i++ {
+		if frags[i].tomb && frags[i].tombRegion.BBox().Overlaps(box) {
+			out = append(out, tombstoneRef{idx: i, region: frags[i].tombRegion})
 		}
 	}
 	return out
@@ -171,8 +179,29 @@ type Store struct {
 	codec     compress.ID
 	buildOpts *core.Options
 	obs       *obs.Registry
-	frags     []fragRef
-	nextID    uint64
+	// frags is the writer's working fragment list, guarded by writeMu.
+	// Readers never touch it: they go through the published snapshot
+	// (see view.go). Every durable mutation ends with publishLocked.
+	frags  []fragRef
+	nextID uint64
+
+	// MVCC state (view.go). writeMu serializes all mutations — Write,
+	// DeleteRegion, WriteBatch commits, Compact, Checkpoint. viewMu
+	// guards the snapshot pointer, pin counts, and the deferred-GC
+	// queue; lock order is writeMu before viewMu, never the reverse.
+	writeMu   sync.Mutex
+	viewMu    sync.Mutex
+	cur       *readView
+	pinned    map[*readView]struct{}
+	viewRefs  int
+	gcPending []pendingGC
+
+	// Background compaction (maintenance.go): when bgMinFrags > 0,
+	// publishing a view with at least that many fragments spawns one
+	// compaction worker (bgRunning dedupes). Close waits on bgWG.
+	bgMinFrags int
+	bgRunning  atomic.Bool
+	bgWG       sync.WaitGroup
 
 	// cache holds decoded fragment readers; nil when disabled. See
 	// WithReaderCache for the budget resolution rules. sharedCache is an
@@ -265,6 +294,7 @@ func Create(fs fsim.FS, prefix string, kind core.Kind, shape tensor.Shape, opts 
 	if err := s.writeManifest(); err != nil {
 		return nil, err
 	}
+	s.initViews()
 	return s, nil
 }
 
@@ -335,6 +365,11 @@ func Open(fs fsim.FS, prefix string, opts ...Option) (*Store, error) {
 	if err := s.replayLog(); err != nil {
 		return nil, err
 	}
+	// With the manifest settled, sweep fragment files it does not
+	// reference — crash debris from a compaction swap or a rolled-back
+	// write — then publish the first snapshot.
+	s.gcOrphans()
+	s.initViews()
 	// Warm after the log replays: the log's fragments are the newest,
 	// exactly the ones warming targets.
 	s.warmCache()
@@ -381,14 +416,24 @@ func (s *Store) Kind() core.Kind { return s.kind }
 // Shape returns the tensor shape.
 func (s *Store) Shape() tensor.Shape { return s.shape }
 
-// Fragments returns the number of fragments written so far.
-func (s *Store) Fragments() int { return len(s.frags) }
+// Fragments returns the number of fragments in the current snapshot.
+func (s *Store) Fragments() int { return len(s.currentFrags()) }
+
+// Epoch returns the store's current manifest epoch: it starts at 0 and
+// increments on every published mutation (write, delete, ingest flush,
+// compaction swap). Reads pin the epoch they execute against and report
+// it in ReadReport.Epoch.
+func (s *Store) Epoch() uint64 { return s.currentEpoch() }
 
 // TotalBytes returns the cumulative encoded size of all fragments — the
 // "size of the result files" of the paper's Figure 4.
 func (s *Store) TotalBytes() int64 {
+	return totalFragBytes(s.currentFrags())
+}
+
+func totalFragBytes(frags []fragRef) int64 {
 	var total int64
-	for _, fr := range s.frags {
+	for _, fr := range frags {
 		total += fr.bytes
 	}
 	return total
@@ -408,8 +453,9 @@ type StoreStats struct {
 // Stats summarizes the store from its manifest alone (no fragment
 // reads).
 func (s *Store) Stats() StoreStats {
-	st := StoreStats{Fragments: len(s.frags), Bytes: s.TotalBytes()}
-	for _, fr := range s.frags {
+	frags := s.currentFrags()
+	st := StoreStats{Fragments: len(frags), Bytes: totalFragBytes(frags)}
+	for _, fr := range frags {
 		if fr.tomb {
 			st.Tombstones++
 		}
@@ -425,9 +471,10 @@ type WriteReport struct {
 	Reorg  time.Duration // permuting the value buffer by the map vector
 	Write  time.Duration // serializing and storing the fragment
 	Others time.Duration // manifest and metadata upkeep
-	Bytes  int64         // encoded fragment size
+	Bytes  int64         // encoded fragment size (for a log tombstone: record size)
 	NNZ    int
-	Name   string // fragment file name
+	Name   string // fragment file name ("" for a log-structured tombstone)
+	Epoch  uint64 // manifest epoch this mutation published
 }
 
 // Sum returns the total write time.
@@ -443,8 +490,18 @@ func (s *Store) takeCost() (fsim.Cost, bool) {
 }
 
 // Write implements Algorithm 3's WRITE: package coords, reorganize
-// values, concatenate, and persist one fragment.
+// values, concatenate, and persist one fragment. Writes are serialized
+// by the store's writer lock; concurrent reads proceed against their
+// pinned snapshots throughout.
 func (s *Store) Write(c *tensor.Coords, vals []float64) (*WriteReport, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.writeLocked(c, vals)
+}
+
+// writeLocked is Write's body; the caller holds writeMu (Compact calls
+// it directly to build the consolidated fragment).
+func (s *Store) writeLocked(c *tensor.Coords, vals []float64) (*WriteReport, error) {
 	if c.Len() != len(vals) {
 		return nil, fmt.Errorf("store: %d points with %d values", c.Len(), len(vals))
 	}
@@ -518,7 +575,7 @@ func (s *Store) Write(c *tensor.Coords, vals []float64) (*WriteReport, error) {
 	sp = root.Child(obsWriteOthers)
 	sp.Add(pendingMeta)
 	t = time.Now()
-	if err := s.commitFragment(fragRef{name: name, nnz: frag.NNZ, bytes: int64(len(encoded)), bbox: bbox}); err != nil {
+	if _, err := s.commitFragment(fragRef{name: name, nnz: frag.NNZ, bytes: int64(len(encoded)), bbox: bbox}); err != nil {
 		sp.End()
 		reg.Counter("store.write.errors", "kind", kind).Inc()
 		return nil, err
@@ -535,6 +592,7 @@ func (s *Store) Write(c *tensor.Coords, vals []float64) (*WriteReport, error) {
 
 	rep.Bytes = int64(len(encoded))
 	rep.Name = name
+	rep.Epoch = s.currentEpoch()
 	reg.Counter("store.write.count", "kind", kind).Inc()
 	reg.Counter("store.write.bytes", "kind", kind).Add(rep.Bytes)
 	reg.Counter("store.write.nnz", "kind", kind).Add(int64(rep.NNZ))
@@ -542,10 +600,12 @@ func (s *Store) Write(c *tensor.Coords, vals []float64) (*WriteReport, error) {
 	return rep, nil
 }
 
-// DeleteRegion writes a tombstone fragment marking every cell of the
-// region as deleted. Like every write in the engine the deletion is an
-// immutable fragment: earlier data stays on disk (and remains visible
-// to ReadAsOf) until Compact folds the tombstone in.
+// DeleteRegion marks every cell of the region as deleted. The deletion
+// is log-structured: it appends a tombstone record to the manifest delta
+// log (MANIFEST.LOG) — no fragment file is written. Earlier data stays
+// on disk (and remains visible to ReadAsOf) until Compact folds the
+// tombstone in. The report's Write phase is the log append; Bytes is
+// the framed record's size.
 func (s *Store) DeleteRegion(region tensor.Region) (*WriteReport, error) {
 	if region.Dims() != s.shape.Dims() {
 		return nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), s.shape.Dims())
@@ -553,6 +613,8 @@ func (s *Store) DeleteRegion(region tensor.Region) (*WriteReport, error) {
 	if _, err := tensor.NewRegion(s.shape, region.Start, region.Size); err != nil {
 		return nil, err
 	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	rep := &WriteReport{}
 	s.takeCost()
 
@@ -562,24 +624,12 @@ func (s *Store) DeleteRegion(region tensor.Region) (*WriteReport, error) {
 	defer root.End()
 
 	t := time.Now()
-	w := buf.NewWriter(16 * s.shape.Dims())
-	w.RawU64s(region.Start)
-	w.RawU64s(region.Size)
-	frag := &fragment.Fragment{Payload: w.Bytes()}
-	frag.Kind = s.kind
-	frag.Codec = s.codec
-	frag.Shape = s.shape
-	frag.Tombstone = true
-	frag.BBox = region.BBox()
-	encoded, err := fragment.Encode(frag)
+	n, err := s.commitFragment(fragRef{
+		bbox: region.BBox(), tomb: true, tombRegion: region,
+	})
 	if err != nil {
 		reg.Counter("store.write.errors", "kind", kind).Inc()
 		return nil, err
-	}
-	name := fmt.Sprintf("%s/frag-%06d", s.prefix, s.nextID)
-	if err := s.fs.WriteFile(name, encoded); err != nil {
-		reg.Counter("store.write.errors", "kind", kind).Inc()
-		return nil, fmt.Errorf("store: write tombstone: %w", err)
 	}
 	wall := time.Since(t)
 	if cost, ok := s.takeCost(); ok {
@@ -588,23 +638,8 @@ func (s *Store) DeleteRegion(region tensor.Region) (*WriteReport, error) {
 	} else {
 		rep.Write = wall
 	}
-
-	t = time.Now()
-	if err := s.commitFragment(fragRef{
-		name: name, bytes: int64(len(encoded)),
-		bbox: region.BBox(), tomb: true, tombRegion: region,
-	}); err != nil {
-		reg.Counter("store.write.errors", "kind", kind).Inc()
-		return nil, err
-	}
-	wall = time.Since(t)
-	if cost, ok := s.takeCost(); ok {
-		rep.Others += wall + cost.Total()
-	} else {
-		rep.Others += wall
-	}
-	rep.Bytes = int64(len(encoded))
-	rep.Name = name
+	rep.Bytes = int64(n)
+	rep.Epoch = s.currentEpoch()
 	reg.Counter("store.tombstone.count", "kind", kind).Inc()
 	reg.Gauge("store.fragments", "kind", kind).Set(int64(len(s.frags)))
 	return rep, nil
@@ -622,6 +657,10 @@ type ReadReport struct {
 	// Scans counts fragments answered by scan mode (ReadRegionScan
 	// always; ReadRegionAuto when the cost model preferred scanning).
 	Scans int
+	// Epoch is the manifest epoch this read pinned: the snapshot it
+	// executed against. Concurrent mutations never change a pinned
+	// snapshot, so the result is exactly the store's state at Epoch.
+	Epoch uint64
 }
 
 // Sum returns the total read time.
@@ -645,21 +684,26 @@ type hit struct {
 // When several fragments contain the same cell the most recent fragment
 // wins; cells covered by a later tombstone are dead.
 func (s *Store) Read(probe *tensor.Coords) (*Result, *ReadReport, error) {
-	return s.readAsOf(probe, len(s.frags))
+	v := s.acquireView()
+	defer v.release()
+	return s.readAt(v, probe, len(v.frags))
 }
 
 // ReadAsOf answers the probe against the store's state after its first
 // version fragments — time travel over the immutable fragment history.
 // version ranges from 0 (empty store) to Fragments().
 func (s *Store) ReadAsOf(probe *tensor.Coords, version int) (*Result, *ReadReport, error) {
-	if version < 0 || version > len(s.frags) {
-		return nil, nil, fmt.Errorf("store: version %d outside [0, %d]", version, len(s.frags))
+	v := s.acquireView()
+	defer v.release()
+	if version < 0 || version > len(v.frags) {
+		return nil, nil, fmt.Errorf("store: version %d outside [0, %d]", version, len(v.frags))
 	}
-	return s.readAsOf(probe, version)
+	return s.readAt(v, probe, version)
 }
 
-func (s *Store) readAsOf(probe *tensor.Coords, limit int) (*Result, *ReadReport, error) {
-	rep := &ReadReport{}
+// readAt probes the first limit fragments of the pinned view v.
+func (s *Store) readAt(v *readView, probe *tensor.Coords, limit int) (*Result, *ReadReport, error) {
+	rep := &ReadReport{Epoch: v.epoch}
 	if probe.Dims() != s.shape.Dims() {
 		return nil, nil, fmt.Errorf("store: %d-dim probe for %d-dim store", probe.Dims(), s.shape.Dims())
 	}
@@ -674,7 +718,7 @@ func (s *Store) readAsOf(probe *tensor.Coords, limit int) (*Result, *ReadReport,
 	}
 
 	var hits []hit
-	for fi, fr := range s.frags[:limit] {
+	for fi, fr := range v.frags[:limit] {
 		if fr.nnz == 0 || !fr.bbox.Overlaps(queryBox) {
 			continue
 		}
@@ -703,7 +747,7 @@ func (s *Store) readAsOf(probe *tensor.Coords, limit int) (*Result, *ReadReport,
 	}
 
 	sp := root.Child(obsReadMerge)
-	res, mergeDur := mergeHits(s, hits, s.tombstonesOverlapping(limit, queryBox))
+	res, mergeDur := mergeHits(s, hits, tombstonesOverlapping(v.frags, limit, queryBox))
 	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()
@@ -789,10 +833,12 @@ func (s *Store) ReadRegion(region tensor.Region) (*Result, *ReadReport, error) {
 // (core.RegionScanner); the other organizations fall back to a full
 // iteration.
 func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, error) {
-	rep := &ReadReport{}
 	if region.Dims() != s.shape.Dims() {
 		return nil, nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), s.shape.Dims())
 	}
+	v := s.acquireView()
+	defer v.release()
+	rep := &ReadReport{Epoch: v.epoch}
 	s.takeCost()
 	reg := s.obsReg()
 	kind := s.kind.String()
@@ -801,7 +847,7 @@ func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, erro
 	queryBox := region.BBox()
 
 	var hits []hit
-	for fi, fr := range s.frags {
+	for fi, fr := range v.frags {
 		if fr.nnz == 0 || !fr.bbox.Overlaps(queryBox) {
 			continue
 		}
@@ -829,7 +875,7 @@ func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, erro
 		rep.Scans++
 	}
 	sp := root.Child(obsReadMerge)
-	res, mergeDur := mergeHits(s, hits, s.tombstonesOverlapping(len(s.frags), queryBox))
+	res, mergeDur := mergeHits(s, hits, tombstonesOverlapping(v.frags, len(v.frags), queryBox))
 	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()

@@ -28,6 +28,15 @@ go build ./...
 echo "==> go test -race"
 go test -race ./...
 
+# Race-hammer tier: readers, writers, a deleter, and a compactor pound
+# one store per organization under the race detector while every result
+# is differentially verified against an epoch-indexed oracle. The suite
+# above already runs it once at the default scale; this tier repeats it
+# with more iterations (HAMMER_COUNT, default 3) so interleavings vary.
+echo "==> race hammer (concurrent serving, ${HAMMER_COUNT:-3} rounds)"
+go test -race -run 'TestConcurrentHammer|TestNoMixedEpochReads' \
+    -count "${HAMMER_COUNT:-3}" ./internal/store/
+
 # The storage engine's read paths must behave identically with the
 # fragment-reader cache disabled and under a 1-byte budget (every entry
 # evicted on insert); run the store suite in both configurations.

@@ -90,6 +90,8 @@ type (
 	StoreOption = store.Option
 	// CompactReport summarizes a fragment consolidation.
 	CompactReport = store.CompactReport
+	// CompactResult is CompactAsync's completion notice.
+	CompactResult = store.CompactResult
 	// Batch is one fragment's worth of input to the batched ingest: the
 	// arguments of one Write, ingested through the parallel pipeline.
 	Batch = store.Batch
@@ -145,6 +147,15 @@ func WithIngestWorkers(n int) StoreOption { return store.WithIngestWorkers(n) }
 // records — one log append per checkpoint interval instead of one per
 // fragment. On by default; the on-disk bytes are identical either way.
 func WithGroupCommit(on bool) StoreOption { return store.WithGroupCommit(on) }
+
+// WithBackgroundCompaction makes the store compact itself on a
+// background worker once a mutation leaves at least minFragments
+// fragments behind (minFragments >= 2). Reads are never blocked: they
+// serve from MVCC snapshots while the worker consolidates, and the swap
+// is atomic. Store.CompactAsync runs one such pass on demand.
+func WithBackgroundCompaction(minFragments int) StoreOption {
+	return store.WithBackgroundCompaction(minFragments)
+}
 
 // ConvertStore rewrites a store's full logical contents into a new
 // store under a different organization or codec.
