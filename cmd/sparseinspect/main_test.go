@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"io"
 	"os"
 	"path/filepath"
@@ -78,6 +79,77 @@ func TestInspectPayloadCSF(t *testing.T) {
 	}
 	if !strings.Contains(out, "index words") || !strings.Contains(out, "CSF levels") {
 		t.Fatalf("payload dissection missing:\n%s", out)
+	}
+}
+
+func TestInspectFilterSection(t *testing.T) {
+	path := writeFragment(t, core.Linear)
+	out, err := capture(t, func() error { return inspect(path, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"filter:", "dim 0: bitmap", "fill=0.500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("filter section missing %q:\n%s", want, out)
+		}
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestInspectManifestGolden(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := fsim.NewOSFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Create(fs, "t", core.Linear, tensor.Shape{64, 64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tensor.NewCoords(3, 0)
+	c.Append(1, 2, 3)
+	c.Append(40, 50, 60)
+	if _, err := st.Write(c, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	region, err := tensor.NewRegion(tensor.Shape{64, 64, 64}, []uint64{0, 0, 0}, []uint64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.DeleteRegion(region); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, "t", "MANIFEST")
+	out, err := capture(t, func() error { return inspect(manifest, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first line carries the temp path; the golden covers the rest.
+	if i := strings.IndexByte(out, '\n'); i >= 0 {
+		out = out[i+1:]
+	}
+	golden := filepath.Join("testdata", "manifest.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Fatalf("manifest dump differs from golden (run with -update to refresh):\ngot:\n%s\nwant:\n%s", out, want)
 	}
 }
 

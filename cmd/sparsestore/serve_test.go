@@ -104,7 +104,8 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	var warmed int64
 	for name, v := range snap.Counters {
-		if strings.HasPrefix(name, "fragcache.warmed") {
+		// Exact family: "fragcache.warmed{kind=K}", not warmed_bytes.
+		if strings.HasPrefix(name, "fragcache.warmed{") {
 			warmed += v
 		}
 	}

@@ -8,12 +8,18 @@
 // bounding box used for the fragment-overlap search ("Find all fragments
 // containing b_coor").
 //
-// Two layouts exist on disk:
+// Three layouts exist on disk:
 //
-//   - v2 (current, written by Encode) is sectioned: a fixed-size preamble
-//     records the length and CRC32 of three independently checksummed
-//     sections — header/bbox, payload, values — so OpenAt can decode the
-//     header from one small ranged read and fetch payload/values lazily.
+//   - v3 (current, written by Encode) is sectioned like v2 and adds a
+//     fourth, optional section: the per-dimension coordinate filter
+//     (internal/filter) the overlap search consults to skip fragments
+//     whose bbox overlaps a query but whose coordinates don't. The
+//     filter section is last, after values, so the payload+values pair
+//     stays contiguous and LoadSections still costs one ranged read.
+//   - v2 is sectioned: a fixed-size preamble records the length and
+//     CRC32 of three independently checksummed sections — header/bbox,
+//     payload, values — so OpenAt can decode the header from one small
+//     ranged read and fetch payload/values lazily. Read as "no filter".
 //   - v1 (legacy) is a single stream with one trailing CRC32 over the
 //     whole file. Decode and OpenAt still accept it, falling back to a
 //     whole-file read on the version field.
@@ -34,6 +40,7 @@ import (
 	"sparseart/internal/buf"
 	"sparseart/internal/compress"
 	"sparseart/internal/core"
+	"sparseart/internal/filter"
 	"sparseart/internal/tensor"
 )
 
@@ -41,6 +48,7 @@ const (
 	magic    = 0x46415053 // "SPAF"
 	version1 = 1          // legacy whole-file layout
 	version2 = 2          // sectioned layout with per-section CRCs
+	version3 = 3          // v2 + optional trailing coordinate-filter section
 
 	// preambleSize is the fixed v2 preamble:
 	//
@@ -57,6 +65,17 @@ const (
 	//
 	// Sections follow back to back: header at 48, payload, then values.
 	preambleSize = 48
+
+	// preambleSizeV3 extends the table with the filter section before
+	// the preamble's own checksum:
+	//
+	//	off 44  u64 filter section length (0 = no filter)
+	//	off 52  u32 filter CRC32
+	//	off 56  u32 preamble CRC32 over bytes [0, 56)
+	//
+	// Sections: header at 60, payload, values, then the filter last —
+	// keeping payload+values adjacent so LoadSections stays one read.
+	preambleSizeV3 = 60
 
 	// openReadSize is the speculative first ranged read of OpenAt: large
 	// enough to cover the preamble plus the header section of any
@@ -85,6 +104,7 @@ type Header struct {
 	Stored    struct { // section sizes inside the file
 		Payload int64 // possibly compressed (v2: incl. codec-ID byte)
 		Values  int64
+		Filter  int64 // v3 coordinate-filter section (0 = none)
 	}
 }
 
@@ -93,6 +113,10 @@ type Fragment struct {
 	Header
 	Payload []byte    // decompressed organization payload
 	Values  []float64 // values in packed (permuted) order
+	// Filter is the optional per-dimension coordinate summary consulted
+	// by the overlap search. nil for empty fragments, tombstones, and
+	// pre-v3 files.
+	Filter *filter.Filter
 }
 
 // encodeHeaderSection serializes the v2 header section.
@@ -121,13 +145,13 @@ func encodeHeaderSection(f *Fragment) ([]byte, error) {
 	return w.Bytes(), nil
 }
 
-// Encode serializes a fragment in the v2 sectioned layout. The payload
+// Encode serializes a fragment in the v3 sectioned layout. The payload
 // section is compressed with the header's codec; values are stored raw.
 func Encode(f *Fragment) ([]byte, error) {
 	return AppendEncode(nil, f)
 }
 
-// AppendEncode serializes a fragment in the v2 sectioned layout into
+// AppendEncode serializes a fragment in the v3 sectioned layout into
 // dst's spare capacity (dst is truncated first), growing it only when
 // too small. Bulk ingest recycles encode buffers through a pool, so
 // back-to-back encodes of similarly sized fragments allocate nothing
@@ -151,21 +175,26 @@ func AppendEncode(dst []byte, f *Fragment) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	need := preambleSize + len(header) + len(payload) + 8*len(f.Values)
+	var filt []byte
+	if f.Filter != nil {
+		filt = f.Filter.Encode()
+	}
+	need := preambleSizeV3 + len(header) + len(payload) + 8*len(f.Values) + len(filt)
 	var out []byte
 	if cap(dst) >= need {
 		out = dst[:need]
 	} else {
 		out = make([]byte, need)
 	}
-	copy(out[preambleSize:], header)
-	copy(out[preambleSize+len(header):], payload)
-	values := out[preambleSize+len(header)+len(payload):]
+	copy(out[preambleSizeV3:], header)
+	copy(out[preambleSizeV3+len(header):], payload)
+	values := out[preambleSizeV3+len(header)+len(payload) : preambleSizeV3+len(header)+len(payload)+8*len(f.Values)]
 	for i, v := range f.Values {
 		binary.LittleEndian.PutUint64(values[8*i:], math.Float64bits(v))
 	}
+	copy(out[preambleSizeV3+len(header)+len(payload)+len(values):], filt)
 	binary.LittleEndian.PutUint32(out[0:], magic)
-	binary.LittleEndian.PutUint16(out[4:], version2)
+	binary.LittleEndian.PutUint16(out[4:], version3)
 	binary.LittleEndian.PutUint16(out[6:], 0)
 	binary.LittleEndian.PutUint64(out[8:], uint64(len(header)))
 	binary.LittleEndian.PutUint64(out[16:], uint64(len(payload)))
@@ -173,11 +202,15 @@ func AppendEncode(dst []byte, f *Fragment) ([]byte, error) {
 	binary.LittleEndian.PutUint32(out[32:], crc32.ChecksumIEEE(header))
 	binary.LittleEndian.PutUint32(out[36:], crc32.ChecksumIEEE(payload))
 	binary.LittleEndian.PutUint32(out[40:], crc32.ChecksumIEEE(values))
-	binary.LittleEndian.PutUint32(out[44:], crc32.ChecksumIEEE(out[:44]))
+	binary.LittleEndian.PutUint64(out[44:], uint64(len(filt)))
+	binary.LittleEndian.PutUint32(out[52:], crc32.ChecksumIEEE(filt))
+	binary.LittleEndian.PutUint32(out[56:], crc32.ChecksumIEEE(out[:56]))
 	return out, nil
 }
 
-// parseHeaderSection decodes the v2 header section body.
+// parseHeaderSection decodes the v2/v3 header section body (identical
+// in both layouts; the version is recorded by the caller from the
+// preamble).
 func parseHeaderSection(b []byte) (*Header, error) {
 	r := buf.NewReader(b)
 	kind := core.Kind(r.U8())
@@ -230,15 +263,15 @@ func DecodeHeader(b []byte) (*Header, error) {
 	case version1:
 		h, _, err := decodeHeaderV1(b)
 		return h, err
-	case version2:
+	case version2, version3:
 		p, err := parsePreamble(b)
 		if err != nil {
 			return nil, err
 		}
-		if int64(len(b)) < preambleSize+p.headerLen {
+		if int64(len(b)) < p.size+p.headerLen {
 			return nil, fmt.Errorf("%w: truncated header section", ErrCorrupt)
 		}
-		header := b[preambleSize : preambleSize+p.headerLen]
+		header := b[p.size : p.size+p.headerLen]
 		if got := crc32.ChecksumIEEE(header); got != p.headerCRC {
 			return nil, fmt.Errorf("%w: header checksum mismatch (got %#x want %#x)", ErrCorrupt, got, p.headerCRC)
 		}
@@ -246,48 +279,64 @@ func DecodeHeader(b []byte) (*Header, error) {
 		if err != nil {
 			return nil, err
 		}
+		h.Version = ver
 		h.Bytes = p.totalSize()
 		h.Stored.Payload = p.payloadLen
 		h.Stored.Values = p.valuesLen
+		h.Stored.Filter = p.filterLen
 		return h, nil
 	default:
-		return nil, fmt.Errorf("%w: version %d (want %d or %d)", ErrCorrupt, ver, version1, version2)
+		return nil, fmt.Errorf("%w: version %d (want %d, %d, or %d)", ErrCorrupt, ver, version1, version2, version3)
 	}
 }
 
-// preamble is the parsed v2 fixed-offset section table.
+// preamble is the parsed v2/v3 fixed-offset section table.
 type preamble struct {
+	size                             int64 // preamble's own length: 48 (v2) or 60 (v3)
 	headerLen, payloadLen, valuesLen int64
+	filterLen                        int64 // v3 only; 0 = no filter
 	headerCRC, payloadCRC, valuesCRC uint32
+	filterCRC                        uint32
 }
 
 func (p preamble) totalSize() int64 {
-	return preambleSize + p.headerLen + p.payloadLen + p.valuesLen
+	return p.size + p.headerLen + p.payloadLen + p.valuesLen + p.filterLen
 }
 
-// parsePreamble validates and decodes the first preambleSize bytes.
+// parsePreamble validates and decodes the fixed section table, sized by
+// the version field at offset 4 (which the caller has already matched
+// against version2 or version3).
 func parsePreamble(b []byte) (*preamble, error) {
-	if len(b) < preambleSize {
+	p := &preamble{size: preambleSize}
+	crcOff := 44
+	if len(b) >= 6 && binary.LittleEndian.Uint16(b[4:]) == version3 {
+		p.size = preambleSizeV3
+		crcOff = 56
+	}
+	if int64(len(b)) < p.size {
 		return nil, fmt.Errorf("%w: too short for preamble", ErrCorrupt)
 	}
-	if got, want := crc32.ChecksumIEEE(b[:44]), binary.LittleEndian.Uint32(b[44:]); got != want {
+	if got, want := crc32.ChecksumIEEE(b[:crcOff]), binary.LittleEndian.Uint32(b[crcOff:]); got != want {
 		return nil, fmt.Errorf("%w: preamble checksum mismatch (got %#x want %#x)", ErrCorrupt, got, want)
 	}
 	if binary.LittleEndian.Uint16(b[6:]) != 0 {
 		return nil, fmt.Errorf("%w: nonzero reserved field", ErrCorrupt)
 	}
-	p := &preamble{
-		headerLen:  int64(binary.LittleEndian.Uint64(b[8:])),
-		payloadLen: int64(binary.LittleEndian.Uint64(b[16:])),
-		valuesLen:  int64(binary.LittleEndian.Uint64(b[24:])),
-		headerCRC:  binary.LittleEndian.Uint32(b[32:]),
-		payloadCRC: binary.LittleEndian.Uint32(b[36:]),
-		valuesCRC:  binary.LittleEndian.Uint32(b[40:]),
+	p.headerLen = int64(binary.LittleEndian.Uint64(b[8:]))
+	p.payloadLen = int64(binary.LittleEndian.Uint64(b[16:]))
+	p.valuesLen = int64(binary.LittleEndian.Uint64(b[24:]))
+	p.headerCRC = binary.LittleEndian.Uint32(b[32:])
+	p.payloadCRC = binary.LittleEndian.Uint32(b[36:])
+	p.valuesCRC = binary.LittleEndian.Uint32(b[40:])
+	if p.size == preambleSizeV3 {
+		p.filterLen = int64(binary.LittleEndian.Uint64(b[44:]))
+		p.filterCRC = binary.LittleEndian.Uint32(b[52:])
 	}
 	const maxSection = 1 << 40 // generous structural bound against nonsense lengths
 	if p.headerLen < 0 || p.payloadLen < 1 || p.valuesLen < 0 || p.valuesLen%8 != 0 ||
-		p.headerLen > maxSection || p.payloadLen > maxSection || p.valuesLen > maxSection {
-		return nil, fmt.Errorf("%w: implausible section lengths %d/%d/%d", ErrCorrupt, p.headerLen, p.payloadLen, p.valuesLen)
+		p.filterLen < 0 || p.headerLen > maxSection || p.payloadLen > maxSection ||
+		p.valuesLen > maxSection || p.filterLen > maxSection {
+		return nil, fmt.Errorf("%w: implausible section lengths %d/%d/%d/%d", ErrCorrupt, p.headerLen, p.payloadLen, p.valuesLen, p.filterLen)
 	}
 	return p, nil
 }
@@ -310,6 +359,8 @@ type Lazy struct {
 	rawValues  []byte    // stored values section (verified)
 	payload    []byte    // decompressed payload
 	values     []float64
+	filter     *filter.Filter
+	filterDone bool // filter section loaded (or absent)
 	bytesRead  int64
 }
 
@@ -322,17 +373,22 @@ type SectionInfo struct {
 	CRC    uint32
 }
 
-// Sections returns the v2 section table in file order, or nil for a
+// Sections returns the v2/v3 section table in file order, or nil for a
 // legacy v1 fragment (which has no sections, only a monolithic body).
+// The filter entry appears only when the file carries one.
 func (l *Lazy) Sections() []SectionInfo {
 	if l.v1 != nil {
 		return nil
 	}
-	return []SectionInfo{
-		{"header", preambleSize, l.pre.headerLen, l.pre.headerCRC},
-		{"payload", preambleSize + l.pre.headerLen, l.pre.payloadLen, l.pre.payloadCRC},
-		{"values", preambleSize + l.pre.headerLen + l.pre.payloadLen, l.pre.valuesLen, l.pre.valuesCRC},
+	s := []SectionInfo{
+		{"header", l.pre.size, l.pre.headerLen, l.pre.headerCRC},
+		{"payload", l.pre.size + l.pre.headerLen, l.pre.payloadLen, l.pre.payloadCRC},
+		{"values", l.pre.size + l.pre.headerLen + l.pre.payloadLen, l.pre.valuesLen, l.pre.valuesCRC},
 	}
+	if l.pre.filterLen > 0 {
+		s = append(s, SectionInfo{"filter", l.pre.size + l.pre.headerLen + l.pre.payloadLen + l.pre.valuesLen, l.pre.filterLen, l.pre.filterCRC})
+	}
+	return s
 }
 
 // OpenAt decodes a fragment header from a ranged reader with (typically)
@@ -365,7 +421,7 @@ func OpenAt(src io.ReaderAt, size int64) (*Lazy, error) {
 			return nil, err
 		}
 		return &Lazy{Header: frag.Header, src: src, v1: frag, bytesRead: size}, nil
-	case version2:
+	case version2, version3:
 		p, err := parsePreamble(first)
 		if err != nil {
 			return nil, err
@@ -374,13 +430,13 @@ func OpenAt(src io.ReaderAt, size int64) (*Lazy, error) {
 			return nil, fmt.Errorf("%w: section table says %d bytes, file has %d", ErrCorrupt, p.totalSize(), size)
 		}
 		header := make([]byte, p.headerLen)
-		n := copy(header, first[preambleSize:])
+		n := copy(header, first[p.size:])
 		read := int64(len(first))
 		if int64(n) < p.headerLen {
-			if _, err := src.ReadAt(header[n:], preambleSize+int64(n)); err != nil {
+			if _, err := src.ReadAt(header[n:], p.size+int64(n)); err != nil {
 				return nil, fmt.Errorf("fragment: read header section: %w", err)
 			}
-			read = preambleSize + p.headerLen
+			read = p.size + p.headerLen
 		}
 		if got := crc32.ChecksumIEEE(header); got != p.headerCRC {
 			return nil, fmt.Errorf("%w: header checksum mismatch (got %#x want %#x)", ErrCorrupt, got, p.headerCRC)
@@ -392,12 +448,14 @@ func OpenAt(src io.ReaderAt, size int64) (*Lazy, error) {
 		if p.valuesLen != int64(8*h.NNZ) {
 			return nil, fmt.Errorf("%w: values section %d bytes for %d points", ErrCorrupt, p.valuesLen, h.NNZ)
 		}
+		h.Version = ver
 		h.Bytes = size
 		h.Stored.Payload = p.payloadLen
 		h.Stored.Values = p.valuesLen
+		h.Stored.Filter = p.filterLen
 		return &Lazy{Header: *h, src: src, pre: *p, bytesRead: read}, nil
 	default:
-		return nil, fmt.Errorf("%w: version %d (want %d or %d)", ErrCorrupt, ver, version1, version2)
+		return nil, fmt.Errorf("%w: version %d (want %d, %d, or %d)", ErrCorrupt, ver, version1, version2, version3)
 	}
 }
 
@@ -425,7 +483,7 @@ func (l *Lazy) loadSectionsLocked() error {
 		return nil
 	}
 	both := make([]byte, l.pre.payloadLen+l.pre.valuesLen)
-	off := preambleSize + l.pre.headerLen
+	off := l.pre.size + l.pre.headerLen
 	if _, err := l.src.ReadAt(both, off); err != nil {
 		return fmt.Errorf("fragment: read sections: %w", err)
 	}
@@ -489,6 +547,37 @@ func (l *Lazy) Values() ([]float64, error) {
 	return l.values, nil
 }
 
+// Filter returns the fragment's coordinate filter, loading and
+// verifying the filter section on first use. Legacy files and v3 files
+// without a filter section return (nil, nil).
+func (l *Lazy) Filter() (*filter.Filter, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.filterDone {
+		return l.filter, nil
+	}
+	if l.v1 != nil || l.pre.filterLen == 0 {
+		l.filterDone = true
+		return nil, nil
+	}
+	raw := make([]byte, l.pre.filterLen)
+	off := l.pre.size + l.pre.headerLen + l.pre.payloadLen + l.pre.valuesLen
+	if _, err := l.src.ReadAt(raw, off); err != nil {
+		return nil, fmt.Errorf("fragment: read filter section: %w", err)
+	}
+	l.bytesRead += int64(len(raw))
+	if got := crc32.ChecksumIEEE(raw); got != l.pre.filterCRC {
+		return nil, fmt.Errorf("%w: filter checksum mismatch (got %#x want %#x)", ErrCorrupt, got, l.pre.filterCRC)
+	}
+	f, err := filter.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: filter: %v", ErrCorrupt, err)
+	}
+	l.filter = f
+	l.filterDone = true
+	return f, nil
+}
+
 // Materialize loads every section and returns the fully decoded
 // fragment.
 func (l *Lazy) Materialize() (*Fragment, error) {
@@ -506,7 +595,11 @@ func (l *Lazy) Materialize() (*Fragment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Fragment{Header: l.Header, Payload: payload, Values: values}, nil
+	filt, err := l.Filter()
+	if err != nil {
+		return nil, err
+	}
+	return &Fragment{Header: l.Header, Payload: payload, Values: values, Filter: filt}, nil
 }
 
 // Decode parses and verifies a full in-memory fragment of either layout.

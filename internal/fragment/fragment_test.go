@@ -189,7 +189,7 @@ func TestDecodeHeaderRejectsBadVersionAndKind(t *testing.T) {
 	// A bad kind byte sits at the head of the header section; flipping
 	// it must trip the header CRC (and the kind check behind it).
 	bad = append([]byte(nil), data...)
-	bad[preambleSize] = 0xEE
+	bad[preambleSizeV3] = 0xEE
 	if _, err := DecodeHeader(bad); err == nil {
 		t.Error("bad kind accepted")
 	}

@@ -1,0 +1,153 @@
+package fragment
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"sparseart/internal/compress"
+	"sparseart/internal/filter"
+	"sparseart/internal/tensor"
+)
+
+// encodeV2 reproduces the pre-filter sectioned encoder byte for byte:
+// 48-byte preamble, three sections, no filter. Fragments written before
+// the v3 layout landed look exactly like this, so the regression tests
+// below are the back-compat contract for them.
+func encodeV2(t *testing.T, f *Fragment) []byte {
+	t.Helper()
+	header, err := encodeHeaderSection(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := compress.EncodeSection(f.Codec, f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, preambleSize+len(header)+len(payload)+8*len(f.Values))
+	copy(out[preambleSize:], header)
+	copy(out[preambleSize+len(header):], payload)
+	values := out[preambleSize+len(header)+len(payload):]
+	for i, v := range f.Values {
+		binary.LittleEndian.PutUint64(values[8*i:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint32(out[0:], magic)
+	binary.LittleEndian.PutUint16(out[4:], version2)
+	binary.LittleEndian.PutUint16(out[6:], 0)
+	binary.LittleEndian.PutUint64(out[8:], uint64(len(header)))
+	binary.LittleEndian.PutUint64(out[16:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(out[24:], uint64(len(values)))
+	binary.LittleEndian.PutUint32(out[32:], crc32.ChecksumIEEE(header))
+	binary.LittleEndian.PutUint32(out[36:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(out[40:], crc32.ChecksumIEEE(values))
+	binary.LittleEndian.PutUint32(out[44:], crc32.ChecksumIEEE(out[:44]))
+	return out
+}
+
+// TestV2NoFilterDecodes: a pre-v3 sectioned fragment (no filter section)
+// must decode through every entry point with a nil filter.
+func TestV2NoFilterDecodes(t *testing.T) {
+	f := sample()
+	data := encodeV2(t, f)
+
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != version2 {
+		t.Errorf("Version = %d, want 2", got.Version)
+	}
+	if got.Filter != nil {
+		t.Error("v2 fragment decoded with a non-nil filter")
+	}
+	if got.NNZ != f.NNZ || !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("v2 payload mismatch: %+v", got.Header)
+	}
+	for i, v := range f.Values {
+		if got.Values[i] != v {
+			t.Fatal("v2 values mismatch")
+		}
+	}
+
+	h, err := DecodeHeader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != version2 || h.Stored.Filter != 0 {
+		t.Errorf("DecodeHeader = %+v", h)
+	}
+
+	l, err := OpenAt(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Version != version2 {
+		t.Errorf("lazy Version = %d, want 2", l.Version)
+	}
+	filt, err := l.Filter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filt != nil {
+		t.Error("lazy Filter() on v2 = non-nil")
+	}
+	if secs := l.Sections(); len(secs) != 3 {
+		t.Errorf("v2 Sections() = %d entries, want 3", len(secs))
+	}
+}
+
+// TestV3FilterRoundTrip: a fragment with a filter survives encode →
+// lazy open; the filter section loads on demand only, is checksummed,
+// and reproduces the builder's bytes.
+func TestV3FilterRoundTrip(t *testing.T) {
+	f := sample()
+	c := tensor.NewCoords(2, 0)
+	c.Append(0, 1)
+	c.Append(3, 4)
+	c.Append(5, 7)
+	f.Filter = filter.Build(c)
+	data, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := newCountingReaderAt(data)
+	l, err := OpenAt(src, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Stored.Filter == 0 {
+		t.Fatal("filter section missing from header")
+	}
+	reads := src.reads
+	filt, err := l.Filter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.reads != reads+1 {
+		t.Errorf("Filter() cost %d reads, want 1", src.reads-reads)
+	}
+	if filt == nil || !bytes.Equal(filt.Encode(), f.Filter.Encode()) {
+		t.Fatal("decoded filter differs from built filter")
+	}
+	if _, err := l.Filter(); err != nil || src.reads != reads+1 {
+		t.Error("second Filter() call touched the source")
+	}
+	secs := l.Sections()
+	if len(secs) != 4 || secs[3].Name != "filter" {
+		t.Fatalf("Sections() = %+v, want trailing filter entry", secs)
+	}
+
+	// Corrupt the filter section: header still opens, Filter() fails.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 0x01
+	lb, err := OpenAt(bytes.NewReader(bad), int64(len(bad)))
+	if err != nil {
+		t.Fatalf("filter corruption broke the header open: %v", err)
+	}
+	if _, err := lb.Filter(); err == nil {
+		t.Fatal("corrupt filter section accepted")
+	}
+}

@@ -97,8 +97,15 @@ func (s *Store) ReadRegionAuto(region tensor.Region) (*Result, *ReadReport, erro
 
 	var probe *tensor.Coords // materialized lazily, only if some fragment probes
 	var hits []hit
-	for fi, fr := range v.frags {
-		if fr.nnz == 0 || !fr.bbox.Overlaps(queryBox) {
+	cands := v.overlapping(queryBox, len(v.frags))
+	var skipped int64
+	for _, fi := range cands {
+		fr := v.frags[fi]
+		if fr.nnz == 0 {
+			continue
+		}
+		if v.index != nil && fr.filter != nil && !fr.filter.MayOverlapRegion(region) {
+			skipped++
 			continue
 		}
 		rep.Fragments++
@@ -140,8 +147,11 @@ func (s *Store) ReadRegionAuto(region tensor.Region) (*Result, *ReadReport, erro
 		sp.End()
 		rep.Probe += time.Since(t)
 	}
+	if skipped > 0 {
+		reg.Counter("store.filter.skipped", "kind", kind).Add(skipped)
+	}
 	sp := root.Child(obsReadMerge)
-	res, mergeDur := mergeHits(s, hits, tombstonesOverlapping(v.frags, len(v.frags), queryBox))
+	res, mergeDur := mergeHits(s, hits, v.overlapTombs(cands))
 	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()

@@ -386,7 +386,12 @@ func (c *Chunked) ReadRegion(region tensor.Region) (*Result, *ReadReport, error)
 }
 
 // DeleteRegion writes tombstones over the region in every existing tile
-// it intersects (tiles with no data need none).
+// it intersects (tiles with no data need none). The intersecting tiles
+// are found arithmetically — the region's bounding box maps to a
+// hyper-rectangle of tile indices — so a small delete in a store of
+// many tiles touches only the tiles it covers, not every tile the store
+// has ever materialized. Only when the region spans more candidate
+// tiles than exist does the walk fall back to the existing-tile list.
 func (c *Chunked) DeleteRegion(region tensor.Region) (*WriteReport, error) {
 	if region.Dims() != c.shape.Dims() {
 		return nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), c.shape.Dims())
@@ -401,19 +406,15 @@ func (c *Chunked) DeleteRegion(region tensor.Region) (*WriteReport, error) {
 	defer root.End()
 	total := &WriteReport{}
 	box := region.BBox()
-	for _, key := range c.sortedTileKeys() {
-		st := c.stores[key]
-		idx := c.tileIndexFromKey(key)
-		if idx == nil {
-			return nil, fmt.Errorf("store: corrupt tile key %q", key)
-		}
-		// Intersect the global region with this tile's frame.
+
+	// deleteInTile intersects the global region with one tile's frame
+	// and writes the tombstone there.
+	deleteInTile := func(st *Store, idx []uint64) error {
 		tileShape := st.Shape()
 		local := tensor.Region{
 			Start: make([]uint64, len(idx)),
 			Size:  make([]uint64, len(idx)),
 		}
-		overlaps := true
 		for d := range idx {
 			origin := idx[d] * c.tile[d]
 			lo := box.Min[d]
@@ -425,22 +426,83 @@ func (c *Chunked) DeleteRegion(region tensor.Region) (*WriteReport, error) {
 				hi = end
 			}
 			if lo > hi {
-				overlaps = false
-				break
+				return nil // tile frame misses the region
 			}
 			local.Start[d] = lo - origin
 			local.Size[d] = hi - lo + 1
 		}
-		if !overlaps {
-			continue
-		}
 		rep, err := st.DeleteRegion(local)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		total.Write += rep.Write
 		total.Others += rep.Others
 		total.Bytes += rep.Bytes
+		return nil
+	}
+
+	// The candidate tile-index hyper-rectangle, and whether its volume
+	// stays within the number of existing tiles (overflow-safe: the
+	// division test rejects before the product can wrap).
+	dims := c.shape.Dims()
+	lo := make([]uint64, dims)
+	hi := make([]uint64, dims)
+	span := uint64(1)
+	bounded := true
+	for d := 0; d < dims; d++ {
+		lo[d] = box.Min[d] / c.tile[d]
+		hi[d] = box.Max[d] / c.tile[d]
+		n := hi[d] - lo[d] + 1
+		if bounded && span > uint64(len(c.stores))/n {
+			bounded = false
+		}
+		if bounded {
+			span *= n
+		}
+	}
+
+	if bounded {
+		idx := append([]uint64(nil), lo...)
+		for {
+			if st, ok := c.stores[tileKey(idx)]; ok {
+				if err := deleteInTile(st, idx); err != nil {
+					return nil, err
+				}
+			}
+			d := dims - 1
+			for d >= 0 {
+				idx[d]++
+				if idx[d] <= hi[d] {
+					break
+				}
+				idx[d] = lo[d]
+				d--
+			}
+			if d < 0 {
+				break
+			}
+		}
+		return total, nil
+	}
+
+	for _, key := range c.sortedTileKeys() {
+		idx := c.tileIndexFromKey(key)
+		if idx == nil {
+			return nil, fmt.Errorf("store: corrupt tile key %q", key)
+		}
+		inside := true
+		for d := range idx {
+			if idx[d] < lo[d] || idx[d] > hi[d] {
+				inside = false
+				break
+			}
+		}
+		if !inside {
+			continue
+		}
+		if err := deleteInTile(c.stores[key], idx); err != nil {
+			return nil, err
+		}
 	}
 	return total, nil
 }

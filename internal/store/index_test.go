@@ -1,0 +1,238 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sparseart/internal/buf"
+	"sparseart/internal/tensor"
+)
+
+func boxOf(min, max []uint64) tensor.BBox {
+	return tensor.BBox{Min: min, Max: max}
+}
+
+func TestGridGeometry(t *testing.T) {
+	cases := []struct {
+		shape tensor.Shape
+		ncell []int
+		cellW []uint64
+	}{
+		// Large 3-D: 32/32/8 cells, widths rounded up.
+		{tensor.Shape{64, 64, 64}, []int{32, 32, 8}, []uint64{2, 2, 8}},
+		// Extents smaller than the target collapse to one cell per unit.
+		{tensor.Shape{5, 3}, []int{5, 3}, []uint64{1, 1}},
+		// Rank above gridMaxDims: only the leading 3 dims are indexed.
+		{tensor.Shape{100, 3, 7, 9}, []int{32, 3, 7}, []uint64{4, 1, 1}},
+		// Non-divisible extent: cellW*ncell must cover the domain.
+		{tensor.Shape{100}, []int{32}, []uint64{4}},
+	}
+	for _, c := range cases {
+		ncell, cellW := gridGeometry(c.shape)
+		if !reflect.DeepEqual(ncell, c.ncell) || !reflect.DeepEqual(cellW, c.cellW) {
+			t.Errorf("gridGeometry(%v) = %v/%v, want %v/%v", c.shape, ncell, cellW, c.ncell, c.cellW)
+		}
+		for d := range ncell {
+			if uint64(ncell[d])*cellW[d] < c.shape[d] {
+				t.Errorf("gridGeometry(%v) dim %d: %d cells of width %d do not cover extent %d",
+					c.shape, d, ncell[d], cellW[d], c.shape[d])
+			}
+		}
+	}
+}
+
+// randomFragRefs builds a mixed fragment list: point-sized boxes, mid
+// boxes, whole-domain boxes (overflow candidates), tombstones, and
+// empty non-tombstone entries the index must skip.
+func randomFragRefs(rng *rand.Rand, shape tensor.Shape, n int) []fragRef {
+	frags := make([]fragRef, 0, n)
+	dims := shape.Dims()
+	for i := 0; i < n; i++ {
+		min := make([]uint64, dims)
+		max := make([]uint64, dims)
+		var span uint64
+		switch i % 7 {
+		case 0: // whole-domain box: must land on the overflow list
+			span = ^uint64(0)
+		case 1:
+			span = shape[0] / 2
+		default:
+			span = uint64(rng.Intn(4))
+		}
+		for d := 0; d < dims; d++ {
+			min[d] = uint64(rng.Int63n(int64(shape[d])))
+			max[d] = min[d] + span
+			if max[d] >= shape[d] {
+				max[d] = shape[d] - 1
+			}
+			if max[d] < min[d] {
+				max[d] = min[d]
+			}
+		}
+		fr := fragRef{name: fmt.Sprintf("t/frag-%06d", i), nnz: 1, bbox: boxOf(min, max)}
+		switch i % 5 {
+		case 3: // tombstone: indexed through the same bbox
+			fr.nnz = 0
+			fr.tomb = true
+		case 4: // empty non-tombstone: no box, never returned
+			fr.nnz = 0
+			fr.bbox = tensor.BBox{}
+		}
+		frags = append(frags, fr)
+	}
+	return frags
+}
+
+// linearOverlap is the reference the grid is checked against.
+func linearOverlap(frags []fragRef, box tensor.BBox, limit int) []int {
+	var out []int
+	for i := 0; i < limit && i < len(frags); i++ {
+		fr := frags[i]
+		if (fr.nnz > 0 || fr.tomb) && fr.bbox.Overlaps(box) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// indexOverlap runs the grid lookup plus the same bbox re-check the
+// read paths apply to candidates.
+func indexOverlap(x *fragIndex, frags []fragRef, box tensor.BBox, limit int) []int {
+	var out []int
+	for _, i := range x.lookup(box, limit) {
+		fr := frags[i]
+		if (fr.nnz > 0 || fr.tomb) && fr.bbox.Overlaps(box) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func randomQueryBox(rng *rand.Rand, shape tensor.Shape) tensor.BBox {
+	dims := shape.Dims()
+	min := make([]uint64, dims)
+	max := make([]uint64, dims)
+	for d := 0; d < dims; d++ {
+		min[d] = uint64(rng.Int63n(int64(shape[d])))
+		max[d] = min[d] + uint64(rng.Intn(int(shape[d]/4)+1))
+		if max[d] >= shape[d] {
+			max[d] = shape[d] - 1
+		}
+	}
+	return boxOf(min, max)
+}
+
+func TestFragIndexMatchesLinearScan(t *testing.T) {
+	shapes := []tensor.Shape{{128, 128, 64}, {50}, {9, 9, 9, 9, 9}}
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range shapes {
+		frags := randomFragRefs(rng, shape, 200)
+		x := buildFragIndex(shape, frags)
+		if _, _, _, overflow := x.stats(); shape.Dims() >= 2 && overflow == 0 {
+			t.Errorf("shape %v: no fragment landed on the overflow list; test loses coverage", shape)
+		}
+		for q := 0; q < 100; q++ {
+			box := randomQueryBox(rng, shape)
+			limit := len(frags)
+			if q%4 == 0 {
+				limit = rng.Intn(len(frags) + 1) // snapshot-bounded reads
+			}
+			want := linearOverlap(frags, box, limit)
+			got := indexOverlap(x, frags, box, limit)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shape %v box %v..%v limit %d: index %v, linear %v",
+					shape, box.Min, box.Max, limit, got, want)
+			}
+		}
+	}
+}
+
+func TestFragIndexAppendedCopyOnWrite(t *testing.T) {
+	shape := tensor.Shape{64, 64, 64}
+	rng := rand.New(rand.NewSource(11))
+	frags := randomFragRefs(rng, shape, 120)
+	base := buildFragIndex(shape, frags[:80])
+
+	// Deep snapshot of the base index's contents.
+	snapBuckets := make([][]int32, len(base.buckets))
+	for i, b := range base.buckets {
+		snapBuckets[i] = append([]int32(nil), b...)
+	}
+	snapOverflow := append([]int32(nil), base.overflow...)
+
+	next := base.appended(frags, 80)
+	if next.n != len(frags) {
+		t.Fatalf("appended covers %d fragments, want %d", next.n, len(frags))
+	}
+
+	// The previous epoch's index must be bit-for-bit untouched: readers
+	// still hold it.
+	for i := range base.buckets {
+		if !reflect.DeepEqual(base.buckets[i], snapBuckets[i]) {
+			t.Fatalf("appended mutated shared bucket %d: %v -> %v", i, snapBuckets[i], base.buckets[i])
+		}
+	}
+	if !reflect.DeepEqual(base.overflow, snapOverflow) {
+		t.Fatalf("appended mutated shared overflow list: %v -> %v", snapOverflow, base.overflow)
+	}
+
+	// The appended index answers exactly like a from-scratch build.
+	rebuilt := buildFragIndex(shape, frags)
+	for q := 0; q < 60; q++ {
+		box := randomQueryBox(rng, shape)
+		got := indexOverlap(next, frags, box, len(frags))
+		want := indexOverlap(rebuilt, frags, box, len(frags))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("box %v..%v: appended %v, rebuilt %v", box.Min, box.Max, got, want)
+		}
+	}
+
+	// Chained appends (write, write, ...) stay correct too.
+	again := next.appended(frags, len(frags)) // no-op suffix
+	if again.n != len(frags) {
+		t.Fatalf("no-op appended covers %d, want %d", again.n, len(frags))
+	}
+}
+
+func TestFragIndexEncodeDecode(t *testing.T) {
+	shape := tensor.Shape{64, 64, 64}
+	rng := rand.New(rand.NewSource(13))
+	frags := randomFragRefs(rng, shape, 90)
+	x := buildFragIndex(shape, frags)
+
+	w := buf.NewWriter(256)
+	x.encode(w)
+	enc := w.Bytes()
+
+	y, err := decodeFragIndex(buf.NewReader(enc), shape, len(frags))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 60; q++ {
+		box := randomQueryBox(rng, shape)
+		got := indexOverlap(y, frags, box, len(frags))
+		want := indexOverlap(x, frags, box, len(frags))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("box %v..%v: decoded %v, original %v", box.Min, box.Max, got, want)
+		}
+	}
+
+	// Rejections: every disagreement with the shape or fragment count is
+	// an error, never a silently adopted index.
+	if _, err := decodeFragIndex(buf.NewReader(enc), shape, len(frags)+1); err == nil {
+		t.Error("stale fragment count accepted")
+	}
+	if _, err := decodeFragIndex(buf.NewReader(enc), tensor.Shape{32, 32, 32}, len(frags)); err == nil {
+		t.Error("mismatched shape geometry accepted")
+	}
+	if _, err := decodeFragIndex(buf.NewReader(enc[:len(enc)/2]), shape, len(frags)); err == nil {
+		t.Error("truncated section accepted")
+	}
+	mangled := append([]byte(nil), enc...)
+	mangled[len(mangled)-1] = 0xff // last overflow id out of range
+	if _, err := decodeFragIndex(buf.NewReader(mangled), shape, len(frags)); err == nil {
+		t.Error("out-of-range fragment id accepted")
+	}
+}

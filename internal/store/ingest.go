@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sparseart/internal/core"
+	"sparseart/internal/filter"
 	"sparseart/internal/fragment"
 	"sparseart/internal/obs"
 	"sparseart/internal/psort"
@@ -62,6 +63,7 @@ type ingestJob struct {
 	rep     *WriteReport
 	encoded *[]byte // pooled; nil until prepared
 	bbox    tensor.BBox
+	filter  *filter.Filter
 	err     error
 	done    chan struct{}
 	// extraOthers is charged to the report's Others phase at commit
@@ -412,12 +414,14 @@ func (s *Store) prepareBatch(j *ingestJob, b Batch, root *obs.Span) {
 	sp = root.Child(obsWriteWrite)
 	t = time.Now()
 	bbox, _ := b.Coords.Bounds()
+	filt := filter.Build(b.Coords)
 	frag := &fragment.Fragment{Payload: built.Payload, Values: packed}
 	frag.Kind = s.kind
 	frag.Codec = s.codec
 	frag.Shape = s.shape
 	frag.NNZ = uint64(b.Coords.Len())
 	frag.BBox = bbox
+	frag.Filter = filt
 	bufp := encodePool.Get().(*[]byte)
 	enc, err := fragment.AppendEncode(*bufp, frag)
 	sp.End()
@@ -431,6 +435,7 @@ func (s *Store) prepareBatch(j *ingestJob, b Batch, root *obs.Span) {
 	j.rep = rep
 	j.encoded = bufp
 	j.bbox = bbox
+	j.filter = filt
 }
 
 // commitPrepared persists one prepared fragment: the file write, the
@@ -473,7 +478,7 @@ func (s *Store) commitPrepared(j *ingestJob, root *obs.Span, final bool) (*Write
 	t = time.Now()
 	outcome := commitDurable
 	var commitErr error
-	fr := fragRef{name: name, nnz: uint64(rep.NNZ), bytes: int64(len(enc)), bbox: j.bbox}
+	fr := fragRef{name: name, nnz: uint64(rep.NNZ), bytes: int64(len(enc)), bbox: j.bbox, filter: j.filter}
 	if s.groupCommit {
 		s.stageFragment(fr)
 		if final || s.groupFlushDue() {

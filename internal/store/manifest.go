@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"sparseart/internal/buf"
+	"sparseart/internal/filter"
 	"sparseart/internal/tensor"
 )
 
@@ -32,7 +33,7 @@ import (
 // Record body:
 //
 //	u64 fragment id (the frag-%06d sequence number)
-//	u8  flags (bit0: tombstone)
+//	u8  flags (bit0: tombstone, bit1: coordinate filter present)
 //	b32 fragment file name
 //	u64 nnz
 //	u64 encoded bytes
@@ -40,6 +41,10 @@ import (
 //	u64[dims] bbox max
 //	u64[dims] tombstone region start  (tombstones only)
 //	u64[dims] tombstone region size   (tombstones only)
+//	b32 coordinate filter              (flag bit1 only)
+//
+// Records written before filters existed simply lack bit1 — replay
+// yields a nil filter, which the read paths treat as "maybe present".
 //
 // Recovery invariant: the fragment file is durable before its record is
 // appended, and a record is applied only if its frame verifies, so a
@@ -126,6 +131,9 @@ func encodeLogBody(w *buf.Writer, fr fragRef, id uint64, dims int) {
 	if fr.tomb {
 		flags |= 1
 	}
+	if fr.filter != nil {
+		flags |= 2
+	}
 	w.U8(flags)
 	w.Bytes32([]byte(fr.name))
 	w.U64(fr.nnz)
@@ -139,6 +147,9 @@ func encodeLogBody(w *buf.Writer, fr fragRef, id uint64, dims int) {
 	if fr.tomb {
 		w.RawU64s(fr.tombRegion.Start)
 		w.RawU64s(fr.tombRegion.Size)
+	}
+	if fr.filter != nil {
+		w.Bytes32(fr.filter.Encode())
 	}
 }
 
@@ -156,6 +167,13 @@ func decodeLogBody(body []byte, dims int) (fr fragRef, id uint64, err error) {
 		fr.tomb = true
 		fr.tombRegion.Start = r.RawU64s(uint64(dims))
 		fr.tombRegion.Size = r.RawU64s(uint64(dims))
+	}
+	if flags&2 != 0 {
+		filt, ferr := filter.Decode(r.Bytes32())
+		if ferr != nil {
+			return fragRef{}, 0, fmt.Errorf("store: record filter: %w", ferr)
+		}
+		fr.filter = filt
 	}
 	if err := r.Err(); err != nil {
 		return fragRef{}, 0, err

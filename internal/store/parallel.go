@@ -44,11 +44,22 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 		return &Result{Coords: tensor.NewCoords(s.shape.Dims(), 0)}, rep, nil
 	}
 
+	cands := v.overlapping(queryBox, len(v.frags))
 	var overlapping []int
-	for fi, fr := range v.frags {
-		if fr.nnz > 0 && fr.bbox.Overlaps(queryBox) {
-			overlapping = append(overlapping, fi)
+	var skipped int64
+	for _, fi := range cands {
+		fr := &v.frags[fi]
+		if fr.nnz == 0 {
+			continue
 		}
+		if v.index != nil && fr.filter != nil && !filterMayContainProbe(fr.filter, fr.bbox, probe) {
+			skipped++
+			continue
+		}
+		overlapping = append(overlapping, fi)
+	}
+	if skipped > 0 {
+		reg.Counter("store.filter.skipped", "kind", kind).Add(skipped)
 	}
 	rep.Fragments = len(overlapping)
 
@@ -114,7 +125,7 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 		rep.IO += cost.Total()
 	}
 	sp := root.Child(obsReadMerge)
-	res, mergeDur := mergeHits(s, hits, tombstonesOverlapping(v.frags, len(v.frags), queryBox))
+	res, mergeDur := mergeHits(s, hits, v.overlapTombs(cands))
 	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()

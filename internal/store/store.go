@@ -26,6 +26,7 @@ import (
 	"sparseart/internal/buf"
 	"sparseart/internal/compress"
 	"sparseart/internal/core"
+	"sparseart/internal/filter"
 	"sparseart/internal/fragment"
 	"sparseart/internal/fsim"
 	"sparseart/internal/obs"
@@ -35,8 +36,15 @@ import (
 )
 
 const (
-	manifestName  = "MANIFEST"
+	manifestName = "MANIFEST"
+	// manifestMagic is the original checkpoint format: no per-fragment
+	// coordinate filters, no spatial-index section. Still accepted by
+	// Open (the index is rebuilt from the fragment list instead).
 	manifestMagic = 0x314e4d53 // "SMN1"
+	// manifestMagicV2 adds a per-fragment flags byte carrying an optional
+	// coordinate-filter blob, and a trailing spatial-index section.
+	// Checkpoints are always written in this format.
+	manifestMagicV2 = 0x324e4d53 // "SMN2"
 )
 
 // ErrNotFound reports a missing store.
@@ -123,6 +131,12 @@ type fragRef struct {
 	nnz   uint64
 	bytes int64
 	bbox  tensor.BBox // undefined when nnz == 0 and not a tombstone
+	// filter is the fragment's per-dimension coordinate filter, built at
+	// encode time and carried through the manifest so the read paths can
+	// dismiss bbox false positives without opening the fragment file.
+	// nil for tombstones, empty fragments, and fragments written before
+	// filters existed (the read paths treat nil as "maybe").
+	filter *filter.Filter
 	// tomb marks a deletion fragment covering tombRegion: cells inside
 	// it are dead unless rewritten by a later fragment.
 	tomb       bool
@@ -147,21 +161,6 @@ func tombstonesUpTo(frags []fragRef, limit int) []tombstoneRef {
 	var out []tombstoneRef
 	for i := 0; i < limit && i < len(frags); i++ {
 		if frags[i].tomb {
-			out = append(out, tombstoneRef{idx: i, region: frags[i].tombRegion})
-		}
-	}
-	return out
-}
-
-// tombstonesOverlapping lists the deletion fragments among the first
-// limit entries of frags whose region intersects box — the only ones
-// that can kill a hit inside it. Query paths pass their bounding box so
-// mergeHits' per-cell tombstone walk scales with relevant tombstones,
-// not every deletion the store has ever seen.
-func tombstonesOverlapping(frags []fragRef, limit int, box tensor.BBox) []tombstoneRef {
-	var out []tombstoneRef
-	for i := 0; i < limit && i < len(frags); i++ {
-		if frags[i].tomb && frags[i].tombRegion.BBox().Overlaps(box) {
 			out = append(out, tombstoneRef{idx: i, region: frags[i].tombRegion})
 		}
 	}
@@ -224,9 +223,20 @@ type Store struct {
 	optErr        error
 
 	// Fragcache warming (warm.go): how many of the newest fragments
-	// Open pre-loads into the reader cache.
-	warmFrags int
-	warmSet   bool
+	// Open pre-loads into the reader cache, or a byte budget when
+	// warmBudget > 0 (WithWarmBudget).
+	warmFrags  int
+	warmBudget int64
+	warmSet    bool
+
+	// Fragment-index knob (index.go): whether published views carry the
+	// spatial index and the read paths consult coordinate filters.
+	// Resolved once at Create/Open (option, then environment, default
+	// on); loadedIndex holds a checkpoint's validated index section
+	// between manifest decode and the first initViews, nil otherwise.
+	indexOn     bool
+	indexSet    bool
+	loadedIndex *fragIndex
 
 	// Manifest-log state (see manifest.go): the checkpoint cadence, the
 	// number of records currently in MANIFEST.LOG, and the fragment
@@ -289,6 +299,7 @@ func Create(fs fsim.FS, prefix string, kind core.Kind, shape tensor.Shape, opts 
 	if _, err := compress.Get(s.codec); err != nil {
 		return nil, err
 	}
+	s.indexOn = s.resolveIndexOn()
 	s.initCache()
 	s.initManifestPolicy()
 	if err := s.writeManifest(); err != nil {
@@ -296,6 +307,87 @@ func Create(fs fsim.FS, prefix string, kind core.Kind, shape tensor.Shape, opts 
 	}
 	s.initViews()
 	return s, nil
+}
+
+// manifestState is a decoded checkpoint: the store's persisted
+// properties, fragment list, and — for SMN2 checkpoints with a valid
+// index section — the spatial index as of the checkpoint.
+type manifestState struct {
+	version int // 1 (SMN1) or 2 (SMN2)
+	kind    core.Kind
+	codec   compress.ID
+	shape   tensor.Shape
+	nextID  uint64
+	frags   []fragRef
+	// index is the checkpoint's spatial index, nil when the manifest
+	// predates the section or the section failed validation (indexErr
+	// says why) — the caller rebuilds from frags in that case, so a bad
+	// section costs open time, never correctness.
+	index    *fragIndex
+	indexErr error
+}
+
+// decodeManifest parses either checkpoint format. Used by Open and by
+// ReadManifestInfo (the sparseinspect surface).
+func decodeManifest(data []byte) (*manifestState, error) {
+	r := buf.NewReader(data)
+	magic := r.U32()
+	version := 0
+	switch magic {
+	case manifestMagic:
+		version = 1
+	case manifestMagicV2:
+		version = 2
+	default:
+		return nil, fmt.Errorf("store: store manifest: bad magic %08x", magic)
+	}
+	m := &manifestState{version: version}
+	m.kind = core.Kind(r.U8())
+	m.codec = compress.ID(r.U8())
+	dims := int(r.U16())
+	m.shape = tensor.Shape(r.RawU64s(uint64(dims)))
+	m.nextID = r.U64()
+	count := r.U64()
+	// Each manifest entry takes well over one byte, so a count beyond
+	// the remaining payload is corruption — and must not drive the
+	// decode loop below (a fuzzer-found hang).
+	if count > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("store: manifest declares %d fragments in %d bytes", count, r.Remaining())
+	}
+	m.frags = make([]fragRef, 0, count)
+	for i := uint64(0); i < count && r.Err() == nil; i++ {
+		var fr fragRef
+		fr.name = string(r.Bytes32())
+		fr.nnz = r.U64()
+		fr.bytes = int64(r.U64())
+		fr.bbox.Min = r.RawU64s(uint64(dims))
+		fr.bbox.Max = r.RawU64s(uint64(dims))
+		flags := r.U8()
+		if flags&1 != 0 {
+			fr.tomb = true
+			fr.tombRegion.Start = r.RawU64s(uint64(dims))
+			fr.tombRegion.Size = r.RawU64s(uint64(dims))
+		}
+		if version >= 2 && flags&2 != 0 {
+			filt, err := filter.Decode(r.Bytes32())
+			if err != nil {
+				return nil, fmt.Errorf("store: manifest: fragment %s filter: %w", fr.name, err)
+			}
+			fr.filter = filt
+		}
+		m.frags = append(m.frags, fr)
+	}
+	if version >= 2 && r.Err() == nil && r.U8() != 0 {
+		body := r.Bytes32()
+		if r.Err() == nil {
+			ir := buf.NewReader(body)
+			m.index, m.indexErr = decodeFragIndex(ir, m.shape, len(m.frags))
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("store: manifest: %w", err)
+	}
+	return m, nil
 }
 
 // Open loads an existing store's manifest from fs. Options that set
@@ -306,38 +398,11 @@ func Open(fs fsim.FS, prefix string, opts ...Option) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNotFound, err)
 	}
-	r := buf.NewReader(data)
-	r.Expect(manifestMagic, "store manifest")
-	kind := core.Kind(r.U8())
-	codec := compress.ID(r.U8())
-	dims := int(r.U16())
-	shape := tensor.Shape(r.RawU64s(uint64(dims)))
-	nextID := r.U64()
-	count := r.U64()
-	// Each manifest entry takes well over one byte, so a count beyond
-	// the remaining payload is corruption — and must not drive the
-	// decode loop below (a fuzzer-found hang).
-	if count > uint64(r.Remaining()) {
-		return nil, fmt.Errorf("store: manifest declares %d fragments in %d bytes", count, r.Remaining())
+	m, err := decodeManifest(data)
+	if err != nil {
+		return nil, err
 	}
-	frags := make([]fragRef, 0, count)
-	for i := uint64(0); i < count && r.Err() == nil; i++ {
-		var fr fragRef
-		fr.name = string(r.Bytes32())
-		fr.nnz = r.U64()
-		fr.bytes = int64(r.U64())
-		fr.bbox.Min = r.RawU64s(uint64(dims))
-		fr.bbox.Max = r.RawU64s(uint64(dims))
-		if r.U8()&1 != 0 {
-			fr.tomb = true
-			fr.tombRegion.Start = r.RawU64s(uint64(dims))
-			fr.tombRegion.Size = r.RawU64s(uint64(dims))
-		}
-		frags = append(frags, fr)
-	}
-	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("store: manifest: %w", err)
-	}
+	kind, codec, shape := m.kind, m.codec, m.shape
 	f, err := core.Get(kind)
 	if err != nil {
 		return nil, err
@@ -348,7 +413,8 @@ func Open(fs fsim.FS, prefix string, opts ...Option) (*Store, error) {
 	}
 	s := &Store{
 		fs: fs, prefix: prefix, kind: kind, format: f, shape: shape,
-		lin: lin, codec: codec, frags: frags, nextID: nextID,
+		lin: lin, codec: codec, frags: m.frags, nextID: m.nextID,
+		loadedIndex: m.index,
 	}
 	for _, o := range opts {
 		o(s)
@@ -357,6 +423,7 @@ func Open(fs fsim.FS, prefix string, opts ...Option) (*Store, error) {
 		return nil, err
 	}
 	s.codec = codec // the manifest's codec is authoritative
+	s.indexOn = s.resolveIndexOn()
 	s.initCache()
 	s.initManifestPolicy()
 	s.lastCkptFrags = len(s.frags)
@@ -376,13 +443,17 @@ func Open(fs fsim.FS, prefix string, opts ...Option) (*Store, error) {
 	return s, nil
 }
 
-// writeManifest writes the full-state checkpoint. The byte format is
-// unchanged since the first release, which is what keeps pre-log stores
-// openable; the delta log (manifest.go) layers on top of it.
+// writeManifest writes the full-state checkpoint in the SMN2 format:
+// the SMN1 layout plus a per-fragment flags byte (bit 0 tombstone,
+// bit 1 coordinate filter present, followed by the filter blob) and a
+// trailing spatial-index section. The index is always rebuilt from the
+// fragment list and always written — checkpoint bytes do not depend on
+// the runtime index knob — so any later Open can adopt it instead of
+// rebuilding. SMN1 checkpoints remain readable (decodeManifest).
 func (s *Store) writeManifest() error {
 	w := buf.GetWriter(64 + len(s.frags)*(48+16*s.shape.Dims()))
 	defer buf.PutWriter(w)
-	w.U32(manifestMagic)
+	w.U32(manifestMagicV2)
 	w.U8(uint8(s.kind))
 	w.U8(uint8(s.codec))
 	w.U16(uint16(s.shape.Dims()))
@@ -399,14 +470,26 @@ func (s *Store) writeManifest() error {
 		} else {
 			w.RawU64s(make([]uint64, 2*s.shape.Dims()))
 		}
+		var flags uint8
 		if fr.tomb {
-			w.U8(1)
+			flags |= 1
+		}
+		if fr.filter != nil {
+			flags |= 2
+		}
+		w.U8(flags)
+		if fr.tomb {
 			w.RawU64s(fr.tombRegion.Start)
 			w.RawU64s(fr.tombRegion.Size)
-		} else {
-			w.U8(0)
+		}
+		if fr.filter != nil {
+			w.Bytes32(fr.filter.Encode())
 		}
 	}
+	w.U8(1)
+	iw := buf.NewWriter(256)
+	buildFragIndex(s.shape, s.frags).encode(iw)
+	w.Bytes32(iw.Bytes())
 	return s.fs.WriteFile(s.prefix+"/"+manifestName, w.Bytes())
 }
 
@@ -541,12 +624,14 @@ func (s *Store) writeLocked(c *tensor.Coords, vals []float64) (*WriteReport, err
 	sp = root.Child(obsWriteWrite)
 	t = time.Now()
 	bbox, _ := c.Bounds()
+	filt := filter.Build(c)
 	frag := &fragment.Fragment{Payload: built.Payload, Values: packed}
 	frag.Kind = s.kind
 	frag.Codec = s.codec
 	frag.Shape = s.shape
 	frag.NNZ = uint64(c.Len())
 	frag.BBox = bbox
+	frag.Filter = filt
 	encoded, err := fragment.Encode(frag)
 	if err != nil {
 		sp.End()
@@ -575,7 +660,7 @@ func (s *Store) writeLocked(c *tensor.Coords, vals []float64) (*WriteReport, err
 	sp = root.Child(obsWriteOthers)
 	sp.Add(pendingMeta)
 	t = time.Now()
-	if _, err := s.commitFragment(fragRef{name: name, nnz: frag.NNZ, bytes: int64(len(encoded)), bbox: bbox}); err != nil {
+	if _, err := s.commitFragment(fragRef{name: name, nnz: frag.NNZ, bytes: int64(len(encoded)), bbox: bbox, filter: filt}); err != nil {
 		sp.End()
 		reg.Counter("store.write.errors", "kind", kind).Inc()
 		return nil, err
@@ -718,8 +803,15 @@ func (s *Store) readAt(v *readView, probe *tensor.Coords, limit int) (*Result, *
 	}
 
 	var hits []hit
-	for fi, fr := range v.frags[:limit] {
-		if fr.nnz == 0 || !fr.bbox.Overlaps(queryBox) {
+	cands := v.overlapping(queryBox, limit)
+	var skipped int64
+	for _, fi := range cands {
+		fr := v.frags[fi]
+		if fr.nnz == 0 {
+			continue // tombstones join at the merge, not the probe loop
+		}
+		if v.index != nil && fr.filter != nil && !filterMayContainProbe(fr.filter, fr.bbox, probe) {
+			skipped++
 			continue
 		}
 		rep.Fragments++
@@ -745,9 +837,12 @@ func (s *Store) readAt(v *readView, probe *tensor.Coords, limit int) (*Result, *
 		sp.End()
 		rep.Probe += time.Since(t)
 	}
+	if skipped > 0 {
+		reg.Counter("store.filter.skipped", "kind", kind).Add(skipped)
+	}
 
 	sp := root.Child(obsReadMerge)
-	res, mergeDur := mergeHits(s, hits, tombstonesOverlapping(v.frags, limit, queryBox))
+	res, mergeDur := mergeHits(s, hits, v.overlapTombs(cands))
 	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()
@@ -756,6 +851,20 @@ func (s *Store) readAt(v *readView, probe *tensor.Coords, limit int) (*Result, *
 	reg.Counter("store.read.probed", "kind", kind).Add(int64(rep.Probed))
 	reg.Counter("store.read.found", "kind", kind).Add(int64(rep.Found))
 	return res, rep, nil
+}
+
+// filterMayContainProbe asks a fragment's coordinate filter whether any
+// probe point inside its bounding box may be stored. False means the
+// fragment provably holds none of the probe points (filters have no
+// false negatives), so the read path can skip it without a fetch.
+func filterMayContainProbe(f *filter.Filter, box tensor.BBox, probe *tensor.Coords) bool {
+	for i, n := 0, probe.Len(); i < n; i++ {
+		p := probe.At(i)
+		if box.Contains(p) && f.MayContainPoint(p) {
+			return true
+		}
+	}
+	return false
 }
 
 // mergeHits implements Algorithm 3 line 12: sort hits by linear address
@@ -847,8 +956,15 @@ func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, erro
 	queryBox := region.BBox()
 
 	var hits []hit
-	for fi, fr := range v.frags {
-		if fr.nnz == 0 || !fr.bbox.Overlaps(queryBox) {
+	cands := v.overlapping(queryBox, len(v.frags))
+	var skipped int64
+	for _, fi := range cands {
+		fr := v.frags[fi]
+		if fr.nnz == 0 {
+			continue
+		}
+		if v.index != nil && fr.filter != nil && !fr.filter.MayOverlapRegion(region) {
+			skipped++
 			continue
 		}
 		rep.Fragments++
@@ -874,8 +990,11 @@ func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, erro
 		rep.Probe += time.Since(t)
 		rep.Scans++
 	}
+	if skipped > 0 {
+		reg.Counter("store.filter.skipped", "kind", kind).Add(skipped)
+	}
 	sp := root.Child(obsReadMerge)
-	res, mergeDur := mergeHits(s, hits, tombstonesOverlapping(v.frags, len(v.frags), queryBox))
+	res, mergeDur := mergeHits(s, hits, v.overlapTombs(cands))
 	sp.End()
 	rep.Merge = mergeDur
 	rep.Found = res.Coords.Len()

@@ -4,6 +4,8 @@ import (
 	"errors"
 	iofs "io/fs"
 	"math"
+
+	"sparseart/internal/tensor"
 )
 
 // MVCC snapshot reads. The store's fragment set is published to readers
@@ -32,11 +34,83 @@ import (
 // epoch it was published. The fragment slice is never mutated after
 // publication; refs counts outstanding acquisitions and is guarded by
 // Store.viewMu.
+//
+// Each view also carries the epoch's spatial index (nil when the
+// fragment index is disabled — see WithFragmentIndex) and the epoch's
+// tombstone count, so the read paths can skip the tombstone overlap
+// scan entirely on tombstone-free stores.
 type readView struct {
 	s     *Store
 	epoch uint64
 	frags []fragRef
+	index *fragIndex
+	tombs int
 	refs  int
+}
+
+// overlapping returns the ascending indices of the fragments among
+// frags[:limit] that carry a bounding box overlapping box — data
+// fragments and tombstones both. With the index enabled this is the
+// sub-linear path: grid lookup, then a bbox re-check of each candidate;
+// without it, the historical linear scan. Either way the result is
+// exact (the grid only ever over-approximates), so every consumer sees
+// identical fragment sets regardless of the knob.
+func (v *readView) overlapping(box tensor.BBox, limit int) []int {
+	if limit > len(v.frags) {
+		limit = len(v.frags)
+	}
+	if v.index == nil {
+		var out []int
+		for i := 0; i < limit; i++ {
+			fr := &v.frags[i]
+			if (fr.nnz > 0 || fr.tomb) && fr.bbox.Overlaps(box) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	cand := v.index.lookup(box, limit)
+	reg := v.s.obsReg()
+	kind := v.s.kind.String()
+	reg.Counter("store.index.probes", "kind", kind).Inc()
+	reg.Counter("store.index.candidates", "kind", kind).Add(int64(len(cand)))
+	out := cand[:0]
+	for _, i := range cand {
+		fr := &v.frags[i]
+		if (fr.nnz > 0 || fr.tomb) && fr.bbox.Overlaps(box) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// overlapTombs extracts the tombstones from an overlapping() result.
+// Valid because a tombstone's fragRef bbox IS its region's bounding box
+// (see DeleteRegion), so the candidate set already saw every tombstone
+// a dedicated linear scan of the prefix would. The v.tombs == 0
+// short-circuit makes tombstone handling free on append-only stores.
+func (v *readView) overlapTombs(cands []int) []tombstoneRef {
+	if v.tombs == 0 {
+		return nil
+	}
+	var out []tombstoneRef
+	for _, i := range cands {
+		if fr := &v.frags[i]; fr.tomb {
+			out = append(out, tombstoneRef{idx: i, region: fr.tombRegion})
+		}
+	}
+	return out
+}
+
+// countTombs counts tombstone fragments in a slice.
+func countTombs(frags []fragRef) int {
+	n := 0
+	for i := range frags {
+		if frags[i].tomb {
+			n++
+		}
+	}
+	return n
 }
 
 // pendingGC is a batch of fragment files superseded at a swap epoch:
@@ -80,24 +154,88 @@ func (v *readView) release() {
 }
 
 // initViews installs the first snapshot. Called once by Create/Open
-// before the store is shared.
+// before the store is shared. When the fragment index is enabled, the
+// first view's grid either extends the index persisted in the manifest
+// checkpoint (loadedIndex, already validated; the suffix covers
+// replayed log records) or is rebuilt from the fragment list.
 func (s *Store) initViews() {
 	s.pinned = map[*readView]struct{}{}
-	s.cur = &readView{s: s, epoch: 0, frags: append([]fragRef(nil), s.frags...)}
+	frags := append([]fragRef(nil), s.frags...)
+	v := &readView{s: s, epoch: 0, frags: frags, tombs: countTombs(frags)}
+	if s.indexOn {
+		if li := s.loadedIndex; li != nil && li.n <= len(frags) {
+			v.index = li.appended(frags, li.n)
+		} else {
+			v.index = buildFragIndex(s.shape, frags)
+		}
+	}
+	s.loadedIndex = nil
+	s.cur = v
 }
 
 // publishLocked snapshots s.frags as the new current view under a fresh
 // epoch. Caller holds writeMu; the previous view stays valid for the
 // readers still holding it. Returns the new epoch.
+//
+// The new epoch's spatial index is built copy-on-write from the
+// previous view's: every mutation path except compaction only appends
+// fragments, so the common case shares all untouched grid buckets and
+// inserts only the new suffix. Compaction rewrites the list (it
+// shrinks), which the prefix check detects and answers with a full
+// rebuild. Reading s.cur without viewMu is safe here: every write to
+// s.cur happens under writeMu, which the caller holds.
 func (s *Store) publishLocked() uint64 {
 	frags := append([]fragRef(nil), s.frags...)
+	prev := s.cur
+	v := &readView{s: s, frags: frags}
+	if prev != nil && len(frags) >= len(prev.frags) && samePrefixBoundary(prev.frags, frags) {
+		v.tombs = prev.tombs + countTombs(frags[len(prev.frags):])
+		if s.indexOn {
+			if prev.index != nil {
+				v.index = prev.index.appended(frags, len(prev.frags))
+			} else {
+				v.index = buildFragIndex(s.shape, frags)
+			}
+		}
+	} else {
+		v.tombs = countTombs(frags)
+		if s.indexOn {
+			v.index = buildFragIndex(s.shape, frags)
+		}
+	}
 	s.viewMu.Lock()
 	epoch := s.cur.epoch + 1
-	s.cur = &readView{s: s, epoch: epoch, frags: frags}
+	v.epoch = epoch
+	s.cur = v
 	s.viewMu.Unlock()
 	s.obsReg().Gauge("store.epoch", "kind", s.kind.String()).Set(int64(epoch))
 	s.maybeCompactAsync(len(frags))
 	return epoch
+}
+
+// samePrefixBoundary reports whether next still starts with prev — the
+// append-only fast path. Comparing the last shared element suffices:
+// the only mutation that rewrites earlier entries (compaction) replaces
+// the whole list with freshly built fragRefs, whose bbox slices are new
+// allocations, so the slice-identity check below cannot be fooled by a
+// rewritten list that happens to repeat the same name.
+func samePrefixBoundary(prev, next []fragRef) bool {
+	k := len(prev)
+	if k == 0 {
+		return true
+	}
+	a, b := &prev[k-1], &next[k-1]
+	return a.name == b.name && a.nnz == b.nnz && a.bytes == b.bytes && a.tomb == b.tomb &&
+		sameU64Slice(a.bbox.Min, b.bbox.Min) && sameU64Slice(a.bbox.Max, b.bbox.Max)
+}
+
+// sameU64Slice is slice-header identity (same backing array, length),
+// not element equality — fragRef copies share bbox backing arrays.
+func sameU64Slice(x, y []uint64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	return len(x) == 0 || &x[0] == &y[0]
 }
 
 // currentEpoch returns the epoch of the current view — the epoch a read

@@ -2,6 +2,7 @@ package store
 
 import (
 	"errors"
+	"strconv"
 	"testing"
 
 	"sparseart/internal/core"
@@ -187,6 +188,69 @@ func TestWarmNegativeRejected(t *testing.T) {
 	if _, err := Create(fs, "t", core.GCSR, tensor.Shape{8, 8}, WithWarmFragments(-1)); !errors.Is(err, ErrBadOption) {
 		t.Fatalf("WithWarmFragments(-1) = %v, want ErrBadOption", err)
 	}
+	if _, err := Create(fs, "t2", core.GCSR, tensor.Shape{8, 8}, WithWarmBudget(-1)); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("WithWarmBudget(-1) = %v, want ErrBadOption", err)
+	}
+}
+
+func TestWarmByteBudget(t *testing.T) {
+	fs := newSim(t)
+	st, err := Create(fs, "t", core.GCSR, tensor.Shape{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		writeBand(t, st, i)
+	}
+	// Equal-sized bands: the newest fragment's size is the per-fragment
+	// cost the budget is denominated in.
+	size := st.frags[len(st.frags)-1].bytes
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	kindLabel := core.GCSR.String()
+	check := func(t *testing.T, reg *obs.Registry, wantFrags, wantBytes int64) {
+		t.Helper()
+		snap := reg.Snapshot()
+		if n := snap.Counters[obs.Name("fragcache.warmed", "kind", kindLabel)]; n != wantFrags {
+			t.Fatalf("warmed %d fragments, want %d", n, wantFrags)
+		}
+		if n := snap.Counters[obs.Name("fragcache.warmed_bytes", "kind", kindLabel)]; n != wantBytes {
+			t.Fatalf("warmed %d bytes, want %d", n, wantBytes)
+		}
+	}
+
+	// A budget covering exactly two fragments warms the newest two —
+	// the third would overflow, so the newest-first walk stops there.
+	reg := obs.New()
+	if _, err := Open(fs, "t", WithObs(reg), WithReaderCache(DefaultCacheBudget), WithWarmBudget(2*size)); err != nil {
+		t.Fatal(err)
+	}
+	check(t, reg, 2, 2*size)
+
+	// Count and byte limits combine: whichever is hit first stops.
+	reg = obs.New()
+	if _, err := Open(fs, "t", WithObs(reg), WithReaderCache(DefaultCacheBudget),
+		WithWarmFragments(1), WithWarmBudget(2*size)); err != nil {
+		t.Fatal(err)
+	}
+	check(t, reg, 1, size)
+
+	// The environment drives the budget when no option is set.
+	t.Setenv(warmBudgetEnv, strconv.FormatInt(size, 10))
+	reg = obs.New()
+	if _, err := Open(fs, "t", WithObs(reg), WithReaderCache(DefaultCacheBudget)); err != nil {
+		t.Fatal(err)
+	}
+	check(t, reg, 1, size)
+
+	// A budget smaller than any fragment warms nothing.
+	reg = obs.New()
+	if _, err := Open(fs, "t", WithObs(reg), WithReaderCache(DefaultCacheBudget), WithWarmBudget(size-1)); err != nil {
+		t.Fatal(err)
+	}
+	check(t, reg, 0, 0)
 }
 
 func TestStoreObsAccessor(t *testing.T) {

@@ -46,6 +46,18 @@ SPARSEART_FRAGCACHE_BUDGET=off go test ./internal/store/...
 echo "==> go test (fragment-reader cache budget=1)"
 SPARSEART_FRAGCACHE_BUDGET=1 go test ./internal/store/...
 
+# The fragment spatial index and coordinate filters are a pure lookup
+# strategy: every read path must return byte-identical results with
+# them disabled (the historical linear fragment scan). Run the store
+# suite with the index off, plus one race-hammer round so the linear
+# path is also exercised under concurrent mutation.
+echo "==> go test (fragment index off)"
+SPARSEART_FRAGINDEX=off go test ./internal/store/...
+
+echo "==> race hammer (fragment index off, 1 round)"
+SPARSEART_FRAGINDEX=off go test -race -run 'TestConcurrentHammer' \
+    -count 1 ./internal/store/
+
 # The manifest delta log must behave identically across checkpoint
 # cadences: K=1 folds on every write (the pre-log worst case — every
 # commit exercises checkpoint + log removal), and a huge K never folds
