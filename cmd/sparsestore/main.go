@@ -6,8 +6,8 @@
 // Usage:
 //
 //	sparsestore info    -dir /path/to/store
-//	sparsestore compact -dir /path/to/store
-//	sparsestore convert -dir /path/to/store -to CSF -out /path/to/new
+//	sparsestore compact -dir /path/to/store [-to CSF|auto]
+//	sparsestore convert -dir /path/to/store -to CSF -out /path/to/new [-workers N] [-chunk P]
 //	sparsestore export  -dir /path/to/store -o dump.txt
 //	sparsestore import  -dir /path/to/new -kind GCSR++ -shape 64,64 -in dump.txt
 //
@@ -193,8 +193,10 @@ global flags (before the command):
 commands:
   info     print a store's organization, shape, and fragment inventory
   compact  consolidate all fragments into one (newest value wins,
-           tombstones folded in)
-  convert  rewrite the store under another organization
+           tombstones folded in); -to KIND|auto re-organizes during
+           the pass
+  convert  stream the store into a new one under another organization
+           (-workers, -chunk bound the pipeline)
   delete   append a tombstone record over a region
   export   dump the logical contents as a dataset file
   import   create a store from a dataset file
@@ -280,6 +282,7 @@ func runInfo(args []string) error {
 func runCompact(args []string) error {
 	fs := flag.NewFlagSet("compact", flag.ExitOnError)
 	dir := fs.String("dir", "", "store directory")
+	to := fs.String("to", "", "re-organize during the pass: a kind name, or 'auto' for the advisor's pick")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("compact: -dir is required")
@@ -288,13 +291,29 @@ func runCompact(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := st.Compact()
+	before := st.Kind()
+	var rep *store.CompactReport
+	switch *to {
+	case "":
+		rep, err = st.Compact()
+	case "auto":
+		rep, err = st.CompactAuto()
+	default:
+		kind, kerr := core.ParseKind(*to)
+		if kerr != nil {
+			return kerr
+		}
+		rep, err = st.CompactTo(kind)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("fragments: %d -> %d\n", rep.FragmentsBefore, rep.FragmentsAfter)
 	fmt.Printf("points:    %d -> %d\n", rep.PointsBefore, rep.PointsAfter)
 	fmt.Printf("bytes:     %d -> %d\n", rep.BytesBefore, rep.BytesAfter)
+	if rep.Kind != before {
+		fmt.Printf("organization: %v -> %v\n", before, rep.Kind)
+	}
 	return nil
 }
 
@@ -303,6 +322,8 @@ func runConvert(args []string) error {
 	dir := fs.String("dir", "", "source store directory")
 	out := fs.String("out", "", "destination store directory")
 	to := fs.String("to", "", "destination organization (COO|LINEAR|GCSR++|GCSC++|CSF|COO-sorted)")
+	workers := fs.Int("workers", 0, "ingest workers for the streaming pipeline (0 = all cores)")
+	chunk := fs.Int("chunk", 0, "points per destination fragment (0 = the library default)")
 	fs.Parse(args)
 	if *dir == "" || *out == "" || *to == "" {
 		return fmt.Errorf("convert: -dir, -out, and -to are required")
@@ -323,12 +344,18 @@ func runConvert(args []string) error {
 	if err != nil {
 		return err
 	}
-	dst, err := store.Convert(src, dstFS, "tensor", kind, opts...)
+	dst, rep, err := store.ConvertStreamed(src, dstFS, "tensor", kind,
+		store.ConvertConfig{ChunkPoints: *chunk, Workers: *workers}, opts...)
 	if err != nil {
+		return err
+	}
+	if err := dst.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("converted %v (%d bytes) -> %v (%d bytes) at %s\n",
 		src.Kind(), src.TotalBytes(), dst.Kind(), dst.TotalBytes(), *out)
+	fmt.Printf("streamed %d points in %d chunks (peak chunk %d bytes)\n",
+		rep.Points, rep.Chunks, rep.PeakChunkBytes)
 	return nil
 }
 

@@ -83,6 +83,22 @@ func TestConvertAndExport(t *testing.T) {
 	if !strings.Contains(out, "converted COO") || !strings.Contains(out, "CSF") {
 		t.Fatalf("convert output:\n%s", out)
 	}
+	if !strings.Contains(out, "streamed 3 points in 1 chunks") || !strings.Contains(out, "peak chunk") {
+		t.Fatalf("convert output missing streaming report:\n%s", out)
+	}
+
+	// The pipeline knobs: a 1-point chunk splits 3 points into 3
+	// destination fragments.
+	chunked := filepath.Join(t.TempDir(), "chunked")
+	out, err = capture(t, func() error {
+		return runConvert([]string{"-dir", src, "-out", chunked, "-to", "LINEAR", "-chunk", "1", "-workers", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "streamed 3 points in 3 chunks") {
+		t.Fatalf("chunked convert output:\n%s", out)
+	}
 	exported := filepath.Join(t.TempDir(), "dump.txt")
 	if _, err := capture(t, func() error {
 		return runExport([]string{"-dir", dst, "-o", exported})
@@ -152,6 +168,30 @@ func TestCompactCommand(t *testing.T) {
 	}
 	if !strings.Contains(out, "fragments: 1 -> 1") {
 		t.Fatalf("compact output:\n%s", out)
+	}
+
+	// Re-organizing pass: -to rewrites even a single fragment and the
+	// new organization shows up in info.
+	out, err = capture(t, func() error { return runCompact([]string{"-dir", dir, "-to", "CSF"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "organization: LINEAR -> CSF") {
+		t.Fatalf("reorg compact output:\n%s", out)
+	}
+	out, err = capture(t, func() error { return runInfo([]string{"-dir", dir}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "organization: CSF") {
+		t.Fatalf("info after reorg:\n%s", out)
+	}
+	// And the advisor-guided variant runs clean.
+	if _, err := capture(t, func() error { return runCompact([]string{"-dir", dir, "-to", "auto"}) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompact([]string{"-dir", dir, "-to", "BOGUS"}); err == nil {
+		t.Error("compact -to unknown kind accepted")
 	}
 }
 

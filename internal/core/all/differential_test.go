@@ -20,3 +20,15 @@ func TestDifferentialAllKinds(t *testing.T) {
 	}
 	coretest.RunDifferential(t, formats)
 }
+
+// TestStreamingAllKinds checks the streaming iteration contract of
+// every registered organization: core.Points ≡ Each and
+// core.RegionPoints ≡ Each + containment filter, step for step,
+// including early termination and walk restartability.
+func TestStreamingAllKinds(t *testing.T) {
+	formats := core.Registered()
+	if len(formats) < 6 {
+		t.Fatalf("only %d organizations registered, want at least 6", len(formats))
+	}
+	coretest.RunStreaming(t, formats)
+}

@@ -1,0 +1,130 @@
+package coretest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sparseart/internal/core"
+	"sparseart/internal/tensor"
+)
+
+// RunStreaming checks the streaming iteration contract against the
+// callback walks it must mirror: for every format, core.Points must
+// yield exactly the (point, slot) sequence Each visits, in the same
+// order; core.RegionPoints must yield exactly the region-filtered
+// subsequence; and both must honor early termination from the consumer.
+// Native Streamer/RegionStreamer implementations and the
+// Iterator/RegionScanner bridges go through the same assertions.
+func RunStreaming(t *testing.T, formats []core.Format) {
+	if len(formats) == 0 {
+		t.Fatal("no formats to test")
+	}
+	rounds, maxPoints := 8, 500
+	if testing.Short() {
+		rounds, maxPoints = 3, 120
+	}
+	rng := rand.New(rand.NewSource(4242))
+	for round := 0; round < rounds; round++ {
+		shape := randomShape(rng)
+		c := randomDataset(rng, shape, rng.Intn(maxPoints+1))
+		t.Run(fmt.Sprintf("round%02d_%v_n%d", round, shape, c.Len()), func(t *testing.T) {
+			streamingRound(t, formats, rng, shape, c)
+		})
+	}
+}
+
+// visitRec is one (point, slot) step of a walk, with the reused point
+// slice copied out.
+type visitRec struct {
+	p    string
+	slot int
+}
+
+func recordEach(r core.Reader) []visitRec {
+	var out []visitRec
+	r.(core.Iterator).Each(func(p []uint64, slot int) bool {
+		out = append(out, visitRec{fmt.Sprint(p), slot})
+		return true
+	})
+	return out
+}
+
+func recordSeq(seq core.PointSeq, stopAfter int) []visitRec {
+	var out []visitRec
+	for p, slot := range seq {
+		out = append(out, visitRec{fmt.Sprint(p), slot})
+		if stopAfter > 0 && len(out) >= stopAfter {
+			break
+		}
+	}
+	return out
+}
+
+func sameWalk(t *testing.T, kind core.Kind, label string, got, want []visitRec) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%v: %s yielded %d steps, want %d", kind, label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%v: %s step %d = %+v, want %+v", kind, label, i, got[i], want[i])
+		}
+	}
+}
+
+func streamingRound(t *testing.T, formats []core.Format, rng *rand.Rand, shape tensor.Shape, c *tensor.Coords) {
+	readers, _ := openAll(t, formats, shape, c)
+	for i, r := range readers {
+		kind := formats[i].Kind()
+		if _, ok := r.(core.Streamer); !ok {
+			t.Errorf("%v: reader does not implement core.Streamer", kind)
+		}
+		seq, ok := core.Points(r)
+		if !ok {
+			t.Fatalf("%v: core.Points reports no walk", kind)
+		}
+		want := recordEach(r)
+		sameWalk(t, kind, "Points", recordSeq(seq, 0), want)
+
+		// A sequence must be restartable (each call to Points yields a
+		// fresh walk) and stoppable mid-way without yielding further.
+		if len(want) > 1 {
+			stop := 1 + rng.Intn(len(want)-1)
+			seq2, _ := core.Points(r)
+			sameWalk(t, kind, "Points(early-stop)", recordSeq(seq2, stop), want[:stop])
+		}
+
+		// Region-restricted walk ≡ full walk + containment filter, for
+		// random regions including degenerate 1-cell ones.
+		for rq := 0; rq < 3; rq++ {
+			start := make([]uint64, shape.Dims())
+			size := make([]uint64, shape.Dims())
+			for d := range shape {
+				start[d] = uint64(rng.Int63n(int64(shape[d])))
+				size[d] = 1 + uint64(rng.Int63n(int64(shape[d]-start[d])))
+			}
+			region, err := tensor.NewRegion(shape, start, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var filtered []visitRec
+			r.(core.Iterator).Each(func(p []uint64, slot int) bool {
+				if region.Contains(p) {
+					filtered = append(filtered, visitRec{fmt.Sprint(p), slot})
+				}
+				return true
+			})
+			rseq, ok := core.RegionPoints(r, region)
+			if !ok {
+				t.Fatalf("%v: core.RegionPoints reports no walk", kind)
+			}
+			sameWalk(t, kind, fmt.Sprintf("RegionPoints(%v)", region), recordSeq(rseq, 0), filtered)
+			if len(filtered) > 1 {
+				stop := 1 + rng.Intn(len(filtered)-1)
+				rseq2, _ := core.RegionPoints(r, region)
+				sameWalk(t, kind, "RegionPoints(early-stop)", recordSeq(rseq2, stop), filtered[:stop])
+			}
+		}
+	}
+}

@@ -1,9 +1,11 @@
 // Package linalg provides sparse kernels over the storage
 // organizations' readers — the downstream computations the paper's
 // introduction motivates sparse storage with. Every kernel consumes the
-// core.Iterator contract, so it runs unchanged over COO, LINEAR,
-// GCSR++, GCSC++, or CSF payloads: the storage organization decides the
-// iteration order and cost, not the math.
+// streaming iteration contract (core.Points, native on readers that
+// implement core.Streamer and bridged from core.Iterator otherwise), so
+// it runs unchanged over COO, LINEAR, GCSR++, GCSC++, CSF, or BCOO
+// payloads: the storage organization decides the iteration order and
+// cost, not the math.
 //
 // Included: sparse matrix-vector multiply (SpMV), tensor-times-vector
 // contraction (TTV), the matricized tensor times Khatri-Rao product
@@ -75,7 +77,7 @@ func NewMatrix(shape tensor.Shape, r core.Reader, values []float64) (*Matrix, er
 	if r.NNZ() != len(values) {
 		return nil, fmt.Errorf("linalg: %d values for %d points", len(values), r.NNZ())
 	}
-	if _, ok := r.(core.Iterator); !ok {
+	if _, ok := core.Points(r); !ok {
 		return nil, fmt.Errorf("linalg: reader cannot iterate")
 	}
 	return &Matrix{Shape: shape, Reader: r, Values: values}, nil
@@ -88,10 +90,10 @@ func (m *Matrix) SpMV(x []float64) ([]float64, error) {
 		return nil, fmt.Errorf("linalg: x has %d entries for %d columns", len(x), m.Shape[1])
 	}
 	y := make([]float64, m.Shape[0])
-	m.Reader.(core.Iterator).Each(func(p []uint64, slot int) bool {
+	seq, _ := core.Points(m.Reader)
+	for p, slot := range seq {
 		y[p[0]] += m.Values[slot] * x[p[1]]
-		return true
-	})
+	}
 	return y, nil
 }
 
@@ -102,10 +104,10 @@ func (m *Matrix) SpMVT(x []float64) ([]float64, error) {
 		return nil, fmt.Errorf("linalg: x has %d entries for %d rows", len(x), m.Shape[0])
 	}
 	y := make([]float64, m.Shape[1])
-	m.Reader.(core.Iterator).Each(func(p []uint64, slot int) bool {
+	seq, _ := core.Points(m.Reader)
+	for p, slot := range seq {
 		y[p[1]] += m.Values[slot] * x[p[0]]
-		return true
-	})
+	}
 	return y, nil
 }
 
@@ -124,7 +126,7 @@ func NewTensor(shape tensor.Shape, r core.Reader, values []float64) (*Tensor, er
 	if r.NNZ() != len(values) {
 		return nil, fmt.Errorf("linalg: %d values for %d points", len(values), r.NNZ())
 	}
-	if _, ok := r.(core.Iterator); !ok {
+	if _, ok := core.Points(r); !ok {
 		return nil, fmt.Errorf("linalg: reader cannot iterate")
 	}
 	return &Tensor{Shape: shape, Reader: r, Values: values}, nil
@@ -159,10 +161,11 @@ func (t *Tensor) TTV(mode int, v []float64) ([]float64, tensor.Shape, error) {
 	vol, _ := outShape.Volume()
 	out := make([]float64, vol)
 	q := make([]uint64, len(outShape))
-	t.Reader.(core.Iterator).Each(func(p []uint64, slot int) bool {
+	seq, _ := core.Points(t.Reader)
+	for p, slot := range seq {
 		if d == 1 {
 			out[0] += t.Values[slot] * v[p[0]]
-			return true
+			continue
 		}
 		k := 0
 		for i, c := range p {
@@ -173,8 +176,7 @@ func (t *Tensor) TTV(mode int, v []float64) ([]float64, tensor.Shape, error) {
 			k++
 		}
 		out[lin.Linearize(q)] += t.Values[slot] * v[p[mode]]
-		return true
-	})
+	}
 	return out, outShape, nil
 }
 
@@ -224,14 +226,14 @@ func (t *Tensor) MTTKRP(mode int, factors [2]*Dense) (*Dense, error) {
 		}
 	}
 	out := NewDense(int(t.Shape[mode]), rank)
-	t.Reader.(core.Iterator).Each(func(p []uint64, slot int) bool {
+	seq, _ := core.Points(t.Reader)
+	for p, slot := range seq {
 		v := t.Values[slot]
 		i := int(p[mode])
 		j, k := int(p[others[0]]), int(p[others[1]])
 		for r := 0; r < rank; r++ {
 			out.Data[i*rank+r] += v * factors[0].At(j, r) * factors[1].At(k, r)
 		}
-		return true
-	})
+	}
 	return out, nil
 }

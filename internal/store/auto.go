@@ -86,7 +86,7 @@ func (s *Store) ReadRegionAuto(region tensor.Region) (*Result, *ReadReport, erro
 	rep := &ReadReport{Epoch: v.epoch}
 	s.takeCost()
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 	root := reg.Start(obsRead)
 	defer root.End()
 	queryBox := region.BBox()
@@ -117,8 +117,8 @@ func (s *Store) ReadRegionAuto(region tensor.Region) (*Result, *ReadReport, erro
 
 		sp := root.Child(obsReadProbe)
 		t := time.Now()
-		if preferScan(s.kind, s.shape, fr.nnz, vol) {
-			err := scanFragment(s.kind, e.Reader, region, func(p []uint64, slot int) bool {
+		if preferScan(s.curKind(), s.shape, fr.nnz, vol) {
+			err := scanFragment(s.curKind(), e.Reader, region, func(p []uint64, slot int) bool {
 				rep.Probed++
 				hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: e.Values[slot]})
 				return true

@@ -24,7 +24,7 @@ import (
 // (spans are nil-safe).
 func (s *Store) loadFragment(root *obs.Span, fr fragRef, rep *ReadReport) (*fragcache.Entry, error) {
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 
 	sp := root.Child(obsReadIO)
 	t := time.Now()
@@ -64,9 +64,20 @@ func (s *Store) loadFragment(root *obs.Span, fr fragRef, rep *ReadReport) (*frag
 	if err == nil {
 		values, err = lz.Values()
 	}
+	// Open with the format named by the fragment's own header, not the
+	// store's current organization: after a re-organizing compaction (or
+	// a crash between its manifest-log record and the checkpoint that
+	// persists the new kind) the fragment set can mix kinds, and each
+	// fragment is only decodable by the format that built it.
 	var reader core.Reader
 	if err == nil {
-		reader, err = s.format.Open(payload, s.shape)
+		format := s.curFormat()
+		if fk := lz.Header.Kind; fk != format.Kind() && fk.Valid() {
+			format, err = core.Get(fk)
+		}
+		if err == nil {
+			reader, err = format.Open(payload, s.shape)
+		}
 	}
 	if err != nil {
 		sp.End()

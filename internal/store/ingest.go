@@ -141,7 +141,7 @@ func (s *Store) WriteBatchFunc(batches []Batch, workers int, fn func(i int, rep 
 	s.takeCost() // discard any cost accrued outside this call
 
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 	root := reg.Start(obsIngest)
 	defer root.End()
 	reg.Gauge("store.ingest.workers", "kind", kind).Set(int64(workers))
@@ -384,10 +384,10 @@ func (ic *ingestCommitter) commit(st *Store, idx int, j *ingestJob, final bool) 
 // committer's cost attribution exact.
 func (s *Store) prepareBatch(j *ingestJob, b Batch, root *obs.Span) {
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 	rep := &WriteReport{NNZ: b.Coords.Len()}
 
-	format := s.format
+	format := s.curFormat()
 	if s.buildOpts != nil {
 		format = core.Configure(format, *s.buildOpts)
 	}
@@ -416,7 +416,7 @@ func (s *Store) prepareBatch(j *ingestJob, b Batch, root *obs.Span) {
 	bbox, _ := b.Coords.Bounds()
 	filt := filter.Build(b.Coords)
 	frag := &fragment.Fragment{Payload: built.Payload, Values: packed}
-	frag.Kind = s.kind
+	frag.Kind = s.curKind()
 	frag.Codec = s.codec
 	frag.Shape = s.shape
 	frag.NNZ = uint64(b.Coords.Len())
@@ -448,7 +448,7 @@ func (s *Store) prepareBatch(j *ingestJob, b Batch, root *obs.Span) {
 // committer goroutine.
 func (s *Store) commitPrepared(j *ingestJob, root *obs.Span, final bool) (*WriteReport, commitOutcome, error) {
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 	rep := j.rep
 	enc := *j.encoded
 	defer recycleJob(j)

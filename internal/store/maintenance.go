@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 
+	"sparseart/internal/advisor"
 	"sparseart/internal/core"
 	"sparseart/internal/fsim"
 	"sparseart/internal/tensor"
@@ -44,7 +45,7 @@ func (s *Store) exportFrags(frags []fragRef) (*tensor.Coords, []float64, error) 
 		}
 		it, ok := e.Reader.(core.Iterator)
 		if !ok {
-			return nil, nil, fmt.Errorf("store: %v reader cannot iterate", s.kind)
+			return nil, nil, fmt.Errorf("store: %v reader cannot iterate", s.curKind())
 		}
 		it.Each(func(p []uint64, slot int) bool {
 			hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: e.Values[slot]})
@@ -60,6 +61,10 @@ type CompactReport struct {
 	FragmentsBefore, FragmentsAfter int
 	PointsBefore, PointsAfter       int // PointsBefore counts duplicates across fragments
 	BytesBefore, BytesAfter         int64
+	// Kind is the organization the store holds after the pass — it
+	// differs from the pre-compaction kind when CompactTo/CompactAuto
+	// re-organized during the rewrite.
+	Kind core.Kind
 }
 
 // Compact consolidates all fragments into one, resolving overlapping
@@ -74,30 +79,103 @@ type CompactReport struct {
 func (s *Store) Compact() (*CompactReport, error) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	return s.compactLocked()
+	return s.compactLocked(nil)
 }
 
-func (s *Store) compactLocked() (*CompactReport, error) {
+// CompactTo consolidates like Compact while rewriting the store into
+// the given organization: the consolidated fragment is built with the
+// target format and the store's manifest kind switches with it, so
+// every later Write uses the new organization. Superseded fragments of
+// the old kind remain readable in pinned views (fragments open by their
+// own header kind). A single-fragment store of a different kind is
+// still rewritten; with the current kind it is a no-op like Compact.
+func (s *Store) CompactTo(kind core.Kind) (*CompactReport, error) {
+	if !kind.Valid() {
+		return nil, fmt.Errorf("store: compact to invalid organization %v", kind)
+	}
+	if _, err := core.Get(kind); err != nil {
+		return nil, err
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.compactLocked(func(*tensor.Coords) (core.Kind, error) { return kind, nil })
+}
+
+// CompactAuto consolidates into whatever organization the advisor
+// recommends for the store's live contents (balanced weights, mixed
+// read/write workload) — background re-organization's decision rule.
+func (s *Store) CompactAuto() (*CompactReport, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.compactLocked(s.adviseKind)
+}
+
+// adviseKind characterizes the exported live contents and asks the
+// advisor for the best organization. An empty store keeps its kind.
+func (s *Store) adviseKind(coords *tensor.Coords) (core.Kind, error) {
+	if coords.Len() == 0 {
+		return s.curKind(), nil
+	}
+	p, err := advisor.Characterize(coords, s.shape)
+	if err != nil {
+		return 0, err
+	}
+	rec, err := advisor.Recommend(p, advisor.Balanced(), 0.5)
+	if err != nil {
+		return 0, err
+	}
+	return rec.Best, nil
+}
+
+// compactLocked consolidates under writeMu. pick, when non-nil, chooses
+// the target organization from the exported live coordinates (CompactTo
+// ignores them, CompactAuto characterizes them); nil keeps the current
+// kind and preserves Compact's historical fast path for stores that are
+// already a single fragment.
+func (s *Store) compactLocked(pick func(*tensor.Coords) (core.Kind, error)) (*CompactReport, error) {
 	reg := s.obsReg()
 	root := reg.Start("store.compact")
 	defer root.End()
-	reg.Counter("store.compact.count", "kind", s.kind.String()).Inc()
+	reg.Counter("store.compact.count", "kind", s.curKind().String()).Inc()
 	rep := &CompactReport{
 		FragmentsBefore: len(s.frags),
 		BytesBefore:     totalFragBytes(s.frags),
+		Kind:            s.curKind(),
 	}
 	for _, fr := range s.frags {
 		rep.PointsBefore += int(fr.nnz)
 	}
-	if len(s.frags) <= 1 {
+	unchanged := func() *CompactReport {
 		rep.FragmentsAfter = len(s.frags)
 		rep.PointsAfter = rep.PointsBefore
 		rep.BytesAfter = rep.BytesBefore
-		return rep, nil
+		return rep
+	}
+	if len(s.frags) == 0 || (pick == nil && len(s.frags) <= 1) {
+		return unchanged(), nil
 	}
 	coords, vals, err := s.exportFrags(s.frags)
 	if err != nil {
 		return nil, err
+	}
+	target := s.curKind()
+	if pick != nil {
+		if target, err = pick(coords); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.frags) == 1 && target == s.curKind() && !s.frags[0].tomb {
+		return unchanged(), nil
+	}
+	prevOrg := s.org.Load()
+	if target != prevOrg.kind {
+		f, err := core.Get(target)
+		if err != nil {
+			return nil, err
+		}
+		s.setOrg(target, f)
+		reg.Counter("store.compact.reorg", "kind", prevOrg.kind.String(), "to", target.String()).Inc()
+		rep.Kind = target
 	}
 	old := s.frags
 	s.frags = nil
@@ -106,9 +184,11 @@ func (s *Store) compactLocked() (*CompactReport, error) {
 		// The swap publishes only after the consolidated fragment's
 		// manifest record is durable; an empty working list means that
 		// never happened, so the old fragments remain the truth (and the
-		// published snapshot never stopped saying so).
+		// published snapshot never stopped saying so). The organization
+		// swap rolls back with it.
 		if len(s.frags) == 0 {
 			s.frags = old
+			s.org.Store(prevOrg)
 		}
 		return nil, err
 	}
@@ -163,9 +243,15 @@ func (s *Store) CompactAsync() <-chan CompactResult {
 // WithBackgroundCompaction trigger.
 func (s *Store) compactBackground() (*CompactReport, error) {
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 	reg.Counter("store.compact.background.runs", "kind", kind).Inc()
-	rep, err := s.Compact()
+	var rep *CompactReport
+	var err error
+	if s.autoReorg {
+		rep, err = s.CompactAuto()
+	} else {
+		rep, err = s.Compact()
+	}
 	if err != nil {
 		reg.Counter("store.compact.background.errors", "kind", kind).Inc()
 	}
@@ -183,7 +269,7 @@ func (s *Store) maybeCompactAsync(frags int) {
 		return
 	}
 	if !s.bgRunning.CompareAndSwap(false, true) {
-		s.obsReg().Counter("store.compact.background.skipped", "kind", s.kind.String()).Inc()
+		s.obsReg().Counter("store.compact.background.skipped", "kind", s.curKind().String()).Inc()
 		return
 	}
 	s.bgWG.Add(1)
@@ -218,10 +304,10 @@ func (s *Store) Close() error {
 	return s.Checkpoint()
 }
 
-// Convert writes the store's full contents into a new store under a
-// different organization (or codec), the migration path between
-// formats.
-func Convert(src *Store, fs fsim.FS, prefix string, kind core.Kind, opts ...Option) (*Store, error) {
+// convertExportAll is the pre-streaming conversion path, kept as the
+// baseline BenchmarkConvert measures the streaming pipeline against:
+// materialize the whole tensor (ExportAll), then one giant Write.
+func convertExportAll(src *Store, fs fsim.FS, prefix string, kind core.Kind, opts ...Option) (*Store, error) {
 	coords, vals, err := src.ExportAll()
 	if err != nil {
 		return nil, err
@@ -232,6 +318,9 @@ func Convert(src *Store, fs fsim.FS, prefix string, kind core.Kind, opts ...Opti
 	}
 	if coords.Len() > 0 {
 		if _, err := dst.Write(coords, vals); err != nil {
+			if cerr := dst.Close(); cerr != nil {
+				err = fmt.Errorf("%w (closing destination: %v)", err, cerr)
+			}
 			return nil, err
 		}
 	}

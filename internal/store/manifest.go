@@ -211,7 +211,7 @@ func (s *Store) appendRecord(fr fragRef, id uint64) (int, error) {
 	}
 	s.logRecords++
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 	reg.Counter("store.manifest.log.appends", "kind", kind).Inc()
 	reg.Counter("store.manifest.log.bytes", "kind", kind).Add(int64(len(rec)))
 	reg.Gauge("store.manifest.log.records", "kind", kind).Set(int64(s.logRecords))
@@ -291,7 +291,7 @@ func (s *Store) flushStaged() (rolledBack bool, err error) {
 	s.staged, s.stagedRecs = s.staged[:0], 0
 	s.publishLocked()
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 	reg.Counter("store.manifest.log.appends", "kind", kind).Inc()
 	reg.Counter("store.manifest.log.bytes", "kind", kind).Add(int64(bytes))
 	reg.Counter("store.manifest.group.flushes", "kind", kind).Inc()
@@ -317,7 +317,7 @@ func (s *Store) checkpoint() error {
 	s.logRecords = 0
 	s.lastCkptFrags = len(s.frags)
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 	reg.Counter("store.manifest.checkpoint.count", "kind", kind).Inc()
 	reg.Gauge("store.manifest.log.records", "kind", kind).Set(0)
 	return nil
@@ -372,10 +372,10 @@ func (s *Store) replayLog() error {
 		if err := s.fs.WriteFile(s.logName(), data[:valid]); err != nil {
 			return fmt.Errorf("store: repair manifest log: %w", err)
 		}
-		s.obsReg().Counter("store.manifest.log.repaired", "kind", s.kind.String()).Inc()
+		s.obsReg().Counter("store.manifest.log.repaired", "kind", s.curKind().String()).Inc()
 	}
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 	reg.Counter("store.manifest.log.replayed", "kind", kind).Add(int64(replayed))
 	if stale > 0 {
 		reg.Counter("store.manifest.log.stale", "kind", kind).Add(int64(stale))

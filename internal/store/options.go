@@ -55,6 +55,12 @@ func (s *Store) finishOptions() error {
 			Reason: "conflicts with WithReaderCache: the shared cache already carries its byte budget",
 		}
 	}
+	if s.autoReorg && s.bgMinFrags <= 0 {
+		return &OptionError{
+			Option: "WithAutoReorg",
+			Reason: "requires WithBackgroundCompaction: auto re-organization rides the background compaction trigger",
+		}
+	}
 	return nil
 }
 
@@ -119,6 +125,17 @@ func WithBackgroundCompaction(minFragments int) Option {
 		}
 		s.bgMinFrags = minFragments
 	}
+}
+
+// WithAutoReorg upgrades background compaction into background
+// re-organization: the worker WithBackgroundCompaction spawns runs
+// CompactAuto instead of Compact, so each pass also asks the advisor
+// whether the accumulated contents now favor a different organization
+// and rewrites into it when so. Requires WithBackgroundCompaction (the
+// trigger); without it the flag does nothing and Create/Open reject the
+// combination.
+func WithAutoReorg() Option {
+	return func(s *Store) { s.autoReorg = true }
 }
 
 // withTileCache injects a Chunked store's shared cache into one of its

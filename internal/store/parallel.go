@@ -36,7 +36,7 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 	rep := &ReadReport{Epoch: v.epoch}
 	s.takeCost()
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 	root := reg.Start(obsRead)
 	defer root.End()
 	queryBox, any := probe.Bounds()

@@ -167,12 +167,24 @@ func tombstonesUpTo(frags []fragRef, limit int) []tombstoneRef {
 	return out
 }
 
-// Store is a single-tensor fragment store bound to one organization.
+// orgState is the store's current organization: the manifest kind and
+// its format implementation, immutable once published. Held behind an
+// atomic pointer so a re-organizing compaction (CompactTo/CompactAuto)
+// can swap it while concurrent readers label metrics and open fragments
+// against whichever state they observe — correctness never depends on
+// the pointer, because fragments are opened by their own header kind
+// (see loadFragment).
+type orgState struct {
+	kind   core.Kind
+	format core.Format
+}
+
+// Store is a single-tensor fragment store bound to one organization
+// (rebindable by a re-organizing compaction).
 type Store struct {
 	fs        fsim.FS
 	prefix    string
-	kind      core.Kind
-	format    core.Format
+	org       atomic.Pointer[orgState]
 	shape     tensor.Shape
 	lin       *tensor.Linearizer
 	codec     compress.ID
@@ -201,6 +213,9 @@ type Store struct {
 	bgMinFrags int
 	bgRunning  atomic.Bool
 	bgWG       sync.WaitGroup
+	// autoReorg upgrades the background worker to CompactAuto
+	// (advisor-guided re-organization). See WithAutoReorg.
+	autoReorg bool
 
 	// cache holds decoded fragment readers; nil when disabled. See
 	// WithReaderCache for the budget resolution rules. sharedCache is an
@@ -251,6 +266,19 @@ type Store struct {
 	stagedRecs    int
 }
 
+// curKind returns the store's current organization kind. Safe to call
+// from any goroutine; the value is a snapshot (a concurrent
+// re-organizing compaction may change it).
+func (s *Store) curKind() core.Kind { return s.org.Load().kind }
+
+// curFormat returns the current organization's format implementation.
+func (s *Store) curFormat() core.Format { return s.org.Load().format }
+
+// setOrg swaps the store's organization. Caller holds writeMu.
+func (s *Store) setOrg(kind core.Kind, format core.Format) {
+	s.org.Store(&orgState{kind: kind, format: format})
+}
+
 // obsReg resolves the store's registry: the injected one if any,
 // otherwise the process-wide registry (nil when observation is off —
 // every obs call below is a no-op then).
@@ -289,7 +317,8 @@ func Create(fs fsim.FS, prefix string, kind core.Kind, shape tensor.Shape, opts 
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{fs: fs, prefix: prefix, kind: kind, format: f, shape: shape.Clone(), lin: lin}
+	s := &Store{fs: fs, prefix: prefix, shape: shape.Clone(), lin: lin}
+	s.setOrg(kind, f)
 	for _, o := range opts {
 		o(s)
 	}
@@ -412,10 +441,11 @@ func Open(fs fsim.FS, prefix string, opts ...Option) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
-		fs: fs, prefix: prefix, kind: kind, format: f, shape: shape,
+		fs: fs, prefix: prefix, shape: shape,
 		lin: lin, codec: codec, frags: m.frags, nextID: m.nextID,
 		loadedIndex: m.index,
 	}
+	s.setOrg(kind, f)
 	for _, o := range opts {
 		o(s)
 	}
@@ -454,7 +484,7 @@ func (s *Store) writeManifest() error {
 	w := buf.GetWriter(64 + len(s.frags)*(48+16*s.shape.Dims()))
 	defer buf.PutWriter(w)
 	w.U32(manifestMagicV2)
-	w.U8(uint8(s.kind))
+	w.U8(uint8(s.curKind()))
 	w.U8(uint8(s.codec))
 	w.U16(uint16(s.shape.Dims()))
 	w.RawU64s(s.shape)
@@ -494,7 +524,7 @@ func (s *Store) writeManifest() error {
 }
 
 // Kind returns the store's organization.
-func (s *Store) Kind() core.Kind { return s.kind }
+func (s *Store) Kind() core.Kind { return s.curKind() }
 
 // Shape returns the tensor shape.
 func (s *Store) Shape() tensor.Shape { return s.shape }
@@ -595,11 +625,11 @@ func (s *Store) writeLocked(c *tensor.Coords, vals []float64) (*WriteReport, err
 	s.takeCost() // discard any cost accrued outside this call
 
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 	root := reg.Start(obsWrite)
 	defer root.End() // double-End safe; covers every error return below
 
-	format := s.format
+	format := s.curFormat()
 	if s.buildOpts != nil {
 		format = core.Configure(format, *s.buildOpts)
 	}
@@ -626,7 +656,7 @@ func (s *Store) writeLocked(c *tensor.Coords, vals []float64) (*WriteReport, err
 	bbox, _ := c.Bounds()
 	filt := filter.Build(c)
 	frag := &fragment.Fragment{Payload: built.Payload, Values: packed}
-	frag.Kind = s.kind
+	frag.Kind = s.curKind()
 	frag.Codec = s.codec
 	frag.Shape = s.shape
 	frag.NNZ = uint64(c.Len())
@@ -704,7 +734,7 @@ func (s *Store) DeleteRegion(region tensor.Region) (*WriteReport, error) {
 	s.takeCost()
 
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 	root := reg.Start("store.delete")
 	defer root.End()
 
@@ -794,7 +824,7 @@ func (s *Store) readAt(v *readView, probe *tensor.Coords, limit int) (*Result, *
 	}
 	s.takeCost()
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 	root := reg.Start(obsRead)
 	defer root.End()
 	queryBox, any := probe.Bounds()
@@ -916,7 +946,7 @@ func mergeHits(s *Store, hits []hit, tombs []tombstoneRef) (*Result, time.Durati
 		out.Values = append(out.Values, h.val)
 	}
 	if reg := s.obsReg(); reg != nil {
-		kind := s.kind.String()
+		kind := s.curKind().String()
 		reg.Counter("store.merge.overwritten", "kind", kind).Add(overwritten)
 		reg.Counter("store.merge.tombstone_dead", "kind", kind).Add(tombDead)
 	}
@@ -950,7 +980,7 @@ func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, erro
 	rep := &ReadReport{Epoch: v.epoch}
 	s.takeCost()
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 	root := reg.Start(obsRead)
 	defer root.End()
 	queryBox := region.BBox()
@@ -981,7 +1011,7 @@ func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, erro
 			hits = append(hits, hit{addr: s.lin.Linearize(p), frag: fi, val: e.Values[slot]})
 			return true
 		}
-		if err := scanFragment(s.kind, e.Reader, region, visit); err != nil {
+		if err := scanFragment(s.curKind(), e.Reader, region, visit); err != nil {
 			sp.End()
 			reg.Counter("store.read.errors", "kind", kind).Inc()
 			return nil, nil, err

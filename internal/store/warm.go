@@ -95,7 +95,7 @@ func (s *Store) warmCache() {
 		k = len(s.frags) // byte budget alone: no count limit
 	}
 	reg := s.obsReg()
-	kind := s.kind.String()
+	kind := s.curKind().String()
 	var rep ReadReport // warming pays its own I/O; nothing to attribute
 	var spent int64
 	for i := len(s.frags) - 1; i >= 0 && k > 0; i-- {

@@ -58,6 +58,15 @@ echo "==> race hammer (fragment index off, 1 round)"
 SPARSEART_FRAGINDEX=off go test -race -run 'TestConcurrentHammer' \
     -count 1 ./internal/store/
 
+# Compute push-down must agree exactly with the materialize-then-compute
+# baseline (in-store kernels vs linalg over ExportAll, streaming convert
+# vs ExportAll convert) with the index-and-filter pruning layer disabled
+# — the suite above already runs it with the index on.
+echo "==> push-down differential (fragment index off)"
+SPARSEART_FRAGINDEX=off go test -race \
+    -run 'TestPushdown|TestScanLive|TestConvertStreamed|TestStreamingAllKinds' \
+    ./internal/store/ ./internal/core/all/
+
 # The manifest delta log must behave identically across checkpoint
 # cadences: K=1 folds on every write (the pre-log worst case — every
 # commit exercises checkpoint + log removal), and a huge K never folds

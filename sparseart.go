@@ -95,6 +95,19 @@ type (
 	// Batch is one fragment's worth of input to the batched ingest: the
 	// arguments of one Write, ingested through the parallel pipeline.
 	Batch = store.Batch
+	// PushReport summarizes a push-down execution: fragments iterated
+	// and skipped, live cells delivered, and cells masked by newer
+	// fragments (Shadowed) or tombstones (Dead). Returned by the
+	// in-store kernels — Store.SpMV, Store.TTV, Store.SumAll,
+	// Store.SumRegion, Store.LiveNNZ, Store.NNZPerSlice — and
+	// Store.ScanLive.
+	PushReport = store.PushReport
+	// ConvertConfig tunes a streaming conversion's chunking and worker
+	// pool.
+	ConvertConfig = store.ConvertConfig
+	// ConvertReport summarizes a streaming conversion: points and chunks
+	// streamed, and the peak in-memory chunk footprint.
+	ConvertReport = store.ConvertReport
 	// ReaderCache is a byte-budgeted LRU fragment cache; share one
 	// across stores (or across a ChunkedStore's tiles) with
 	// WithSharedCache.
@@ -176,10 +189,29 @@ func WithWarmFragments(k int) StoreOption { return store.WithWarmFragments(k) }
 func WithWarmBudget(budget int64) StoreOption { return store.WithWarmBudget(budget) }
 
 // ConvertStore rewrites a store's full logical contents into a new
-// store under a different organization or codec.
+// store under a different organization or codec. The contents stream
+// through bounded chunks (never materializing the tensor); use
+// ConvertStoreStreamed to tune the chunking and see the pipeline
+// report.
 func ConvertStore(src *Store, fs FS, prefix string, kind Kind, opts ...StoreOption) (*Store, error) {
 	return store.Convert(src, fs, prefix, kind, opts...)
 }
+
+// ConvertStoreStreamed is ConvertStore with explicit pipeline bounds:
+// cfg caps the points per destination fragment and the ingest worker
+// pool, and the report says how many points and chunks streamed and the
+// peak chunk footprint. Peak memory is O(Workers × ChunkPoints) plus
+// one source fragment, regardless of tensor size.
+func ConvertStoreStreamed(src *Store, fs FS, prefix string, kind Kind, cfg ConvertConfig, opts ...StoreOption) (*Store, *ConvertReport, error) {
+	return store.ConvertStreamed(src, fs, prefix, kind, cfg, opts...)
+}
+
+// WithAutoReorg upgrades background compaction to advisor-guided
+// re-organization: each background pass also re-evaluates which
+// organization fits the accumulated contents and rewrites into it when
+// it differs. Requires WithBackgroundCompaction. Store.CompactTo and
+// Store.CompactAuto run the same re-organizing pass on demand.
+func WithAutoReorg() StoreOption { return store.WithAutoReorg() }
 
 // File-system backends.
 type (
