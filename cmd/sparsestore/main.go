@@ -161,6 +161,8 @@ func main() {
 		err = runImport(args)
 	case "serve":
 		err = runServe(args)
+	case "rpc":
+		err = runRPC(args)
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -201,7 +203,12 @@ commands:
   export   dump the logical contents as a dataset file
   import   create a store from a dataset file
   serve    open a store and serve its telemetry over HTTP until
-           interrupted`)
+           interrupted; -data-addr additionally serves reads, writes,
+           deletes, and kernels over the wire protocol (-create KIND
+           -shape S [-tile T] initializes a fresh store first)
+  rpc      drive a remote data server or shard router: write a
+           deterministic workload, read it back, verify, and exit
+           non-zero on any disagreement`)
 }
 
 // openStore opens the store rooted at dir (stores created by the

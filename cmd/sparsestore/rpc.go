@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"sparseart/internal/serve"
+	"sparseart/internal/store"
+	"sparseart/internal/tensor"
+)
+
+// runRPC drives a remote data server (or shard router) over the wire
+// protocol. The default -smoke workload writes a deterministic point
+// set through the batched ingest, reads it back as a whole-tensor
+// region, verifies every point, deletes a sub-region, re-verifies, and
+// cross-checks the SumAll kernel — exiting non-zero on any
+// disagreement. CI boots a 3-shard router and runs this against it.
+func runRPC(args []string) error {
+	fs := flag.NewFlagSet("rpc", flag.ExitOnError)
+	addr := fs.String("addr", "", "data server or router address")
+	points := fs.Int("points", 200, "points to write in the smoke workload")
+	batches := fs.Int("batches", 4, "batches to split the writes into")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("rpc: -addr is required")
+	}
+
+	c, err := serve.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ctx := context.Background()
+	withDeadline := func() (context.Context, context.CancelFunc) {
+		return context.WithTimeout(ctx, *timeout)
+	}
+
+	ictx, cancel := withDeadline()
+	info, err := c.Info(ictx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("rpc: info: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "rpc: %s %v (tile %v, %d tiles, %d fragments)\n",
+		info.Kind, info.Shape, info.Tile, info.Tiles, info.Fragments)
+	shape := info.Shape
+	if shape.Dims() == 0 {
+		return fmt.Errorf("rpc: server reports a zero-dim store")
+	}
+
+	// Deterministic distinct points, split round-robin into batches.
+	rng := rand.New(rand.NewSource(*seed))
+	seen := map[string]bool{}
+	coords := tensor.NewCoords(shape.Dims(), *points)
+	var values []float64
+	p := make([]uint64, shape.Dims())
+	for len(values) < *points {
+		key := ""
+		for d := range p {
+			p[d] = rng.Uint64() % shape[d]
+			key += fmt.Sprintf("-%d", p[d])
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		coords.Append(p...)
+		values = append(values, float64(len(values)+1))
+	}
+	nb := *batches
+	if nb < 1 {
+		nb = 1
+	}
+	batch := make([]store.Batch, nb)
+	for i := range batch {
+		batch[i] = store.Batch{Coords: tensor.NewCoords(shape.Dims(), 0)}
+	}
+	for i := 0; i < coords.Len(); i++ {
+		b := i % nb
+		batch[b].Coords.Append(coords.At(i)...)
+		batch[b].Values = append(batch[b].Values, values[i])
+	}
+
+	wctx, cancel := withDeadline()
+	reps, err := c.WriteBatch(wctx, batch, 2)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("rpc: write batch: %w", err)
+	}
+	if len(reps) != nb {
+		return fmt.Errorf("rpc: %d batch reports, want %d", len(reps), nb)
+	}
+
+	// Whole-tensor region read must return exactly the written points.
+	expect := map[string]float64{}
+	var sum float64
+	for i := 0; i < coords.Len(); i++ {
+		expect[coordKey(coords.At(i))] = values[i]
+		sum += values[i]
+	}
+	region := tensor.Region{Start: make([]uint64, shape.Dims()), Size: shape}
+	rctx, cancel := withDeadline()
+	res, _, err := c.Query(rctx, store.QueryRequest{Region: &region, AsOf: store.AsOfLatest})
+	cancel()
+	if err != nil {
+		return fmt.Errorf("rpc: region read: %w", err)
+	}
+	if res.Coords.Len() != coords.Len() {
+		return fmt.Errorf("rpc: region read returned %d points, wrote %d", res.Coords.Len(), coords.Len())
+	}
+	for i := 0; i < res.Coords.Len(); i++ {
+		want, ok := expect[coordKey(res.Coords.At(i))]
+		if !ok || res.Values[i] != want {
+			return fmt.Errorf("rpc: point %v = %v, want %v", res.Coords.At(i), res.Values[i], want)
+		}
+	}
+
+	// Kernel cross-check.
+	kctx, cancel := withDeadline()
+	kres, err := c.Kernel(kctx, store.KernelRequest{Op: store.KernelSumAll})
+	cancel()
+	if err != nil {
+		return fmt.Errorf("rpc: sum kernel: %w", err)
+	}
+	if math.Abs(kres.Values[0]-sum) > 1e-9*(1+math.Abs(sum)) {
+		return fmt.Errorf("rpc: sum kernel = %v, want %v", kres.Values[0], sum)
+	}
+
+	// Delete a sub-region and verify those points vanished.
+	del := tensor.Region{Start: make([]uint64, shape.Dims()), Size: append(tensor.Shape(nil), shape...)}
+	for d := range del.Size {
+		del.Size[d] = (shape[d] + 1) / 2
+	}
+	dctx, cancel := withDeadline()
+	_, err = c.DeleteRegion(dctx, del)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("rpc: delete: %w", err)
+	}
+	deleted := 0
+	for i := 0; i < coords.Len(); i++ {
+		if del.Contains(coords.At(i)) {
+			deleted++
+		}
+	}
+	vctx, cancel := withDeadline()
+	res, _, err = c.Query(vctx, store.QueryRequest{Region: &region, AsOf: store.AsOfLatest})
+	cancel()
+	if err != nil {
+		return fmt.Errorf("rpc: re-read: %w", err)
+	}
+	if res.Coords.Len() != coords.Len()-deleted {
+		return fmt.Errorf("rpc: after delete %d points remain, want %d", res.Coords.Len(), coords.Len()-deleted)
+	}
+	for i := 0; i < res.Coords.Len(); i++ {
+		if del.Contains(res.Coords.At(i)) {
+			return fmt.Errorf("rpc: deleted point %v still live", res.Coords.At(i))
+		}
+	}
+
+	fmt.Printf("rpc smoke ok: %d points, %d batches, %d deleted, sum %.3f\n",
+		coords.Len(), nb, deleted, sum)
+	return nil
+}
+
+// coordKey builds a map key for one coordinate tuple.
+func coordKey(p []uint64) string {
+	key := ""
+	for _, v := range p {
+		key += fmt.Sprintf("-%d", v)
+	}
+	return key
+}

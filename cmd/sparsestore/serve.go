@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -10,9 +11,11 @@ import (
 	"syscall"
 	"time"
 
+	"sparseart/internal/core"
 	"sparseart/internal/fsim"
 	"sparseart/internal/obs"
-	"sparseart/internal/obs/serve"
+	obsserve "sparseart/internal/obs/serve"
+	"sparseart/internal/serve"
 	"sparseart/internal/store"
 	"sparseart/internal/tensor"
 )
@@ -28,24 +31,89 @@ func startListener(addr string) (stop func(), err error) {
 		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "serving telemetry on http://%s/metrics\n", ln.Addr())
-	srv := &http.Server{Handler: serve.New(nil).Handler()}
+	srv := &http.Server{Handler: obsserve.New(nil).Handler()}
 	go srv.Serve(ln)
 	return func() { srv.Close() }, nil
 }
 
-// runServe opens a store and serves its telemetry over HTTP until
-// interrupted: Prometheus text on /metrics, OTLP-JSON on
-// /metrics.json, the span timeline as a Chrome trace on /trace, and
-// pprof under /debug/pprof/. The process stays open-and-idle
-// otherwise, so the metrics reflect the open itself (manifest replay,
-// cache warming) plus whatever traffic -readall or -report generate —
-// and, through the shared cache budget, any reads a co-resident
-// process drives through the same endpoints' pprof handlers.
+// writeAddrFile records a bound address for scripts using ":0" ports.
+func writeAddrFile(path, addr string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, []byte(addr+"\n"), 0o644)
+}
+
+// openServeBackend opens (or creates) the store under dir and wraps it
+// as a serve.Backend. A CHUNKED manifest under the prefix selects the
+// chunked open path; -create with a -tile builds a chunked store,
+// -create without one a flat store.
+func openServeBackend(dir string, opts []store.Option, create, shapeSpec, tileSpec string) (serve.Backend, func() error, error) {
+	osfs, err := fsim.NewOSFS(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if create != "" {
+		kind, err := core.ParseKind(create)
+		if err != nil {
+			return nil, nil, err
+		}
+		if shapeSpec == "" {
+			return nil, nil, fmt.Errorf("serve: -create needs -shape")
+		}
+		shape, err := parseShape(shapeSpec)
+		if err != nil {
+			return nil, nil, err
+		}
+		if tileSpec != "" {
+			tile, err := parseShape(tileSpec)
+			if err != nil {
+				return nil, nil, err
+			}
+			ch, err := store.NewChunked(osfs, "tensor", kind, shape, tile, opts...)
+			if err != nil {
+				return nil, nil, err
+			}
+			return serve.ChunkedBackend(ch), ch.Close, nil
+		}
+		st, err := store.Create(osfs, "tensor", kind, shape, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return serve.StoreBackend(st), st.Close, nil
+	}
+	if _, err := osfs.Size("tensor/CHUNKED"); err == nil {
+		ch, err := store.OpenChunked(osfs, "tensor", opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return serve.ChunkedBackend(ch), ch.Close, nil
+	}
+	st, err := store.Open(osfs, "tensor", opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return serve.StoreBackend(st), st.Close, nil
+}
+
+// runServe serves a store: always its telemetry over HTTP (Prometheus
+// text on /metrics, OTLP-JSON on /metrics.json, the span timeline on
+// /trace, pprof under /debug/pprof/), and — with -data-addr — its data
+// over the wire protocol: reads, writes, deletes, and push-down
+// kernels with per-request deadlines and bounded-in-flight
+// back-pressure. -create KIND -shape S [-tile T] initializes the store
+// first, which is how a fresh shard process boots.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	dir := fs.String("dir", "", "store directory")
-	addr := fs.String("addr", "127.0.0.1:0", "HTTP listen address")
-	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts using -addr :0)")
+	addr := fs.String("addr", "127.0.0.1:0", "HTTP telemetry listen address")
+	addrFile := fs.String("addr-file", "", "write the bound telemetry address to this file once listening (for scripts using -addr :0)")
+	dataAddr := fs.String("data-addr", "", "wire-protocol data listen address (empty: telemetry only)")
+	dataAddrFile := fs.String("data-addr-file", "", "write the bound data address to this file once listening")
+	create := fs.String("create", "", "create the store first with this organization (needs -shape; -tile makes it chunked)")
+	shapeSpec := fs.String("shape", "", "tensor shape for -create, comma-separated")
+	tileSpec := fs.String("tile", "", "tile extents for -create, comma-separated (chunked store)")
+	maxInflight := fs.Int("max-inflight", 0, "bound on concurrently executing data requests (0: default)")
 	warm := fs.Int("warm", 0, "pre-fill the reader cache with the newest K fragments on open")
 	readall := fs.Bool("readall", false, "run one whole-tensor region read after opening, so the scrape shows read-path metrics and spans")
 	report := fs.String("report", "", "append interval OTLP-JSON delta documents to this file while serving")
@@ -63,20 +131,21 @@ func runServe(args []string) error {
 	if *warm > 0 {
 		opts = append(opts, store.WithWarmFragments(*warm))
 	}
-	osfs, err := fsim.NewOSFS(*dir)
+	backend, closeStore, err := openServeBackend(*dir, opts, *create, *shapeSpec, *tileSpec)
 	if err != nil {
 		return err
 	}
-	st, err := store.Open(osfs, "tensor", opts...)
-	if err != nil {
-		return err
-	}
+	defer closeStore()
 	if *readall {
-		region, err := tensor.NewRegion(st.Shape(), make([]uint64, st.Shape().Dims()), st.Shape())
+		info, err := backend.Info(context.Background())
 		if err != nil {
 			return err
 		}
-		if _, _, err := st.ReadRegion(region); err != nil {
+		region, err := tensor.NewRegion(info.Shape, make([]uint64, info.Shape.Dims()), info.Shape)
+		if err != nil {
+			return err
+		}
+		if _, _, err := backend.Query(context.Background(), store.QueryRequest{Region: &region, AsOf: store.AsOfLatest}); err != nil {
 			return err
 		}
 	}
@@ -86,13 +155,29 @@ func runServe(args []string) error {
 		return err
 	}
 	defer ln.Close()
-	bound := ln.Addr().String()
-	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+	if err := writeAddrFile(*addrFile, ln.Addr().String()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serving telemetry for %s on http://%s/metrics\n", *dir, ln.Addr())
+
+	var dataSrv *serve.Server
+	if *dataAddr != "" {
+		dataLn, err := net.Listen("tcp", *dataAddr)
+		if err != nil {
 			return err
 		}
+		if err := writeAddrFile(*dataAddrFile, dataLn.Addr().String()); err != nil {
+			return err
+		}
+		dataSrv = serve.NewServer(backend, serve.Config{MaxInFlight: *maxInflight, Obs: reg})
+		fmt.Fprintf(os.Stderr, "serving data for %s on %s\n", *dir, dataLn.Addr())
+		go func() {
+			if err := dataSrv.Serve(dataLn); err != nil {
+				fmt.Fprintln(os.Stderr, "sparsestore: data server:", err)
+			}
+		}()
+		defer dataSrv.Close()
 	}
-	fmt.Fprintf(os.Stderr, "serving telemetry for %s on http://%s/metrics\n", *dir, bound)
 
 	if *report != "" {
 		f, err := os.OpenFile(*report, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -100,7 +185,7 @@ func runServe(args []string) error {
 			return err
 		}
 		defer f.Close()
-		rep := serve.NewReporter(reg, *reportEvery, serve.WriteOTLP(f))
+		rep := obsserve.NewReporter(reg, *reportEvery, obsserve.WriteOTLP(f))
 		rep.Start()
 		defer func() {
 			if err := rep.Close(); err != nil {
@@ -109,7 +194,7 @@ func runServe(args []string) error {
 		}()
 	}
 
-	srv := &http.Server{Handler: serve.New(st.Obs()).Handler()}
+	srv := &http.Server{Handler: obsserve.New(reg).Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

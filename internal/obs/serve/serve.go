@@ -37,6 +37,12 @@ const maxBaselines = 16
 type Server struct {
 	reg *obs.Registry
 
+	// OnScrape, when set, runs before every snapshot of the registry
+	// (all four telemetry endpoints). A router uses it to pull and
+	// absorb its shards' counters so a scrape sees the whole fleet; it
+	// must be set before the Handler serves traffic.
+	OnScrape func()
+
 	mu        sync.Mutex
 	nextID    uint64
 	baselines []baseline // FIFO, newest last, len <= maxBaselines
@@ -78,6 +84,9 @@ func (s *Server) Handler() http.Handler {
 // snapshot's ID, and ok=false after it has already written the 410
 // response for an unknown baseline.
 func (s *Server) capture(w http.ResponseWriter, r *http.Request) (snap *obs.Snapshot, delta bool, ok bool) {
+	if s.OnScrape != nil {
+		s.OnScrape()
+	}
 	cur := s.reg.Snapshot()
 	since := r.URL.Query().Get("since")
 
@@ -138,6 +147,9 @@ func (s *Server) metricsJSON(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	if s.OnScrape != nil {
+		s.OnScrape()
+	}
 	out, err := export.ChromeTrace(s.reg.Snapshot())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -148,6 +160,9 @@ func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) {
+	if s.OnScrape != nil {
+		s.OnScrape()
+	}
 	out, err := s.reg.Snapshot().JSON()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

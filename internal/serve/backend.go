@@ -1,0 +1,194 @@
+// Package serve turns a store into a network data server: a Server
+// speaks the internal/wire protocol over any net.Listener, a Client
+// drives it with pipelined, deadline-carrying requests, and a Router
+// consistent-hashes tile coordinates across shard servers while
+// presenting the same Backend surface — so a router can itself be
+// served, and clients cannot tell one process from a fleet.
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"sparseart/internal/store"
+	"sparseart/internal/tensor"
+	"sparseart/internal/wire"
+)
+
+// Backend is what a Server serves: the unified context-aware request
+// surface of internal/store, plus identity (Info) and telemetry
+// (ObsSnapshot). Store, Chunked, and Router all satisfy it through the
+// adapters below.
+type Backend interface {
+	Info(ctx context.Context) (*wire.Info, error)
+	Query(ctx context.Context, req store.QueryRequest) (*store.Result, *store.ReadReport, error)
+	ReadPoints(ctx context.Context, probe *tensor.Coords) ([]float64, []bool, *store.ReadReport, error)
+	Write(ctx context.Context, coords *tensor.Coords, values []float64) (*store.WriteReport, error)
+	WriteBatch(ctx context.Context, batches []store.Batch, workers int) ([]*store.WriteReport, error)
+	DeleteRegion(ctx context.Context, region tensor.Region) (*store.WriteReport, error)
+	Kernel(ctx context.Context, req store.KernelRequest) (*store.KernelResult, error)
+	// ObsSnapshot returns the backend's telemetry snapshot as obs
+	// snapshot JSON (obs.DecodeSnapshot inverts it).
+	ObsSnapshot(ctx context.Context) ([]byte, error)
+}
+
+// storeBackend adapts a flat *store.Store.
+type storeBackend struct{ s *store.Store }
+
+// StoreBackend serves a flat (untiled) store.
+func StoreBackend(s *store.Store) Backend { return storeBackend{s} }
+
+func (b storeBackend) Info(context.Context) (*wire.Info, error) {
+	return &wire.Info{
+		Kind:      b.s.Kind(),
+		Shape:     b.s.Shape(),
+		Fragments: uint64(b.s.Fragments()),
+		Epoch:     b.s.Epoch(),
+	}, nil
+}
+
+func (b storeBackend) Query(ctx context.Context, req store.QueryRequest) (*store.Result, *store.ReadReport, error) {
+	return b.s.Query(ctx, req)
+}
+
+func (b storeBackend) ReadPoints(ctx context.Context, probe *tensor.Coords) ([]float64, []bool, *store.ReadReport, error) {
+	return b.s.QueryPoints(ctx, probe)
+}
+
+func (b storeBackend) Write(ctx context.Context, coords *tensor.Coords, values []float64) (*store.WriteReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.s.Write(coords, values)
+}
+
+func (b storeBackend) WriteBatch(ctx context.Context, batches []store.Batch, workers int) ([]*store.WriteReport, error) {
+	return collectBatch(ctx, batches, workers, b.s.WriteBatchContext)
+}
+
+func (b storeBackend) DeleteRegion(ctx context.Context, region tensor.Region) (*store.WriteReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.s.DeleteRegion(region)
+}
+
+func (b storeBackend) Kernel(ctx context.Context, req store.KernelRequest) (*store.KernelResult, error) {
+	return b.s.Kernel(ctx, req)
+}
+
+func (b storeBackend) ObsSnapshot(context.Context) ([]byte, error) {
+	return b.s.Obs().Snapshot().JSON()
+}
+
+// chunkedBackend adapts a tiled *store.Chunked — the shard-side
+// backend.
+type chunkedBackend struct{ c *store.Chunked }
+
+// ChunkedBackend serves a chunked (tiled) store.
+func ChunkedBackend(c *store.Chunked) Backend { return chunkedBackend{c} }
+
+func (b chunkedBackend) Info(context.Context) (*wire.Info, error) {
+	return &wire.Info{
+		Kind:      b.c.Kind(),
+		Shape:     b.c.Shape(),
+		Tile:      b.c.Tile(),
+		Fragments: uint64(b.c.Fragments()),
+		Epoch:     b.c.Epoch(),
+		Tiles:     uint32(b.c.Tiles()),
+	}, nil
+}
+
+func (b chunkedBackend) Query(ctx context.Context, req store.QueryRequest) (*store.Result, *store.ReadReport, error) {
+	return b.c.Query(ctx, req)
+}
+
+func (b chunkedBackend) ReadPoints(ctx context.Context, probe *tensor.Coords) ([]float64, []bool, *store.ReadReport, error) {
+	return alignPoints(ctx, b, probe)
+}
+
+func (b chunkedBackend) Write(ctx context.Context, coords *tensor.Coords, values []float64) (*store.WriteReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.c.Write(coords, values)
+}
+
+func (b chunkedBackend) WriteBatch(ctx context.Context, batches []store.Batch, workers int) ([]*store.WriteReport, error) {
+	return collectBatch(ctx, batches, workers, b.c.WriteBatchContext)
+}
+
+func (b chunkedBackend) DeleteRegion(ctx context.Context, region tensor.Region) (*store.WriteReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.c.DeleteRegion(region)
+}
+
+func (b chunkedBackend) Kernel(ctx context.Context, req store.KernelRequest) (*store.KernelResult, error) {
+	return b.c.Kernel(ctx, req)
+}
+
+func (b chunkedBackend) ObsSnapshot(context.Context) ([]byte, error) {
+	return b.c.Obs().Snapshot().JSON()
+}
+
+// collectBatch runs a WriteBatchContext-shaped ingest and collects the
+// per-batch reports in order, stopping at the first error the way
+// store.WriteBatch does.
+func collectBatch(ctx context.Context, batches []store.Batch, workers int,
+	run func(ctx context.Context, batches []store.Batch, workers int, fn func(i int, rep *store.WriteReport, err error) error) error,
+) ([]*store.WriteReport, error) {
+	reps := make([]*store.WriteReport, 0, len(batches))
+	err := run(ctx, batches, workers, func(_ int, rep *store.WriteReport, err error) error {
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+		return nil
+	})
+	if err != nil {
+		return reps, err
+	}
+	return reps, nil
+}
+
+// alignPoints implements the ReadPoints contract (values and found
+// marks aligned with the probe order) on top of Query for backends
+// whose probe reads return only the found points in sorted order.
+func alignPoints(ctx context.Context, b Backend, probe *tensor.Coords) ([]float64, []bool, *store.ReadReport, error) {
+	res, rep, err := b.Query(ctx, store.QueryRequest{Probe: probe, AsOf: store.AsOfLatest})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	hits := make(map[string]float64, res.Coords.Len())
+	var key []byte
+	for i := 0; i < res.Coords.Len(); i++ {
+		hits[string(appendCoordKey(key[:0], res.Coords.At(i)))] = res.Values[i]
+	}
+	vals := make([]float64, probe.Len())
+	found := make([]bool, probe.Len())
+	for i := 0; i < probe.Len(); i++ {
+		if v, ok := hits[string(appendCoordKey(key[:0], probe.At(i)))]; ok {
+			vals[i] = v
+			found[i] = true
+		}
+	}
+	return vals, found, rep, nil
+}
+
+// appendCoordKey appends a map key for one coordinate tuple.
+func appendCoordKey(dst []byte, p []uint64) []byte {
+	for _, v := range p {
+		dst = append(dst,
+			byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return dst
+}
+
+// errUnsupportedOp builds the ErrBadRequest wrap for ops a backend
+// cannot serve.
+func errUnsupportedOp(what string) error {
+	return fmt.Errorf("serve: %w: %s", store.ErrBadRequest, what)
+}

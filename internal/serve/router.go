@@ -1,0 +1,675 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"sparseart/internal/obs"
+	"sparseart/internal/store"
+	"sparseart/internal/tensor"
+	"sparseart/internal/wire"
+)
+
+// virtualNodes is how many ring positions each shard claims; more
+// positions smooth the key distribution.
+const virtualNodes = 64
+
+// Router consistent-hashes tile coordinates across shard servers and
+// presents the same Backend surface a single store does: scatter-
+// gather region reads merge in linear-address order (byte-identical to
+// one local Chunked store over the same writes), WriteBatch fans out
+// per shard over the streaming ingest API, and telemetry scrapes
+// absorb every shard's counters. Each shard must host a Chunked store
+// with the same global shape, tile extents, and kind — the router
+// checks at construction.
+type Router struct {
+	shape tensor.Shape
+	tile  tensor.Shape
+	kind  uint8    // core.Kind of every shard
+	grid  []uint64 // tiles per dimension (ceil(shape/tile))
+
+	addrs   []string
+	clients []*Client
+	ring    []ringSlot
+	reg     *obs.Registry
+
+	obsMu sync.Mutex
+	prev  []*obs.Snapshot // last absorbed snapshot per shard
+}
+
+type ringSlot struct {
+	hash  uint64
+	shard int
+}
+
+// NewRouter dials every shard, verifies they agree on shape, tile, and
+// kind, and builds the hash ring. reg receives the router's own
+// metrics plus absorbed shard deltas; nil uses the process-global
+// registry.
+func NewRouter(addrs []string, reg *obs.Registry) (*Router, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("serve: %w: router needs at least one shard", store.ErrBadRequest)
+	}
+	if reg == nil {
+		reg = obs.Global()
+	}
+	r := &Router{addrs: addrs, reg: reg, prev: make([]*obs.Snapshot, len(addrs))}
+	for i, addr := range addrs {
+		c, err := Dial(addr)
+		if err != nil {
+			r.closeClients()
+			return nil, fmt.Errorf("serve: %w: shard %d (%s): %v", wire.ErrShardUnavailable, i, addr, err)
+		}
+		r.clients = append(r.clients, c)
+		info, err := c.Info(context.Background())
+		if err != nil {
+			r.closeClients()
+			return nil, fmt.Errorf("serve: shard %d (%s) info: %w", i, addr, err)
+		}
+		if len(info.Tile) == 0 {
+			r.closeClients()
+			return nil, fmt.Errorf("serve: %w: shard %d (%s) hosts an untiled store", store.ErrBadRequest, i, addr)
+		}
+		if i == 0 {
+			r.shape, r.tile, r.kind = info.Shape, info.Tile, uint8(info.Kind)
+		} else if !r.shape.Equal(info.Shape) || !r.tile.Equal(info.Tile) || r.kind != uint8(info.Kind) {
+			r.closeClients()
+			return nil, fmt.Errorf("serve: %w: shard %d (%s) disagrees on shape/tile/kind", store.ErrBadRequest, i, addr)
+		}
+	}
+	r.grid = make([]uint64, r.shape.Dims())
+	for d := range r.grid {
+		r.grid[d] = (r.shape[d] + r.tile[d] - 1) / r.tile[d]
+	}
+	for i, addr := range addrs {
+		for v := 0; v < virtualNodes; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", addr, v)
+			r.ring = append(r.ring, ringSlot{hash: h.Sum64(), shard: i})
+		}
+	}
+	sort.Slice(r.ring, func(i, j int) bool {
+		if r.ring[i].hash != r.ring[j].hash {
+			return r.ring[i].hash < r.ring[j].hash
+		}
+		return r.ring[i].shard < r.ring[j].shard
+	})
+	r.reg.Gauge("router.shards").Set(int64(len(addrs)))
+	return r, nil
+}
+
+// Close tears down every shard connection.
+func (r *Router) Close() error {
+	r.closeClients()
+	return nil
+}
+
+func (r *Router) closeClients() {
+	for _, c := range r.clients {
+		c.Close()
+	}
+}
+
+// Shards returns the shard addresses in ring order of declaration.
+func (r *Router) Shards() []string { return r.addrs }
+
+// owner maps a tile index to its shard by consistent hashing the tile
+// key ("t-0-1"), the same string that names the tile directory.
+func (r *Router) owner(idx []uint64) int {
+	var b strings.Builder
+	b.WriteString("t")
+	for _, v := range idx {
+		fmt.Fprintf(&b, "-%d", v)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(b.String()))
+	key := h.Sum64()
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= key })
+	if i == len(r.ring) {
+		i = 0
+	}
+	return r.ring[i].shard
+}
+
+// tileOf returns the per-dimension tile index of a global point.
+func (r *Router) tileOf(p []uint64) []uint64 {
+	idx := make([]uint64, len(p))
+	for d := range p {
+		idx[d] = p[d] / r.tile[d]
+	}
+	return idx
+}
+
+// shardErr classifies a shard call failure: typed protocol errors and
+// context errors pass through, transport failures become
+// ErrShardUnavailable.
+func shardErr(i int, addr string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var we *wire.Error
+	if errors.As(err, &we) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err // the shard (or the caller) said something specific
+	}
+	return fmt.Errorf("serve: %w: shard %d (%s): %v", wire.ErrShardUnavailable, i, addr, err)
+}
+
+// regionShards returns the shards owning at least one tile overlapping
+// region, by walking the overlapped tile grid.
+func (r *Router) regionShards(region tensor.Region) []int {
+	lo := make([]uint64, len(r.tile))
+	hi := make([]uint64, len(r.tile))
+	for d := range r.tile {
+		lo[d] = region.Start[d] / r.tile[d]
+		end := region.Start[d] + region.Size[d] - 1
+		if region.Size[d] == 0 || end < region.Start[d] {
+			end = region.Start[d] // empty or overflowing extent: clamp
+		}
+		hi[d] = end / r.tile[d]
+		if r.grid[d] > 0 && hi[d] >= r.grid[d] {
+			hi[d] = r.grid[d] - 1
+		}
+	}
+	seen := map[int]bool{}
+	idx := append([]uint64(nil), lo...)
+	for {
+		seen[r.owner(idx)] = true
+		if len(seen) == len(r.clients) {
+			break // every shard already in play
+		}
+		d := len(idx) - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] <= hi[d] {
+				break
+			}
+			idx[d] = lo[d]
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	shards := make([]int, 0, len(seen))
+	for i := range seen {
+		shards = append(shards, i)
+	}
+	sort.Ints(shards)
+	return shards
+}
+
+// scatter runs fn once per listed shard concurrently and returns the
+// first error.
+func (r *Router) scatter(shards []int, op string, fn func(i int) error) error {
+	r.reg.Counter("router.scatter", "op", op).Add(int64(len(shards)))
+	var wg sync.WaitGroup
+	errs := make([]error, len(shards))
+	for k, i := range shards {
+		wg.Add(1)
+		go func(k, i int) {
+			defer wg.Done()
+			errs[k] = shardErr(i, r.addrs[i], fn(i))
+		}(k, i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			r.reg.Counter("router.shard.errors", "op", op).Inc()
+			return err
+		}
+	}
+	return nil
+}
+
+// allShards lists every shard index.
+func (r *Router) allShards() []int {
+	shards := make([]int, len(r.clients))
+	for i := range shards {
+		shards[i] = i
+	}
+	return shards
+}
+
+// Info aggregates shard identities.
+func (r *Router) Info(ctx context.Context) (*wire.Info, error) {
+	infos := make([]*wire.Info, len(r.clients))
+	err := r.scatter(r.allShards(), "info", func(i int) error {
+		info, err := r.clients[i].Info(ctx)
+		infos[i] = info
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &wire.Info{Kind: infos[0].Kind, Shape: r.shape, Tile: r.tile}
+	for _, info := range infos {
+		out.Fragments += info.Fragments
+		out.Epoch += info.Epoch
+		out.Tiles += info.Tiles
+	}
+	return out, nil
+}
+
+// Query scatter-gathers a read. Probe targets partition per point by
+// owning tile; region targets broadcast the whole region to every
+// shard owning an overlapping tile — each shard answers from the tiles
+// it materialized, which are disjoint, so the merged result is exactly
+// what one local Chunked store would return.
+func (r *Router) Query(ctx context.Context, req store.QueryRequest) (*store.Result, *store.ReadReport, error) {
+	if req.AsOf != store.AsOfLatest {
+		if req.Probe == nil && req.Region == nil {
+			return nil, nil, fmt.Errorf("store: %w: exactly one of Probe or Region must be set", store.ErrBadRequest)
+		}
+		return nil, nil, fmt.Errorf("serve: %w: as-of reads are not supported on routed stores", store.ErrBadRequest)
+	}
+	if req.Region != nil {
+		if req.Probe != nil {
+			return nil, nil, fmt.Errorf("store: %w: exactly one of Probe or Region must be set", store.ErrBadRequest)
+		}
+		if req.Region.Dims() != r.shape.Dims() {
+			return nil, nil, fmt.Errorf("store: %w: %d-dim region for %d-dim store", store.ErrShapeMismatch, req.Region.Dims(), r.shape.Dims())
+		}
+		shards := r.regionShards(*req.Region)
+		results := make([]*store.Result, len(r.clients))
+		reports := make([]*store.ReadReport, len(r.clients))
+		err := r.scatter(shards, "query", func(i int) error {
+			res, rep, err := r.clients[i].Query(ctx, req)
+			results[i], reports[i] = res, rep
+			return err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return mergeResults(r.shape.Dims(), results, reports)
+	}
+	if req.Probe == nil {
+		return nil, nil, fmt.Errorf("store: %w: exactly one of Probe or Region must be set", store.ErrBadRequest)
+	}
+	if req.Probe.Dims() != r.shape.Dims() {
+		return nil, nil, fmt.Errorf("store: %w: %d-dim probe for %d-dim store", store.ErrShapeMismatch, req.Probe.Dims(), r.shape.Dims())
+	}
+	parts := r.partitionPoints(req.Probe, nil)
+	results := make([]*store.Result, len(r.clients))
+	reports := make([]*store.ReadReport, len(r.clients))
+	var shards []int
+	for i, part := range parts {
+		if part != nil {
+			shards = append(shards, i)
+		}
+	}
+	err := r.scatter(shards, "query", func(i int) error {
+		sub := req
+		sub.Probe = parts[i].coords
+		res, rep, err := r.clients[i].Query(ctx, sub)
+		results[i], reports[i] = res, rep
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return mergeResults(r.shape.Dims(), results, reports)
+}
+
+// pointPart is one shard's slice of a partitioned point set.
+type pointPart struct {
+	coords *tensor.Coords
+	values []float64 // writes only
+	srcIdx []int     // original positions (ReadPoints reassembly)
+}
+
+// partitionPoints splits points (and optionally their values) by
+// owning shard; nil entries mean the shard got no points.
+func (r *Router) partitionPoints(coords *tensor.Coords, values []float64) []*pointPart {
+	parts := make([]*pointPart, len(r.clients))
+	for i := 0; i < coords.Len(); i++ {
+		p := coords.At(i)
+		s := r.owner(r.tileOf(p))
+		part := parts[s]
+		if part == nil {
+			part = &pointPart{coords: tensor.NewCoords(coords.Dims(), 0)}
+			parts[s] = part
+		}
+		part.coords.Append(p...)
+		if values != nil {
+			part.values = append(part.values, values[i])
+		}
+		part.srcIdx = append(part.srcIdx, i)
+	}
+	return parts
+}
+
+// mergeResults concatenates per-shard sorted results and re-sorts by
+// coordinate tuple (row-major linear order) — tiles are disjoint
+// across shards, so no deduplication is needed and the order matches a
+// single local Chunked read exactly.
+func mergeResults(dims int, results []*store.Result, reports []*store.ReadReport) (*store.Result, *store.ReadReport, error) {
+	total := 0
+	for _, res := range results {
+		if res != nil {
+			total += res.Coords.Len()
+		}
+	}
+	coords := tensor.NewCoords(dims, total)
+	values := make([]float64, 0, total)
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		coords.AppendFlat(res.Coords.Flat())
+		values = append(values, res.Values...)
+	}
+	order := make([]int, coords.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := coords.At(order[a]), coords.At(order[b])
+		for d := range pa {
+			if pa[d] != pb[d] {
+				return pa[d] < pb[d]
+			}
+		}
+		return false
+	})
+	out := tensor.NewCoords(dims, coords.Len())
+	vals := make([]float64, 0, coords.Len())
+	for _, i := range order {
+		out.Append(coords.At(i)...)
+		vals = append(vals, values[i])
+	}
+	rep := &store.ReadReport{}
+	for _, sub := range reports {
+		if sub == nil {
+			continue
+		}
+		rep.IO += sub.IO
+		rep.Extract += sub.Extract
+		rep.Probe += sub.Probe
+		rep.Merge += sub.Merge
+		rep.Fragments += sub.Fragments
+		rep.Probed += sub.Probed
+		rep.Found += sub.Found
+		rep.Scans += sub.Scans
+		rep.Epoch += sub.Epoch
+	}
+	return &store.Result{Coords: out, Values: vals}, rep, nil
+}
+
+// ReadPoints partitions the probe per shard and reassembles the
+// aligned values and found marks in the original order.
+func (r *Router) ReadPoints(ctx context.Context, probe *tensor.Coords) ([]float64, []bool, *store.ReadReport, error) {
+	if probe.Dims() != r.shape.Dims() {
+		return nil, nil, nil, fmt.Errorf("store: %w: %d-dim probe for %d-dim store", store.ErrShapeMismatch, probe.Dims(), r.shape.Dims())
+	}
+	parts := r.partitionPoints(probe, nil)
+	var shards []int
+	for i, part := range parts {
+		if part != nil {
+			shards = append(shards, i)
+		}
+	}
+	vals := make([]float64, probe.Len())
+	found := make([]bool, probe.Len())
+	reports := make([]*store.ReadReport, len(r.clients))
+	var mu sync.Mutex
+	err := r.scatter(shards, "read_points", func(i int) error {
+		v, f, rep, err := r.clients[i].ReadPoints(ctx, parts[i].coords)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		reports[i] = rep
+		for k, src := range parts[i].srcIdx {
+			vals[src] = v[k]
+			found[src] = f[k]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rep := &store.ReadReport{}
+	for _, sub := range reports {
+		if sub == nil {
+			continue
+		}
+		rep.Fragments += sub.Fragments
+		rep.Probed += sub.Probed
+		rep.Found += sub.Found
+		rep.Scans += sub.Scans
+		rep.IO += sub.IO
+		rep.Extract += sub.Extract
+		rep.Probe += sub.Probe
+		rep.Merge += sub.Merge
+		rep.Epoch += sub.Epoch
+	}
+	return vals, found, rep, nil
+}
+
+// Write partitions one fragment's points per owning shard and commits
+// each slice on its shard.
+func (r *Router) Write(ctx context.Context, coords *tensor.Coords, values []float64) (*store.WriteReport, error) {
+	if coords.Dims() != r.shape.Dims() {
+		return nil, fmt.Errorf("store: %w: %d-dim coords for %d-dim store", store.ErrShapeMismatch, coords.Dims(), r.shape.Dims())
+	}
+	if coords.Len() != len(values) {
+		return nil, fmt.Errorf("store: %w: %d coords, %d values", store.ErrShapeMismatch, coords.Len(), len(values))
+	}
+	if !coords.InShape(r.shape) {
+		return nil, fmt.Errorf("store: %w: coordinate outside shape %v", store.ErrShapeMismatch, r.shape)
+	}
+	parts := r.partitionPoints(coords, values)
+	var shards []int
+	for i, part := range parts {
+		if part != nil {
+			shards = append(shards, i)
+		}
+	}
+	reps := make([]*store.WriteReport, len(r.clients))
+	err := r.scatter(shards, "write", func(i int) error {
+		rep, err := r.clients[i].Write(ctx, parts[i].coords, parts[i].values)
+		reps[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeWriteReports(reps), nil
+}
+
+// mergeWriteReports sums per-shard write reports into one.
+func mergeWriteReports(reps []*store.WriteReport) *store.WriteReport {
+	out := &store.WriteReport{}
+	for _, rep := range reps {
+		if rep == nil {
+			continue
+		}
+		out.Build += rep.Build
+		out.Reorg += rep.Reorg
+		out.Write += rep.Write
+		out.Others += rep.Others
+		out.Bytes += rep.Bytes
+		out.NNZ += rep.NNZ
+		out.Epoch += rep.Epoch
+		if out.Name == "" {
+			out.Name = rep.Name
+		}
+	}
+	return out
+}
+
+// WriteBatch fans the batches out per shard over the streaming ingest
+// API: each shard receives its slice of every batch as one WriteBatch
+// call (batch order preserved), and the returned reports line up with
+// the caller's batches, merging the per-shard pieces of each.
+func (r *Router) WriteBatch(ctx context.Context, batches []store.Batch, workers int) ([]*store.WriteReport, error) {
+	type shardBatch struct {
+		src     []int // original batch index per sub-batch
+		batches []store.Batch
+	}
+	perShard := make([]*shardBatch, len(r.clients))
+	for bi, b := range batches {
+		if b.Coords == nil || b.Coords.Dims() != r.shape.Dims() {
+			return nil, fmt.Errorf("store: %w: batch %d dims", store.ErrShapeMismatch, bi)
+		}
+		parts := r.partitionPoints(b.Coords, b.Values)
+		for i, part := range parts {
+			if part == nil {
+				continue
+			}
+			sb := perShard[i]
+			if sb == nil {
+				sb = &shardBatch{}
+				perShard[i] = sb
+			}
+			sb.src = append(sb.src, bi)
+			sb.batches = append(sb.batches, store.Batch{Coords: part.coords, Values: part.values})
+		}
+	}
+	var shards []int
+	for i, sb := range perShard {
+		if sb != nil {
+			shards = append(shards, i)
+		}
+	}
+	merged := make([][]*store.WriteReport, len(batches))
+	var mu sync.Mutex
+	err := r.scatter(shards, "write_batch", func(i int) error {
+		reps, err := r.clients[i].WriteBatch(ctx, perShard[i].batches, workers)
+		mu.Lock()
+		for k, rep := range reps {
+			if k < len(perShard[i].src) {
+				src := perShard[i].src[k]
+				merged[src] = append(merged[src], rep)
+			}
+		}
+		mu.Unlock()
+		return err
+	})
+	out := make([]*store.WriteReport, 0, len(batches))
+	for _, reps := range merged {
+		if len(reps) == 0 {
+			break // committed prefix only, matching local semantics
+		}
+		out = append(out, mergeWriteReports(reps))
+	}
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// DeleteRegion broadcasts the tombstone to every shard owning an
+// overlapping tile.
+func (r *Router) DeleteRegion(ctx context.Context, region tensor.Region) (*store.WriteReport, error) {
+	if region.Dims() != r.shape.Dims() {
+		return nil, fmt.Errorf("store: %w: %d-dim region for %d-dim store", store.ErrShapeMismatch, region.Dims(), r.shape.Dims())
+	}
+	shards := r.regionShards(region)
+	reps := make([]*store.WriteReport, len(r.clients))
+	err := r.scatter(shards, "delete", func(i int) error {
+		rep, err := r.clients[i].DeleteRegion(ctx, region)
+		reps[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeWriteReports(reps), nil
+}
+
+// Kernel scatter-gathers the additive push-down kernels; per-shard
+// partials sum exactly because shard tiles are disjoint. SpMV and TTV
+// need cross-tile accumulators and are rejected, as on Chunked.
+func (r *Router) Kernel(ctx context.Context, req store.KernelRequest) (*store.KernelResult, error) {
+	switch req.Op {
+	case store.KernelSumAll, store.KernelLiveNNZ, store.KernelNNZPerSlice:
+	case store.KernelSumRegion:
+	default:
+		return nil, fmt.Errorf("serve: %w: kernel %v is not supported on routed stores", store.ErrBadRequest, req.Op)
+	}
+	shards := r.allShards()
+	if req.Op == store.KernelSumRegion && req.Region != nil {
+		if req.Region.Dims() != r.shape.Dims() {
+			return nil, fmt.Errorf("store: %w: %d-dim region for %d-dim store", store.ErrShapeMismatch, req.Region.Dims(), r.shape.Dims())
+		}
+		shards = r.regionShards(*req.Region)
+	}
+	results := make([]*store.KernelResult, len(r.clients))
+	err := r.scatter(shards, "kernel", func(i int) error {
+		res, err := r.clients[i].Kernel(ctx, req)
+		results[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &store.KernelResult{Report: &store.PushReport{}}
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		if out.Values == nil {
+			out.Values = make([]float64, len(res.Values))
+			out.Shape = res.Shape
+		}
+		for k, v := range res.Values {
+			if k < len(out.Values) {
+				out.Values[k] += v
+			}
+		}
+		out.Report.Fragments += res.Report.Fragments
+		out.Report.Skipped += res.Report.Skipped
+		out.Report.Cells += res.Report.Cells
+		out.Report.Shadowed += res.Report.Shadowed
+		out.Report.Dead += res.Report.Dead
+		out.Report.Epoch += res.Report.Epoch
+	}
+	return out, nil
+}
+
+// RefreshObs pulls every shard's telemetry snapshot, absorbs the delta
+// since the previous pull into the router's registry (monotonic: each
+// shard increment lands exactly once), and remembers the new baseline.
+// This is the obs/serve OnScrape hook — a scrape of the router's
+// /metrics sees the whole fleet.
+func (r *Router) RefreshObs(ctx context.Context) error {
+	snaps := make([]*obs.Snapshot, len(r.clients))
+	err := r.scatter(r.allShards(), "obs", func(i int) error {
+		snap, err := r.clients[i].ObsSnapshot(ctx)
+		snaps[i] = snap
+		return err
+	})
+	r.obsMu.Lock()
+	defer r.obsMu.Unlock()
+	for i, snap := range snaps {
+		if snap == nil {
+			continue // unreachable shard: keep its old baseline
+		}
+		if r.prev[i] != nil {
+			r.reg.Absorb(obs.Delta(r.prev[i], snap))
+		} else {
+			r.reg.Absorb(snap)
+		}
+		r.prev[i] = snap
+	}
+	return err
+}
+
+// ObsSnapshot refreshes from the shards and returns the aggregated
+// registry snapshot — Backend's telemetry surface, so a served router
+// answers MsgObs with fleet-wide counters.
+func (r *Router) ObsSnapshot(ctx context.Context) ([]byte, error) {
+	if err := r.RefreshObs(ctx); err != nil {
+		return nil, err
+	}
+	return r.reg.Snapshot().JSON()
+}
+
+var _ Backend = (*Router)(nil)

@@ -1,0 +1,571 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sparseart/internal/core"
+	_ "sparseart/internal/core/all" // register every organization
+	"sparseart/internal/fsim"
+	"sparseart/internal/obs"
+	"sparseart/internal/serve"
+	"sparseart/internal/store"
+	"sparseart/internal/tensor"
+	"sparseart/internal/wire"
+)
+
+// startServer serves backend on a loopback listener and returns a
+// connected client.
+func startServer(t *testing.T, backend serve.Backend, cfg serve.Config) (*serve.Server, *serve.Client, string) {
+	t.Helper()
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	srv := serve.NewServer(backend, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	c, err := serve.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c, ln.Addr().String()
+}
+
+func mustCoords(t *testing.T, dims int, flat ...uint64) *tensor.Coords {
+	t.Helper()
+	c, err := tensor.FromFlat(dims, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestServerRoundTrip(t *testing.T) {
+	shape := tensor.Shape{20, 20}
+	reg := obs.New()
+	st, err := store.Create(fsim.NewPerlmutterSim(), "s", core.CSF, shape, store.WithObs(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c, _ := startServer(t, serve.StoreBackend(st), serve.Config{Obs: reg})
+	ctx := context.Background()
+
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	coords := mustCoords(t, 2, 1, 1, 2, 3, 5, 5, 9, 9)
+	rep, err := c.Write(ctx, coords, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if rep.NNZ != 4 {
+		t.Fatalf("write NNZ = %d, want 4", rep.NNZ)
+	}
+
+	// Probe query through the unified request surface.
+	res, rrep, err := c.Query(ctx, store.QueryRequest{
+		Probe: mustCoords(t, 2, 2, 3, 7, 7), AsOf: store.AsOfLatest,
+	})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if res.Coords.Len() != 1 || res.Values[0] != 2 {
+		t.Fatalf("probe result: %v %v", res.Coords.Flat(), res.Values)
+	}
+	if rrep == nil || rrep.Probed == 0 {
+		t.Fatalf("report not transported: %+v", rrep)
+	}
+
+	// Region query, then delete, then region again.
+	region := tensor.Region{Start: []uint64{0, 0}, Size: []uint64{20, 20}}
+	res, _, err = c.Query(ctx, store.QueryRequest{Region: &region, AsOf: store.AsOfLatest})
+	if err != nil {
+		t.Fatalf("region query: %v", err)
+	}
+	if res.Coords.Len() != 4 {
+		t.Fatalf("region found %d points, want 4", res.Coords.Len())
+	}
+	if _, err := c.DeleteRegion(ctx, tensor.Region{Start: []uint64{5, 5}, Size: []uint64{1, 1}}); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	res, _, err = c.Query(ctx, store.QueryRequest{Region: &region, AsOf: store.AsOfLatest, Strategy: store.StrategyScan})
+	if err != nil {
+		t.Fatalf("scan query: %v", err)
+	}
+	if res.Coords.Len() != 3 {
+		t.Fatalf("after delete found %d points, want 3", res.Coords.Len())
+	}
+
+	// ReadPoints keeps probe alignment.
+	vals, found, _, err := c.ReadPoints(ctx, mustCoords(t, 2, 9, 9, 0, 0, 1, 1))
+	if err != nil {
+		t.Fatalf("read points: %v", err)
+	}
+	if !reflect.DeepEqual(vals, []float64{4, 0, 1}) || !reflect.DeepEqual(found, []bool{true, false, true}) {
+		t.Fatalf("points: %v %v", vals, found)
+	}
+
+	// Kernel push-down over the wire.
+	kres, err := c.Kernel(ctx, store.KernelRequest{Op: store.KernelSumAll})
+	if err != nil {
+		t.Fatalf("kernel: %v", err)
+	}
+	if kres.Values[0] != 1+2+4 {
+		t.Fatalf("sum = %v, want 7", kres.Values[0])
+	}
+
+	// WriteBatch streams the batched ingest.
+	reps, err := c.WriteBatch(ctx, []store.Batch{
+		{Coords: mustCoords(t, 2, 10, 10), Values: []float64{5}},
+		{Coords: mustCoords(t, 2, 11, 11), Values: []float64{6}},
+	}, 2)
+	if err != nil {
+		t.Fatalf("write batch: %v", err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("got %d batch reports, want 2", len(reps))
+	}
+
+	info, err := c.Info(ctx)
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if info.Kind != core.CSF || !info.Shape.Equal(shape) || info.Fragments == 0 {
+		t.Fatalf("info: %+v", info)
+	}
+
+	snap, err := c.ObsSnapshot(ctx)
+	if err != nil {
+		t.Fatalf("obs: %v", err)
+	}
+	if len(snap.Counters) == 0 {
+		t.Fatal("obs snapshot empty")
+	}
+}
+
+// TestServerTypedErrors exercises the lossless error model end to end:
+// the client-side errors.Is observes the same sentinels the store
+// raised.
+func TestServerTypedErrors(t *testing.T) {
+	st, err := store.Create(fsim.NewPerlmutterSim(), "s", core.COO, tensor.Shape{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c, _ := startServer(t, serve.StoreBackend(st), serve.Config{})
+	ctx := context.Background()
+
+	_, _, err = c.Query(ctx, store.QueryRequest{
+		Probe: mustCoords(t, 3, 1, 1, 1), AsOf: store.AsOfLatest,
+	})
+	if !errors.Is(err, store.ErrShapeMismatch) {
+		t.Fatalf("dims error = %v, want ErrShapeMismatch", err)
+	}
+
+	_, _, err = c.Query(ctx, store.QueryRequest{AsOf: store.AsOfLatest})
+	if !errors.Is(err, store.ErrBadRequest) {
+		t.Fatalf("no-target error = %v, want ErrBadRequest", err)
+	}
+
+	_, _, err = c.Query(ctx, store.QueryRequest{
+		Probe: mustCoords(t, 2, 1, 1), AsOf: 99,
+	})
+	if !errors.Is(err, store.ErrBadRequest) {
+		t.Fatalf("as-of error = %v, want ErrBadRequest", err)
+	}
+}
+
+// TestConcurrentClients hammers one server from many goroutines over
+// both a shared pipelined client and per-goroutine connections; run
+// with -race this is the serving layer's concurrency check.
+func TestConcurrentClients(t *testing.T) {
+	shape := tensor.Shape{64, 64}
+	st, err := store.Create(fsim.NewPerlmutterSim(), "s", core.COOSorted, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, shared, addr := startServer(t, serve.StoreBackend(st), serve.Config{})
+	ctx := context.Background()
+
+	const goroutines = 8
+	const opsEach = 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines*2)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			own, err := serve.Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer own.Close()
+			c := shared
+			if g%2 == 0 {
+				c = own
+			}
+			for i := 0; i < opsEach; i++ {
+				row := uint64(g*opsEach+i) % 64
+				coords := mustCoords(t, 2, row, uint64(g))
+				if _, err := c.Write(ctx, coords, []float64{float64(g + i)}); err != nil {
+					errCh <- fmt.Errorf("g%d write: %w", g, err)
+					return
+				}
+				region := tensor.Region{Start: []uint64{0, uint64(g)}, Size: []uint64{64, 1}}
+				if _, _, err := c.Query(ctx, store.QueryRequest{Region: &region, AsOf: store.AsOfLatest}); err != nil {
+					errCh <- fmt.Errorf("g%d query: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// slowFS injects real latency into fragment opens so a deadline can
+// expire mid-read.
+type slowFS struct {
+	fsim.FS
+	delay time.Duration
+	opens atomic.Int64
+}
+
+func (s *slowFS) Open(name string) (fsim.File, error) {
+	s.opens.Add(1)
+	time.Sleep(s.delay)
+	return s.FS.Open(name)
+}
+
+// TestDeadlineCancelsRegionRead is the acceptance-criteria deadline
+// test: a client deadline expiring mid-region-read surfaces
+// context.DeadlineExceeded AND stops the server-side fragment loop
+// early — the store does not grind through every fragment for a
+// request nobody is waiting on.
+func TestDeadlineCancelsRegionRead(t *testing.T) {
+	shape := tensor.Shape{40, 40}
+	fs := &slowFS{FS: fsim.NewPerlmutterSim(), delay: 10 * time.Millisecond}
+	// Cache off: every fragment probe must open its file, hitting the
+	// injected latency.
+	st, err := store.Create(fs, "s", core.COO, shape, store.WithReaderCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fragments = 30
+	for i := 0; i < fragments; i++ {
+		coords := mustCoords(t, 2, uint64(i), uint64(i))
+		if _, err := st.Write(coords, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, c, _ := startServer(t, serve.StoreBackend(st), serve.Config{})
+
+	fs.opens.Store(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 35*time.Millisecond)
+	defer cancel()
+	region := tensor.Region{Start: []uint64{0, 0}, Size: []uint64{40, 40}}
+	_, _, err = c.Query(ctx, store.QueryRequest{Region: &region, AsOf: store.AsOfLatest})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// Give the server a beat to finish the fragment it was on, then
+	// confirm the loop stopped: far fewer opens than fragments.
+	time.Sleep(50 * time.Millisecond)
+	if n := fs.opens.Load(); n >= fragments {
+		t.Fatalf("server opened all %d fragments despite expired deadline", n)
+	}
+}
+
+// blockBackend parks Query calls until released, making the in-flight
+// window observable.
+type blockBackend struct {
+	serve.Backend
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockBackend) Query(ctx context.Context, req store.QueryRequest) (*store.Result, *store.ReadReport, error) {
+	b.entered <- struct{}{}
+	<-b.release
+	return b.Backend.Query(ctx, req)
+}
+
+// TestBackpressure verifies the bounded in-flight window: with
+// MaxInFlight=1 and one request parked in the backend, the next
+// request is rejected immediately with the typed overload error
+// instead of queueing.
+func TestBackpressure(t *testing.T) {
+	st, err := store.Create(fsim.NewPerlmutterSim(), "s", core.COO, tensor.Shape{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write(mustCoords(t, 2, 1, 1), []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	bb := &blockBackend{
+		Backend: serve.StoreBackend(st),
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	_, c, _ := startServer(t, bb, serve.Config{MaxInFlight: 1})
+	ctx := context.Background()
+	region := tensor.Region{Start: []uint64{0, 0}, Size: []uint64{10, 10}}
+
+	first := make(chan error, 1)
+	go func() {
+		_, _, err := c.Query(ctx, store.QueryRequest{Region: &region, AsOf: store.AsOfLatest})
+		first <- err
+	}()
+	<-bb.entered // the only slot is now held
+
+	_, _, err = c.Query(ctx, store.QueryRequest{Region: &region, AsOf: store.AsOfLatest})
+	if !errors.Is(err, wire.ErrOverloaded) {
+		t.Fatalf("second query err = %v, want ErrOverloaded", err)
+	}
+
+	close(bb.release)
+	if err := <-first; err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+}
+
+// newShard boots one shard: a chunked store behind a wire server on
+// loopback.
+func newShard(t *testing.T, kind core.Kind, shape, tile tensor.Shape) string {
+	t.Helper()
+	reg := obs.New()
+	c, err := store.NewChunked(fsim.NewPerlmutterSim(), "shard", kind, shape, tile, store.WithObs(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(serve.ChunkedBackend(c), serve.Config{Obs: reg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// TestRouterMatchesLocalChunked is the acceptance-criteria
+// differential: every read served by a 3-shard router must be
+// byte-identical to a single-process Chunked store given the same
+// writes, across all seven storage kinds, all strategies, probes,
+// deletes, and the additive kernels.
+func TestRouterMatchesLocalChunked(t *testing.T) {
+	shape := tensor.Shape{24, 24}
+	tile := tensor.Shape{8, 8}
+	kinds := append(core.PaperKinds(), core.COOSorted, core.BCOO)
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			addrs := []string{
+				newShard(t, kind, shape, tile),
+				newShard(t, kind, shape, tile),
+				newShard(t, kind, shape, tile),
+			}
+			router, err := serve.NewRouter(addrs, obs.New())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { router.Close() })
+			local, err := store.NewChunked(fsim.NewPerlmutterSim(), "local", kind, shape, tile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			rng := rand.New(rand.NewSource(42))
+
+			// Identical writes through both paths: several multi-tile
+			// fragments, a batched ingest, and a region delete.
+			for round := 0; round < 3; round++ {
+				coords, values := randomPoints(rng, shape, 50)
+				if _, err := router.Write(ctx, coords, values); err != nil {
+					t.Fatalf("router write: %v", err)
+				}
+				if _, err := local.Write(coords, values); err != nil {
+					t.Fatalf("local write: %v", err)
+				}
+			}
+			var batches []store.Batch
+			for b := 0; b < 3; b++ {
+				coords, values := randomPoints(rng, shape, 25)
+				batches = append(batches, store.Batch{Coords: coords, Values: values})
+			}
+			if _, err := router.WriteBatch(ctx, batches, 2); err != nil {
+				t.Fatalf("router batch: %v", err)
+			}
+			if _, err := local.WriteBatch(batches, 2); err != nil {
+				t.Fatalf("local batch: %v", err)
+			}
+			del := tensor.Region{Start: []uint64{6, 6}, Size: []uint64{6, 9}}
+			if _, err := router.DeleteRegion(ctx, del); err != nil {
+				t.Fatalf("router delete: %v", err)
+			}
+			if _, err := local.DeleteRegion(del); err != nil {
+				t.Fatalf("local delete: %v", err)
+			}
+
+			// Region reads: every strategy, a tile-spanning window and
+			// the full tensor, must match point for point.
+			regions := []tensor.Region{
+				{Start: []uint64{0, 0}, Size: []uint64{24, 24}},
+				{Start: []uint64{5, 3}, Size: []uint64{13, 17}},
+				{Start: []uint64{8, 8}, Size: []uint64{8, 8}},
+			}
+			for _, region := range regions {
+				for _, strat := range []store.Strategy{store.StrategyDefault, store.StrategyScan, store.StrategyAuto} {
+					region := region
+					req := store.QueryRequest{Region: &region, AsOf: store.AsOfLatest, Strategy: strat}
+					want, _, err := local.Query(ctx, req)
+					if err != nil {
+						t.Fatalf("local query %v/%v: %v", region, strat, err)
+					}
+					got, _, err := router.Query(ctx, req)
+					if err != nil {
+						t.Fatalf("router query %v/%v: %v", region, strat, err)
+					}
+					if !reflect.DeepEqual(got.Coords.Flat(), want.Coords.Flat()) ||
+						!reflect.DeepEqual(got.Values, want.Values) {
+						t.Fatalf("%v/%v: router and local disagree:\n got %v %v\nwant %v %v",
+							region, strat, got.Coords.Flat(), got.Values, want.Coords.Flat(), want.Values)
+					}
+				}
+			}
+
+			// Probe reads preserve alignment and agree with local state.
+			probe, _ := randomPoints(rng, shape, 30)
+			wantRes, _, err := local.Query(ctx, store.QueryRequest{Probe: probe, AsOf: store.AsOfLatest})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRes, _, err := router.Query(ctx, store.QueryRequest{Probe: probe, AsOf: store.AsOfLatest})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotRes.Coords.Flat(), wantRes.Coords.Flat()) ||
+				!reflect.DeepEqual(gotRes.Values, wantRes.Values) {
+				t.Fatalf("probe disagreement: got %v want %v", gotRes.Values, wantRes.Values)
+			}
+
+			// Additive kernels: exact for counts, tolerance for sums
+			// (per-shard partials associate differently).
+			for _, kreq := range []store.KernelRequest{
+				{Op: store.KernelSumAll},
+				{Op: store.KernelLiveNNZ},
+				{Op: store.KernelNNZPerSlice, Mode: 0},
+				{Op: store.KernelSumRegion, Region: &regions[1]},
+			} {
+				wantK, err := local.Kernel(ctx, kreq)
+				if err != nil {
+					t.Fatalf("local kernel %v: %v", kreq.Op, err)
+				}
+				gotK, err := router.Kernel(ctx, kreq)
+				if err != nil {
+					t.Fatalf("router kernel %v: %v", kreq.Op, err)
+				}
+				if len(gotK.Values) != len(wantK.Values) {
+					t.Fatalf("kernel %v: %d values, want %d", kreq.Op, len(gotK.Values), len(wantK.Values))
+				}
+				for i, want := range wantK.Values {
+					if math.Abs(gotK.Values[i]-want) > 1e-9*(1+math.Abs(want)) {
+						t.Fatalf("kernel %v[%d]: router %v local %v", kreq.Op, i, gotK.Values[i], want)
+					}
+				}
+			}
+			// SpMV needs cross-tile accumulation and must be rejected.
+			if _, err := router.Kernel(ctx, store.KernelRequest{Op: store.KernelSpMV, Vec: make([]float64, 24)}); !errors.Is(err, store.ErrBadRequest) {
+				t.Fatalf("spmv on router = %v, want ErrBadRequest", err)
+			}
+		})
+	}
+}
+
+// randomPoints draws n distinct coordinates in shape with values.
+func randomPoints(rng *rand.Rand, shape tensor.Shape, n int) (*tensor.Coords, []float64) {
+	seen := map[[2]uint64]bool{}
+	coords := tensor.NewCoords(len(shape), n)
+	var values []float64
+	for len(values) < n {
+		p := [2]uint64{rng.Uint64() % shape[0], rng.Uint64() % shape[1]}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		coords.Append(p[0], p[1])
+		values = append(values, float64(rng.Intn(1000))/8)
+	}
+	return coords, values
+}
+
+// TestRouterObsAggregation checks the fleet-wide telemetry path: after
+// a workload, a router obs refresh absorbs shard store counters into
+// the router registry, and a second refresh does not double-count.
+func TestRouterObsAggregation(t *testing.T) {
+	shape := tensor.Shape{16, 16}
+	tile := tensor.Shape{8, 8}
+	addrs := []string{
+		newShard(t, core.COO, shape, tile),
+		newShard(t, core.COO, shape, tile),
+	}
+	reg := obs.New()
+	router, err := serve.NewRouter(addrs, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { router.Close() })
+	ctx := context.Background()
+
+	rng := rand.New(rand.NewSource(7))
+	coords, values := randomPoints(rng, shape, 40)
+	if _, err := router.Write(ctx, coords, values); err != nil {
+		t.Fatal(err)
+	}
+	region := tensor.Region{Start: []uint64{0, 0}, Size: []uint64{16, 16}}
+	if _, _, err := router.Query(ctx, store.QueryRequest{Region: &region, AsOf: store.AsOfLatest}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := router.RefreshObs(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	total := func(s *obs.Snapshot, family string) int64 {
+		var sum int64
+		for name, v := range s.Counters {
+			if f, _ := obs.ParseName(name); f == family {
+				sum += v
+			}
+		}
+		return sum
+	}
+	reads := total(snap, "store.read.count")
+	if reads == 0 {
+		t.Fatalf("no shard read counters absorbed: %v", snap.Counters)
+	}
+	// Idle refresh: deltas are empty, counters must not grow.
+	if err := router.RefreshObs(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if again := total(reg.Snapshot(), "store.read.count"); again != reads {
+		t.Fatalf("idle refresh moved counters: %d -> %d", reads, again)
+	}
+}

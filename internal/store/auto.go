@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -73,16 +74,13 @@ func max64(a, b uint64) uint64 {
 	return b
 }
 
-// ReadRegionAuto reads a rectangular region, choosing probe or scan
-// mode per fragment by the Table I cost model. Results are identical to
-// ReadRegion and ReadRegionScan; only the time to produce them differs.
+// readRegionAutoAt reads a rectangular region against the first limit
+// fragments of the pinned view v, choosing probe or scan mode per
+// fragment by the Table I cost model. Results are identical to the
+// probe and scan strategies; only the time to produce them differs.
 // The report's Scans field tells how many fragments were scanned.
-func (s *Store) ReadRegionAuto(region tensor.Region) (*Result, *ReadReport, error) {
-	if region.Dims() != s.shape.Dims() {
-		return nil, nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), s.shape.Dims())
-	}
-	v := s.acquireView()
-	defer v.release()
+// Cancellation is checked once per fragment.
+func (s *Store) readRegionAutoAt(ctx context.Context, v *readView, region tensor.Region, limit int) (*Result, *ReadReport, error) {
 	rep := &ReadReport{Epoch: v.epoch}
 	s.takeCost()
 	reg := s.obsReg()
@@ -97,9 +95,12 @@ func (s *Store) ReadRegionAuto(region tensor.Region) (*Result, *ReadReport, erro
 
 	var probe *tensor.Coords // materialized lazily, only if some fragment probes
 	var hits []hit
-	cands := v.overlapping(queryBox, len(v.frags))
+	cands := v.overlapping(queryBox, limit)
 	var skipped int64
 	for _, fi := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		fr := v.frags[fi]
 		if fr.nnz == 0 {
 			continue

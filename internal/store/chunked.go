@@ -1,11 +1,11 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
-	"time"
 
 	"sparseart/internal/compress"
 	"sparseart/internal/core"
@@ -61,8 +61,24 @@ func (c *Chunked) obsReg() *obs.Registry {
 }
 
 // NewChunked creates a chunked store with the given tile extents. Each
-// tile's volume must fit in uint64.
+// tile's volume must fit in uint64. The tiling parameters are
+// persisted in a small CHUNKED manifest under prefix, so the store can
+// be reopened later with OpenChunked.
 func NewChunked(fs fsim.FS, prefix string, kind core.Kind, shape, tile tensor.Shape, opts ...Option) (*Chunked, error) {
+	c, err := newChunkedShell(fs, prefix, kind, shape, tile, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.writeChunkedManifest(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// newChunkedShell validates the tiling parameters and builds the
+// in-memory Chunked with no tiles — the part NewChunked and
+// OpenChunked share.
+func newChunkedShell(fs fsim.FS, prefix string, kind core.Kind, shape, tile tensor.Shape, opts []Option) (*Chunked, error) {
 	if err := shape.Validate(); err != nil {
 		return nil, err
 	}
@@ -153,8 +169,33 @@ func (c *Chunked) sortedTileKeys() []string {
 // Shape returns the global shape.
 func (c *Chunked) Shape() tensor.Shape { return c.shape }
 
+// Kind returns the organization every tile writes.
+func (c *Chunked) Kind() core.Kind { return c.kind }
+
+// Tile returns the tile extents (interior tiles; edge tiles clip).
+func (c *Chunked) Tile() tensor.Shape { return c.tile }
+
 // Tiles returns the number of non-empty tiles.
 func (c *Chunked) Tiles() int { return len(c.stores) }
+
+// Fragments sums live fragments across all tiles.
+func (c *Chunked) Fragments() int {
+	var total int
+	for _, s := range c.stores {
+		total += s.Fragments()
+	}
+	return total
+}
+
+// Epoch sums the tile manifest epochs — a monotonic change counter for
+// the whole chunked store, not a single MVCC version.
+func (c *Chunked) Epoch() uint64 {
+	var total uint64
+	for _, s := range c.stores {
+		total += s.Epoch()
+	}
+	return total
+}
 
 // TotalBytes sums fragment bytes across all tiles.
 func (c *Chunked) TotalBytes() int64 {
@@ -293,96 +334,18 @@ func (c *Chunked) Write(coords *tensor.Coords, vals []float64) (*WriteReport, er
 
 // Read probes global points across the tiles they fall in and returns
 // the found points sorted by global lexicographic (row-major) order.
+//
+// Deprecated: Read is a thin wrapper; use Query with a Probe target.
 func (c *Chunked) Read(probe *tensor.Coords) (*Result, *ReadReport, error) {
-	if probe.Dims() != c.shape.Dims() {
-		return nil, nil, fmt.Errorf("store: %d-dim probe for %d-dim store", probe.Dims(), c.shape.Dims())
-	}
-	root := c.obsReg().Start(obsChunkedRead)
-	defer root.End()
-	type part struct {
-		idx    []uint64
-		coords *tensor.Coords
-	}
-	parts := map[string]*part{}
-	var keys []string
-	local := make([]uint64, probe.Dims())
-	for i, n := 0, probe.Len(); i < n; i++ {
-		p := probe.At(i)
-		if !c.shape.Contains(p) {
-			continue
-		}
-		idx := c.tileIndex(p)
-		key := tileKey(idx)
-		if _, ok := c.stores[key]; !ok {
-			continue
-		}
-		g, ok := parts[key]
-		if !ok {
-			g = &part{idx: idx, coords: tensor.NewCoords(probe.Dims(), 0)}
-			parts[key] = g
-			keys = append(keys, key)
-		}
-		for d := range p {
-			local[d] = p[d] - idx[d]*c.tile[d]
-		}
-		g.coords.Append(local...)
-	}
-	sort.Strings(keys)
-
-	rep := &ReadReport{}
-	type globalHit struct {
-		p   []uint64
-		val float64
-	}
-	var hits []globalHit
-	for _, key := range keys {
-		g := parts[key]
-		res, r, err := c.stores[key].Read(g.coords)
-		if err != nil {
-			return nil, nil, err
-		}
-		rep.IO += r.IO
-		rep.Extract += r.Extract
-		rep.Probe += r.Probe
-		rep.Merge += r.Merge
-		rep.Fragments += r.Fragments
-		rep.Probed += r.Probed
-		for i, n := 0, res.Coords.Len(); i < n; i++ {
-			lp := res.Coords.At(i)
-			gp := make([]uint64, len(lp))
-			for d := range lp {
-				gp[d] = lp[d] + g.idx[d]*c.tile[d]
-			}
-			hits = append(hits, globalHit{p: gp, val: res.Values[i]})
-		}
-	}
-
-	t := time.Now()
-	sort.Slice(hits, func(a, b int) bool {
-		pa, pb := hits[a].p, hits[b].p
-		for d := range pa {
-			if pa[d] != pb[d] {
-				return pa[d] < pb[d]
-			}
-		}
-		return false
-	})
-	out := &Result{Coords: tensor.NewCoords(c.shape.Dims(), len(hits))}
-	for _, h := range hits {
-		out.Coords.Append(h.p...)
-		out.Values = append(out.Values, h.val)
-	}
-	rep.Merge += time.Since(t)
-	rep.Found = len(hits)
-	return out, rep, nil
+	return c.Query(context.Background(), QueryRequest{Probe: probe, AsOf: AsOfLatest})
 }
 
 // ReadRegion reads a rectangular global region.
+//
+// Deprecated: ReadRegion is a thin wrapper; use Query with a Region
+// target.
 func (c *Chunked) ReadRegion(region tensor.Region) (*Result, *ReadReport, error) {
-	if region.Dims() != c.shape.Dims() {
-		return nil, nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), c.shape.Dims())
-	}
-	return c.Read(region.Coords())
+	return c.Query(context.Background(), QueryRequest{Region: &region, AsOf: AsOfLatest})
 }
 
 // DeleteRegion writes tombstones over the region in every existing tile

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"iter"
 	"sort"
@@ -48,6 +49,14 @@ type tileFrag struct {
 // early-stop semantics match Store.WriteBatchFunc: the committed prefix
 // stays durable, and fn sees at most one non-nil error.
 func (c *Chunked) WriteBatchFunc(batches []Batch, workers int, fn func(i int, rep *WriteReport, err error) error) error {
+	return c.WriteBatchContext(context.Background(), batches, workers, fn)
+}
+
+// WriteBatchContext is the cross-tile WriteBatchFunc under a context,
+// with Store.WriteBatchContext's cancellation semantics: checked
+// before each fragment's commit and by the prepare workers, with the
+// committed prefix staying durable.
+func (c *Chunked) WriteBatchContext(ctx context.Context, batches []Batch, workers int, fn func(i int, rep *WriteReport, err error) error) error {
 	for i, b := range batches {
 		if b.Coords.Len() != len(b.Values) {
 			return fmt.Errorf("store: batch %d: %d points with %d values", i, b.Coords.Len(), len(b.Values))
@@ -138,7 +147,7 @@ func (c *Chunked) WriteBatchFunc(batches []Batch, workers int, fn func(i int, re
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				if !abort.Load() {
+				if !abort.Load() && ctx.Err() == nil {
 					frags[i].store.prepareBatch(&jobs[i], frags[i].batch, root)
 				}
 				close(jobs[i].done)
@@ -179,7 +188,10 @@ func (c *Chunked) WriteBatchFunc(batches []Batch, workers int, fn func(i int, re
 			continue
 		}
 		lockTile(frags[i].store)
-		if j.err != nil {
+		if err := ctx.Err(); err != nil {
+			recycleJob(j)
+			ic.failPrepared(frags[i].store, frags[i].idx, err)
+		} else if j.err != nil {
 			ic.failPrepared(frags[i].store, frags[i].idx, j.err)
 		} else {
 			ic.commit(frags[i].store, frags[i].idx, j, frags[i].final)

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"iter"
@@ -131,6 +132,16 @@ func (s *Store) validateBatches(batches []Batch) error {
 // remain durable and visible, exactly as if that prefix of Writes had
 // run.
 func (s *Store) WriteBatchFunc(batches []Batch, workers int, fn func(i int, rep *WriteReport, err error) error) error {
+	return s.WriteBatchContext(context.Background(), batches, workers, fn)
+}
+
+// WriteBatchContext is WriteBatchFunc under a context. Cancellation is
+// checked before each fragment's commit (and by the prepare workers
+// before each build): the fragments committed before the cancellation
+// stay durable — the same committed-prefix guarantee every error path
+// gives — and the ingest returns ctx.Err() after reporting it through
+// fn with (index, nil, err).
+func (s *Store) WriteBatchContext(ctx context.Context, batches []Batch, workers int, fn func(i int, rep *WriteReport, err error) error) error {
 	if err := s.validateBatches(batches); err != nil {
 		return err
 	}
@@ -146,7 +157,7 @@ func (s *Store) WriteBatchFunc(batches []Batch, workers int, fn func(i int, rep 
 	defer root.End()
 	reg.Gauge("store.ingest.workers", "kind", kind).Set(int64(workers))
 
-	jobs, abort, wg := s.startPrepare(batches, workers, root)
+	jobs, abort, wg := s.startPrepare(ctx, batches, workers, root)
 
 	// Commit stage, on the caller's goroutine: deterministic fragment
 	// order, one file write per fragment, manifest records appended
@@ -163,7 +174,12 @@ func (s *Store) WriteBatchFunc(batches []Batch, workers int, fn func(i int, rep 
 			recycleJob(j)
 			continue
 		}
-		if j.err != nil {
+		if err := ctx.Err(); err != nil {
+			// The worker may have skipped the prepare for the same
+			// reason; either way the fragment never reaches the log.
+			recycleJob(j)
+			ic.failPrepared(s, i, err)
+		} else if j.err != nil {
 			ic.failPrepared(s, i, j.err)
 		} else {
 			ic.commit(s, i, j, i == len(jobs)-1)
@@ -238,7 +254,7 @@ func (s *Store) WriteBatch(batches []Batch, workers int) ([]*WriteReport, error)
 // re-establishes commit order by waiting on each job in turn). The
 // abort flag lets workers skip useless work once the committer has seen
 // a failure.
-func (s *Store) startPrepare(batches []Batch, workers int, root *obs.Span) ([]ingestJob, *atomic.Bool, *sync.WaitGroup) {
+func (s *Store) startPrepare(ctx context.Context, batches []Batch, workers int, root *obs.Span) ([]ingestJob, *atomic.Bool, *sync.WaitGroup) {
 	jobs := make([]ingestJob, len(batches))
 	for i := range jobs {
 		jobs[i].done = make(chan struct{})
@@ -251,7 +267,7 @@ func (s *Store) startPrepare(batches []Batch, workers int, root *obs.Span) ([]in
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				if !abort.Load() {
+				if !abort.Load() && ctx.Err() == nil {
 					s.prepareBatch(&jobs[i], batches[i], root)
 				}
 				close(jobs[i].done)

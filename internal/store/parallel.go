@@ -1,18 +1,17 @@
 package store
 
 import (
-	"fmt"
+	"context"
 	"sync"
 	"time"
 
-	"sparseart/internal/psort"
 	"sparseart/internal/tensor"
 )
 
-// ReadParallel answers a probe list like Read but processes the
+// readParallelAt answers a probe list like readAt but processes the
 // overlapping fragments in a bounded worker pool — the multi-fragment
 // analogue of parallel I/O on an HPC node. Results are identical to
-// Read; only wall-clock time differs (on real file systems).
+// readAt; only wall-clock time differs (on real file systems).
 //
 // Reporting semantics under concurrency: the per-phase durations are
 // summed across workers, so they measure aggregate work, not elapsed
@@ -23,16 +22,11 @@ import (
 // Workers share the store's fragment-reader cache: concurrent misses on
 // the same fragment are coalesced into one load (fragcache
 // singleflight), and warm fragments are probed with no I/O at all.
-func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadReport, error) {
-	workers = psort.Workers(workers)
-	if workers <= 1 {
-		return s.Read(probe)
-	}
-	if probe.Dims() != s.shape.Dims() {
-		return nil, nil, fmt.Errorf("store: %d-dim probe for %d-dim store", probe.Dims(), s.shape.Dims())
-	}
-	v := s.acquireView()
-	defer v.release()
+//
+// Cancellation is checked before each fragment is handed to a worker;
+// in-flight fragments finish, queued ones are dropped, and the call
+// returns ctx.Err().
+func (s *Store) readParallelAt(ctx context.Context, v *readView, probe *tensor.Coords, limit, workers int) (*Result, *ReadReport, error) {
 	rep := &ReadReport{Epoch: v.epoch}
 	s.takeCost()
 	reg := s.obsReg()
@@ -44,7 +38,7 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 		return &Result{Coords: tensor.NewCoords(s.shape.Dims(), 0)}, rep, nil
 	}
 
-	cands := v.overlapping(queryBox, len(v.frags))
+	cands := v.overlapping(queryBox, limit)
 	var overlapping []int
 	var skipped int64
 	for _, fi := range cands {
@@ -61,7 +55,6 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 	if skipped > 0 {
 		reg.Counter("store.filter.skipped", "kind", kind).Add(skipped)
 	}
-	rep.Fragments = len(overlapping)
 
 	var (
 		mu    sync.Mutex
@@ -71,6 +64,15 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for _, fi := range overlapping {
+		if err := ctx.Err(); err != nil {
+			mu.Lock()
+			if first == nil {
+				first = err
+			}
+			mu.Unlock()
+			break
+		}
+		rep.Fragments++
 		fi := fi
 		fr := v.frags[fi]
 		wg.Add(1)

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -210,10 +211,17 @@ func streamReader(r core.Reader, region *tensor.Region) (core.PointSeq, bool) {
 // memory. Returning false from visit stops the walk early (the report
 // then covers the visited prefix).
 func (s *Store) ScanLive(region *tensor.Region, visit func(p []uint64, val float64) bool) (*PushReport, error) {
+	return s.ScanLiveContext(context.Background(), region, visit)
+}
+
+// ScanLiveContext is ScanLive under a context: cancellation is checked
+// before each fragment's walk, so a server deadline stops the scan at
+// a fragment boundary.
+func (s *Store) ScanLiveContext(ctx context.Context, region *tensor.Region, visit func(p []uint64, val float64) bool) (*PushReport, error) {
 	v := s.acquireView()
 	defer v.release()
 	rep := &PushReport{Epoch: v.epoch}
-	err := s.scanLiveView(v, region, visit, rep)
+	err := s.scanLiveView(ctx, v, region, visit, rep)
 	if err != nil && err != errStopPush {
 		return nil, err
 	}
@@ -222,7 +230,7 @@ func (s *Store) ScanLive(region *tensor.Region, visit func(p []uint64, val float
 }
 
 // scanLiveView is ScanLive's body over an already-pinned view.
-func (s *Store) scanLiveView(v *readView, region *tensor.Region, visit func(p []uint64, val float64) bool, rep *PushReport) error {
+func (s *Store) scanLiveView(ctx context.Context, v *readView, region *tensor.Region, visit func(p []uint64, val float64) bool, rep *PushReport) error {
 	data, skipped := s.pushCandidates(v, region)
 	rep.Skipped = skipped
 	var st fragPushStats
@@ -233,6 +241,9 @@ func (s *Store) scanLiveView(v *readView, region *tensor.Region, visit func(p []
 		rep.Dead += st.dead
 	}()
 	for _, fi := range data {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := s.liveFragment(v, fi, region, visit, &st); err != nil {
 			return err
 		}
@@ -259,7 +270,11 @@ func (s *Store) pushCounters(op string, rep *PushReport) {
 // nondeterministic, so float results can differ in rounding from a
 // serial pass — exactly like any parallel reduction; integer-valued
 // data is exact.
-func pushRun[A any](s *Store, op string, workers int, region *tensor.Region,
+//
+// Cancellation is checked per fragment: once ctx reports done, workers
+// drain the remaining feed without touching it and the run returns
+// ctx.Err().
+func pushRun[A any](ctx context.Context, s *Store, op string, workers int, region *tensor.Region,
 	newAcc func() A, visit func(acc A, p []uint64, val float64), merge func(dst, src A)) (A, *PushReport, error) {
 	var zero A
 	v := s.acquireView()
@@ -293,6 +308,16 @@ func pushRun[A any](s *Store, op string, workers int, region *tensor.Region,
 				mu.Lock()
 				stop := firstErr != nil
 				mu.Unlock()
+				if !stop {
+					if err := ctx.Err(); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						stop = true
+					}
+				}
 				if stop {
 					continue
 				}
@@ -334,14 +359,20 @@ func pushRun[A any](s *Store, op string, workers int, region *tensor.Region,
 // per-worker partial, merged by vector addition. x must have length
 // Shape[1]; y has length Shape[0]. workers < 1 means all cores.
 func (s *Store) SpMV(x []float64, workers int) ([]float64, *PushReport, error) {
+	return s.SpMVContext(context.Background(), x, workers)
+}
+
+// SpMVContext is SpMV under a context; cancellation stops fragment
+// work at the next fragment boundary.
+func (s *Store) SpMVContext(ctx context.Context, x []float64, workers int) ([]float64, *PushReport, error) {
 	if s.shape.Dims() != 2 {
-		return nil, nil, fmt.Errorf("store: SpMV needs a 2-dim store, got %d dims", s.shape.Dims())
+		return nil, nil, fmt.Errorf("store: %w: SpMV needs a 2-dim store, got %d dims", ErrBadRequest, s.shape.Dims())
 	}
 	if uint64(len(x)) != s.shape[1] {
-		return nil, nil, fmt.Errorf("store: x has %d entries for %d columns", len(x), s.shape[1])
+		return nil, nil, fmt.Errorf("store: %w: x has %d entries for %d columns", ErrShapeMismatch, len(x), s.shape[1])
 	}
 	rows := int(s.shape[0])
-	return pushRun(s, "spmv", workers, nil,
+	return pushRun(ctx, s, "spmv", workers, nil,
 		func() []float64 { return make([]float64, rows) },
 		func(y []float64, p []uint64, val float64) { y[p[0]] += val * x[p[1]] },
 		func(dst, src []float64) {
@@ -356,12 +387,18 @@ func (s *Store) SpMV(x []float64, workers int) ([]float64, *PushReport, error) {
 // row-major order over the remaining modes together with its shape —
 // the in-store counterpart of linalg.Tensor.TTV.
 func (s *Store) TTV(mode int, vec []float64, workers int) ([]float64, tensor.Shape, *PushReport, error) {
+	return s.TTVContext(context.Background(), mode, vec, workers)
+}
+
+// TTVContext is TTV under a context; cancellation stops fragment work
+// at the next fragment boundary.
+func (s *Store) TTVContext(ctx context.Context, mode int, vec []float64, workers int) ([]float64, tensor.Shape, *PushReport, error) {
 	d := s.shape.Dims()
 	if mode < 0 || mode >= d {
-		return nil, nil, nil, fmt.Errorf("store: mode %d of %d-dim store", mode, d)
+		return nil, nil, nil, fmt.Errorf("store: %w: mode %d of %d-dim store", ErrBadRequest, mode, d)
 	}
 	if uint64(len(vec)) != s.shape[mode] {
-		return nil, nil, nil, fmt.Errorf("store: vector has %d entries for extent %d", len(vec), s.shape[mode])
+		return nil, nil, nil, fmt.Errorf("store: %w: vector has %d entries for extent %d", ErrShapeMismatch, len(vec), s.shape[mode])
 	}
 	outShape := make(tensor.Shape, 0, d-1)
 	for i, m := range s.shape {
@@ -383,7 +420,7 @@ func (s *Store) TTV(mode int, vec []float64, workers int) ([]float64, tensor.Sha
 		out []float64
 		q   []uint64
 	}
-	acc, rep, err := pushRun(s, "ttv", workers, nil,
+	acc, rep, err := pushRun(ctx, s, "ttv", workers, nil,
 		func() *ttvAcc { return &ttvAcc{out: make([]float64, vol), q: make([]uint64, len(outShape))} },
 		func(a *ttvAcc, p []uint64, val float64) {
 			if d == 1 {
@@ -413,7 +450,13 @@ func (s *Store) TTV(mode int, vec []float64, workers int) ([]float64, tensor.Sha
 
 // SumAll reduces the store to the sum of every live value.
 func (s *Store) SumAll(workers int) (float64, *PushReport, error) {
-	sum, rep, err := pushRun(s, "sum", workers, nil,
+	return s.SumAllContext(context.Background(), workers)
+}
+
+// SumAllContext is SumAll under a context; cancellation stops fragment
+// work at the next fragment boundary.
+func (s *Store) SumAllContext(ctx context.Context, workers int) (float64, *PushReport, error) {
+	sum, rep, err := pushRun(ctx, s, "sum", workers, nil,
 		func() *float64 { return new(float64) },
 		func(acc *float64, _ []uint64, val float64) { *acc += val },
 		func(dst, src *float64) { *dst += *src })
@@ -428,13 +471,19 @@ func (s *Store) SumAll(workers int) (float64, *PushReport, error) {
 // intersecting subtrees, and non-overlapping fragments are skipped by
 // the spatial index and coordinate filters before any fetch.
 func (s *Store) SumRegion(region tensor.Region, workers int) (float64, *PushReport, error) {
+	return s.SumRegionContext(context.Background(), region, workers)
+}
+
+// SumRegionContext is SumRegion under a context; cancellation stops
+// fragment work at the next fragment boundary.
+func (s *Store) SumRegionContext(ctx context.Context, region tensor.Region, workers int) (float64, *PushReport, error) {
 	if region.Dims() != s.shape.Dims() {
-		return 0, nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), s.shape.Dims())
+		return 0, nil, fmt.Errorf("store: %w: %d-dim region for %d-dim store", ErrShapeMismatch, region.Dims(), s.shape.Dims())
 	}
 	if _, err := tensor.NewRegion(s.shape, region.Start, region.Size); err != nil {
 		return 0, nil, err
 	}
-	sum, rep, err := pushRun(s, "sum_region", workers, &region,
+	sum, rep, err := pushRun(ctx, s, "sum_region", workers, &region,
 		func() *float64 { return new(float64) },
 		func(acc *float64, _ []uint64, val float64) { *acc += val },
 		func(dst, src *float64) { *dst += *src })
@@ -447,7 +496,13 @@ func (s *Store) SumRegion(region tensor.Region, workers int) (float64, *PushRepo
 // LiveNNZ counts the store's live cells — the number ExportAll would
 // materialize — without materializing anything.
 func (s *Store) LiveNNZ(workers int) (int64, *PushReport, error) {
-	n, rep, err := pushRun(s, "nnz", workers, nil,
+	return s.LiveNNZContext(context.Background(), workers)
+}
+
+// LiveNNZContext is LiveNNZ under a context; cancellation stops
+// fragment work at the next fragment boundary.
+func (s *Store) LiveNNZContext(ctx context.Context, workers int) (int64, *PushReport, error) {
+	n, rep, err := pushRun(ctx, s, "nnz", workers, nil,
 		func() *int64 { return new(int64) },
 		func(acc *int64, _ []uint64, _ float64) { *acc++ },
 		func(dst, src *int64) { *dst += *src })
@@ -461,11 +516,17 @@ func (s *Store) LiveNNZ(workers int) (int64, *PushReport, error) {
 // number of live cells with coordinate k along that mode — the slice
 // histogram load balancers and format advisors want.
 func (s *Store) NNZPerSlice(mode int, workers int) ([]int64, *PushReport, error) {
+	return s.NNZPerSliceContext(context.Background(), mode, workers)
+}
+
+// NNZPerSliceContext is NNZPerSlice under a context; cancellation
+// stops fragment work at the next fragment boundary.
+func (s *Store) NNZPerSliceContext(ctx context.Context, mode int, workers int) ([]int64, *PushReport, error) {
 	if mode < 0 || mode >= s.shape.Dims() {
-		return nil, nil, fmt.Errorf("store: mode %d of %d-dim store", mode, s.shape.Dims())
+		return nil, nil, fmt.Errorf("store: %w: mode %d of %d-dim store", ErrBadRequest, mode, s.shape.Dims())
 	}
 	ext := int(s.shape[mode])
-	return pushRun(s, "nnz_slice", workers, nil,
+	return pushRun(ctx, s, "nnz_slice", workers, nil,
 		func() []int64 { return make([]int64, ext) },
 		func(acc []int64, p []uint64, _ float64) { acc[p[mode]]++ },
 		func(dst, src []int64) {

@@ -1,0 +1,233 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"sparseart/internal/psort"
+	"sparseart/internal/tensor"
+)
+
+// This file is the store's unified request surface. The six historical
+// read entry points (Read, ReadAsOf, ReadRegion, ReadRegionScan,
+// ReadRegionAuto, ReadParallel) differ only in which target they take
+// (probe list or region), which strategy executes it (probe every
+// cell, scan fragments, or the Table I cost model), how many workers
+// probe fragments, and which version bound applies. Query collapses
+// those axes into one serializable QueryRequest — the exact struct the
+// wire protocol (internal/wire) carries — and threads a
+// context.Context through the fragment loops so a server-side deadline
+// stops in-store work instead of letting it run to completion. The
+// legacy methods remain as thin wrappers.
+
+// Typed request errors. They satisfy errors.Is through fmt.Errorf
+// wrapping and survive the wire protocol losslessly: internal/wire
+// assigns each a stable code and reconstructs an error for which
+// errors.Is(err, sentinel) still holds on the client side.
+var (
+	// ErrBadRequest marks a request that is malformed independent of
+	// the store's state: no target (or two), an unknown strategy, a
+	// version outside the fragment history, an unsupported
+	// combination.
+	ErrBadRequest = errors.New("bad request")
+
+	// ErrShapeMismatch marks a request whose coordinates do not match
+	// the store's dimensionality.
+	ErrShapeMismatch = errors.New("shape mismatch")
+)
+
+// Strategy selects how a region query executes. Probe-every-cell is
+// the paper's benchmark form; scan enumerates each fragment's stored
+// points; auto applies the Table I cost model per fragment.
+type Strategy uint8
+
+const (
+	// StrategyDefault probes every region cell (or the given probe
+	// list) with the organization's point-read algorithm.
+	StrategyDefault Strategy = iota
+	// StrategyScan enumerates each overlapping fragment's stored
+	// points and filters by region containment (region targets only).
+	StrategyScan
+	// StrategyAuto chooses probe or scan per fragment by the Table I
+	// complexity model (region targets only).
+	StrategyAuto
+	strategyEnd // sentinel for validation; keep last
+)
+
+// String names the strategy for logs and metric labels.
+func (st Strategy) String() string {
+	switch st {
+	case StrategyDefault:
+		return "probe"
+	case StrategyScan:
+		return "scan"
+	case StrategyAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(st))
+	}
+}
+
+// AsOfLatest asks a query to answer against the store's current
+// version (every committed fragment).
+const AsOfLatest = -1
+
+// QueryRequest describes one read. Exactly one of Probe or Region must
+// be set. The zero value of the remaining fields means "latest
+// version, default strategy, serial execution" — note AsOf zero is the
+// empty store, so callers wanting the current state must set
+// AsOfLatest (the legacy wrappers and the wire decoder do).
+type QueryRequest struct {
+	// Probe lists exact points to look up.
+	Probe *tensor.Coords
+	// Region is a rectangular window to read.
+	Region *tensor.Region
+	// AsOf answers against the store's state after its first AsOf
+	// fragments (0 = empty store, Fragments() = everything);
+	// AsOfLatest follows the live head. Probe targets only.
+	AsOf int64
+	// Strategy picks the region execution mode; see Strategy.
+	Strategy Strategy
+	// Workers bounds the fragment-probing worker pool: 0 or 1 probes
+	// serially, n > 1 uses n workers, negative uses every core.
+	Workers int
+}
+
+// validate rejects structurally bad requests before any view is
+// pinned. Dimension checks happen later, against the store's shape.
+func (req *QueryRequest) validate() error {
+	if (req.Probe == nil) == (req.Region == nil) {
+		return fmt.Errorf("store: %w: exactly one of Probe or Region must be set", ErrBadRequest)
+	}
+	if req.Strategy >= strategyEnd {
+		return fmt.Errorf("store: %w: unknown strategy %d", ErrBadRequest, req.Strategy)
+	}
+	if req.Probe != nil && req.Strategy != StrategyDefault {
+		return fmt.Errorf("store: %w: strategy %v needs a region target", ErrBadRequest, req.Strategy)
+	}
+	if req.AsOf < AsOfLatest {
+		return fmt.Errorf("store: %w: as-of version %d", ErrBadRequest, req.AsOf)
+	}
+	if req.Region != nil && req.AsOf != AsOfLatest {
+		return fmt.Errorf("store: %w: as-of reads take a probe target", ErrBadRequest)
+	}
+	return nil
+}
+
+// Query answers one QueryRequest against a pinned MVCC view. It is the
+// single entry point the legacy Read* methods, the facade, and the
+// wire protocol all route through. Cancellation is checked once per
+// fragment: a canceled ctx stops before the next fetch/probe/scan and
+// returns ctx.Err().
+func (s *Store) Query(ctx context.Context, req QueryRequest) (*Result, *ReadReport, error) {
+	if err := req.validate(); err != nil {
+		return nil, nil, err
+	}
+	dims := s.shape.Dims()
+	if req.Probe != nil && req.Probe.Dims() != dims {
+		return nil, nil, fmt.Errorf("store: %w: %d-dim probe for %d-dim store", ErrShapeMismatch, req.Probe.Dims(), dims)
+	}
+	if req.Region != nil && req.Region.Dims() != dims {
+		return nil, nil, fmt.Errorf("store: %w: %d-dim region for %d-dim store", ErrShapeMismatch, req.Region.Dims(), dims)
+	}
+	v := s.acquireView()
+	defer v.release()
+	limit := len(v.frags)
+	if req.AsOf != AsOfLatest {
+		if req.AsOf > int64(len(v.frags)) {
+			return nil, nil, fmt.Errorf("store: %w: version %d outside [0, %d]", ErrBadRequest, req.AsOf, len(v.frags))
+		}
+		limit = int(req.AsOf)
+	}
+	if req.Region != nil {
+		switch req.Strategy {
+		case StrategyScan:
+			return s.readRegionScanAt(ctx, v, *req.Region, limit)
+		case StrategyAuto:
+			return s.readRegionAutoAt(ctx, v, *req.Region, limit)
+		}
+		if workers := psort.Workers(req.Workers); workers > 1 && req.Workers != 0 {
+			return s.readParallelAt(ctx, v, req.Region.Coords(), limit, workers)
+		}
+		return s.readAt(ctx, v, req.Region.Coords(), limit)
+	}
+	if workers := psort.Workers(req.Workers); workers > 1 && req.Workers != 0 {
+		return s.readParallelAt(ctx, v, req.Probe, limit, workers)
+	}
+	return s.readAt(ctx, v, req.Probe, limit)
+}
+
+// Read implements Algorithm 3's READ for an arbitrary probe list: find
+// overlapping fragments, probe each, merge sorted by linear address.
+// When several fragments contain the same cell the most recent
+// fragment wins; cells covered by a later tombstone are dead.
+//
+// Deprecated: Read is a thin wrapper; use Query with a Probe target.
+func (s *Store) Read(probe *tensor.Coords) (*Result, *ReadReport, error) {
+	return s.Query(context.Background(), QueryRequest{Probe: probe, AsOf: AsOfLatest})
+}
+
+// ReadAsOf answers the probe against the store's state after its first
+// version fragments — time travel over the immutable fragment history.
+// version ranges from 0 (empty store) to Fragments().
+//
+// Deprecated: ReadAsOf is a thin wrapper; use Query with AsOf set.
+func (s *Store) ReadAsOf(probe *tensor.Coords, version int) (*Result, *ReadReport, error) {
+	if version < 0 {
+		// QueryRequest reserves -1 for "latest"; the legacy method
+		// treated every negative version as out of range.
+		return nil, nil, fmt.Errorf("store: %w: version %d outside [0, %d]", ErrBadRequest, version, s.Fragments())
+	}
+	return s.Query(context.Background(), QueryRequest{Probe: probe, AsOf: int64(version)})
+}
+
+// ReadRegion reads a rectangular region by probing every cell, the form
+// of the paper's read benchmark (start (m/2,…), size (m/10,…)).
+//
+// Deprecated: ReadRegion is a thin wrapper; use Query with a Region
+// target.
+func (s *Store) ReadRegion(region tensor.Region) (*Result, *ReadReport, error) {
+	return s.Query(context.Background(), QueryRequest{Region: &region, AsOf: AsOfLatest})
+}
+
+// ReadRegionScan reads a rectangular region in scan mode: instead of
+// probing every cell with the organization's point-read algorithm (the
+// paper's benchmark, O(n_read) probes of O(n) each for COO/LINEAR),
+// each overlapping fragment enumerates its stored points and filters by
+// containment — O(n) per fragment regardless of region volume. This is
+// the trade-off flip side of §II-A: scans favor large windows, probes
+// favor small ones. CSF prunes the walk through its tree
+// (core.RegionScanner); the other organizations fall back to a full
+// iteration.
+//
+// Deprecated: ReadRegionScan is a thin wrapper; use Query with
+// StrategyScan.
+func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, error) {
+	return s.Query(context.Background(), QueryRequest{Region: &region, AsOf: AsOfLatest, Strategy: StrategyScan})
+}
+
+// ReadRegionAuto reads a rectangular region, choosing probe or scan
+// mode per fragment by the Table I cost model. Results are identical to
+// ReadRegion and ReadRegionScan; only the time to produce them differs.
+// The report's Scans field tells how many fragments were scanned.
+//
+// Deprecated: ReadRegionAuto is a thin wrapper; use Query with
+// StrategyAuto.
+func (s *Store) ReadRegionAuto(region tensor.Region) (*Result, *ReadReport, error) {
+	return s.Query(context.Background(), QueryRequest{Region: &region, AsOf: AsOfLatest, Strategy: StrategyAuto})
+}
+
+// ReadParallel answers a probe list like Read but processes the
+// overlapping fragments in a bounded worker pool — the multi-fragment
+// analogue of parallel I/O on an HPC node. Results are identical to
+// Read; only wall-clock time differs (on real file systems).
+//
+// Deprecated: ReadParallel is a thin wrapper; use Query with Workers
+// set.
+func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadReport, error) {
+	if workers < 1 {
+		workers = -1 // legacy semantics: "not specified" meant every core
+	}
+	return s.Query(context.Background(), QueryRequest{Probe: probe, AsOf: AsOfLatest, Workers: workers})
+}

@@ -15,6 +15,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -794,34 +795,10 @@ type hit struct {
 	val  float64
 }
 
-// Read implements Algorithm 3's READ for an arbitrary probe list: find
-// overlapping fragments, probe each, merge sorted by linear address.
-// When several fragments contain the same cell the most recent fragment
-// wins; cells covered by a later tombstone are dead.
-func (s *Store) Read(probe *tensor.Coords) (*Result, *ReadReport, error) {
-	v := s.acquireView()
-	defer v.release()
-	return s.readAt(v, probe, len(v.frags))
-}
-
-// ReadAsOf answers the probe against the store's state after its first
-// version fragments — time travel over the immutable fragment history.
-// version ranges from 0 (empty store) to Fragments().
-func (s *Store) ReadAsOf(probe *tensor.Coords, version int) (*Result, *ReadReport, error) {
-	v := s.acquireView()
-	defer v.release()
-	if version < 0 || version > len(v.frags) {
-		return nil, nil, fmt.Errorf("store: version %d outside [0, %d]", version, len(v.frags))
-	}
-	return s.readAt(v, probe, version)
-}
-
 // readAt probes the first limit fragments of the pinned view v.
-func (s *Store) readAt(v *readView, probe *tensor.Coords, limit int) (*Result, *ReadReport, error) {
+// Cancellation is checked once per candidate fragment.
+func (s *Store) readAt(ctx context.Context, v *readView, probe *tensor.Coords, limit int) (*Result, *ReadReport, error) {
 	rep := &ReadReport{Epoch: v.epoch}
-	if probe.Dims() != s.shape.Dims() {
-		return nil, nil, fmt.Errorf("store: %d-dim probe for %d-dim store", probe.Dims(), s.shape.Dims())
-	}
 	s.takeCost()
 	reg := s.obsReg()
 	kind := s.curKind().String()
@@ -836,6 +813,9 @@ func (s *Store) readAt(v *readView, probe *tensor.Coords, limit int) (*Result, *
 	cands := v.overlapping(queryBox, limit)
 	var skipped int64
 	for _, fi := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		fr := v.frags[fi]
 		if fr.nnz == 0 {
 			continue // tombstones join at the merge, not the probe loop
@@ -953,30 +933,13 @@ func mergeHits(s *Store, hits []hit, tombs []tombstoneRef) (*Result, time.Durati
 	return out, time.Since(t)
 }
 
-// ReadRegion reads a rectangular region by probing every cell, the form
-// of the paper's read benchmark (start (m/2,…), size (m/10,…)).
-func (s *Store) ReadRegion(region tensor.Region) (*Result, *ReadReport, error) {
-	if region.Dims() != s.shape.Dims() {
-		return nil, nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), s.shape.Dims())
-	}
-	return s.Read(region.Coords())
-}
-
-// ReadRegionScan reads a rectangular region in scan mode: instead of
-// probing every cell with the organization's point-read algorithm (the
-// paper's benchmark, O(n_read) probes of O(n) each for COO/LINEAR),
-// each overlapping fragment enumerates its stored points and filters by
-// containment — O(n) per fragment regardless of region volume. This is
-// the trade-off flip side of §II-A: scans favor large windows, probes
-// favor small ones. CSF prunes the walk through its tree
-// (core.RegionScanner); the other organizations fall back to a full
-// iteration.
-func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, error) {
-	if region.Dims() != s.shape.Dims() {
-		return nil, nil, fmt.Errorf("store: %d-dim region for %d-dim store", region.Dims(), s.shape.Dims())
-	}
-	v := s.acquireView()
-	defer v.release()
+// readRegionScanAt reads a rectangular region in scan mode against the
+// first limit fragments of the pinned view v: each overlapping
+// fragment enumerates its stored points and filters by containment —
+// O(n) per fragment regardless of region volume. CSF prunes the walk
+// through its tree (core.RegionScanner); the other organizations fall
+// back to a full iteration. Cancellation is checked once per fragment.
+func (s *Store) readRegionScanAt(ctx context.Context, v *readView, region tensor.Region, limit int) (*Result, *ReadReport, error) {
 	rep := &ReadReport{Epoch: v.epoch}
 	s.takeCost()
 	reg := s.obsReg()
@@ -986,9 +949,12 @@ func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, erro
 	queryBox := region.BBox()
 
 	var hits []hit
-	cands := v.overlapping(queryBox, len(v.frags))
+	cands := v.overlapping(queryBox, limit)
 	var skipped int64
 	for _, fi := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		fr := v.frags[fi]
 		if fr.nnz == 0 {
 			continue
@@ -1039,7 +1005,14 @@ func (s *Store) ReadRegionScan(region tensor.Region) (*Result, *ReadReport, erro
 // ReadPoints probes specific points and returns values aligned with the
 // probe order plus a found mask — the convenience form for applications.
 func (s *Store) ReadPoints(probe *tensor.Coords) ([]float64, []bool, *ReadReport, error) {
-	res, rep, err := s.Read(probe)
+	return s.QueryPoints(context.Background(), probe)
+}
+
+// QueryPoints is ReadPoints under a context: the probe runs through
+// Query, so cancellation stops fragment work mid-read. It is the form
+// the wire protocol's ReadPoints op executes.
+func (s *Store) QueryPoints(ctx context.Context, probe *tensor.Coords) ([]float64, []bool, *ReadReport, error) {
+	res, rep, err := s.Query(ctx, QueryRequest{Probe: probe, AsOf: AsOfLatest})
 	if err != nil {
 		return nil, nil, nil, err
 	}

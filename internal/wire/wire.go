@@ -1,0 +1,200 @@
+// Package wire defines the binary protocol sparsestore serves data
+// over: length-prefixed frames carrying the store's serializable
+// request types (store.QueryRequest, batches, regions, kernels) and
+// their responses, plus a typed error model whose codes survive the
+// round trip — errors.Is(err, sentinel) holds on both sides of the
+// connection.
+//
+// Frame layout (all integers little-endian):
+//
+//	u32  payload length (excluding this 13-byte header)
+//	u8   message type (Msg*)
+//	u64  request id (echoed verbatim in the response)
+//	...  payload
+//
+// Requests and responses are matched by request id, so one connection
+// can pipeline concurrent requests; the server answers in completion
+// order. Every request payload begins with a u64 relative deadline in
+// nanoseconds (0 = none) from which the server derives the request's
+// context.
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"sparseart/internal/buf"
+	"sparseart/internal/store"
+)
+
+// Message types. Requests are < 0x40; responses have the high bits.
+const (
+	MsgQuery      = uint8(0x01) // store.QueryRequest → Result + ReadReport
+	MsgReadPoints = uint8(0x02) // probe → values + found mask + ReadReport
+	MsgWrite      = uint8(0x03) // coords + values → WriteReport
+	MsgWriteBatch = uint8(0x04) // batches + workers → []WriteReport
+	MsgDelete     = uint8(0x05) // region → WriteReport
+	MsgKernel     = uint8(0x06) // store.KernelRequest → KernelResult
+	MsgInfo       = uint8(0x07) // → Info
+	MsgObs        = uint8(0x08) // → obs snapshot JSON
+	MsgPing       = uint8(0x09) // → empty OK
+
+	MsgOK  = uint8(0x40) // success; payload is the op's response body
+	MsgErr = uint8(0x41) // failure; payload is an encoded Error
+)
+
+// MaxFrame bounds one frame's payload; a peer announcing more is
+// corrupt (or hostile) and the connection is dropped.
+const MaxFrame = 1 << 30
+
+// frameHeaderLen is the fixed frame header size.
+const frameHeaderLen = 4 + 1 + 8
+
+// WriteFrame writes one frame. Callers serialize concurrent writers.
+func WriteFrame(w io.Writer, typ uint8, id uint64, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame payload %d exceeds limit", len(payload))
+	}
+	hdr := buf.NewWriter(frameHeaderLen)
+	hdr.U32(uint32(len(payload)))
+	hdr.U8(typ)
+	hdr.U64(id)
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, allocating the payload.
+func ReadFrame(r io.Reader) (typ uint8, id uint64, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	br := buf.NewReader(hdr[:])
+	n := br.U32()
+	typ = br.U8()
+	id = br.U64()
+	if n > MaxFrame {
+		return 0, 0, nil, fmt.Errorf("wire: frame payload %d exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return typ, id, payload, nil
+}
+
+// Code is a wire-stable error code. Codes never change meaning across
+// versions; new ones append.
+type Code uint16
+
+const (
+	// CodeUnknown carries errors with no specific code; only the
+	// message survives.
+	CodeUnknown Code = iota
+	// CodeBadRequest maps store.ErrBadRequest.
+	CodeBadRequest
+	// CodeShapeMismatch maps store.ErrShapeMismatch.
+	CodeShapeMismatch
+	// CodeOverloaded maps ErrOverloaded.
+	CodeOverloaded
+	// CodeShardUnavailable maps ErrShardUnavailable.
+	CodeShardUnavailable
+	// CodeDeadlineExceeded maps context.DeadlineExceeded.
+	CodeDeadlineExceeded
+	// CodeCanceled maps context.Canceled.
+	CodeCanceled
+)
+
+// Typed sentinels for the serving layer's own failure modes; the
+// request-shape sentinels live in internal/store (the layer that
+// validates requests).
+var (
+	// ErrOverloaded rejects a request because the server's bounded
+	// in-flight window is full — back-pressure, not failure: the
+	// client may retry after backing off.
+	ErrOverloaded = errors.New("server overloaded")
+
+	// ErrShardUnavailable marks a router request that could not reach
+	// the shard owning the data.
+	ErrShardUnavailable = errors.New("shard unavailable")
+)
+
+// codeSentinels orders the errors.Is probes for CodeOf. Context errors
+// come first: a canceled request wrapped in a store error should
+// surface as cancellation.
+var codeSentinels = []struct {
+	code Code
+	err  error
+}{
+	{CodeDeadlineExceeded, context.DeadlineExceeded},
+	{CodeCanceled, context.Canceled},
+	{CodeOverloaded, ErrOverloaded},
+	{CodeShardUnavailable, ErrShardUnavailable},
+	{CodeBadRequest, store.ErrBadRequest},
+	{CodeShapeMismatch, store.ErrShapeMismatch},
+}
+
+// CodeOf classifies an error for transport.
+func CodeOf(err error) Code {
+	for _, cs := range codeSentinels {
+		if errors.Is(err, cs.err) {
+			return cs.code
+		}
+	}
+	return CodeUnknown
+}
+
+// sentinelFor inverts CodeOf.
+func sentinelFor(code Code) error {
+	for _, cs := range codeSentinels {
+		if cs.code == code {
+			return cs.err
+		}
+	}
+	return nil
+}
+
+// Error is the decoded form of a remote failure: the original message
+// verbatim plus the code, satisfying errors.Is for the code's
+// sentinel. The round trip is lossless — Error() returns exactly the
+// server-side err.Error(), and the errors.Is behavior for the typed
+// sentinels is preserved.
+type Error struct {
+	Code Code
+	Msg  string
+}
+
+// Error returns the remote error's original message.
+func (e *Error) Error() string { return e.Msg }
+
+// Is matches the sentinel the code maps to, so client code can use
+// errors.Is(err, store.ErrBadRequest), errors.Is(err,
+// context.DeadlineExceeded), etc. on decoded remote errors.
+func (e *Error) Is(target error) bool {
+	s := sentinelFor(e.Code)
+	return s != nil && target == s
+}
+
+// EncodeError serializes err as a MsgErr payload.
+func EncodeError(err error) []byte {
+	w := buf.NewWriter(2 + len(err.Error()))
+	w.U16(uint16(CodeOf(err)))
+	w.Bytes32([]byte(err.Error()))
+	return w.Bytes()
+}
+
+// DecodeError parses a MsgErr payload back into an *Error.
+func DecodeError(payload []byte) error {
+	r := buf.NewReader(payload)
+	code := Code(r.U16())
+	msg := string(r.Bytes32())
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("wire: bad error payload: %w", err)
+	}
+	return &Error{Code: code, Msg: msg}
+}

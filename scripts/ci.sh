@@ -100,7 +100,8 @@ SPARSEART_CHUNKED_SHARED_CACHE=off SPARSEART_MANIFEST_GROUP_COMMIT=off \
 echo "==> serve smoke (live /metrics + /metrics.json scrape)"
 SMOKE_DIR=$(mktemp -d)
 SERVE_PID=""
-trap '[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+SMOKE_PIDS=""
+trap '[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true; [ -n "$SMOKE_PIDS" ] && kill $SMOKE_PIDS 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
 printf '# shape: 16 16\n1 2 10\n3 4 20\n5 6 30\n' > "$SMOKE_DIR/ds.txt"
 go build -o "$SMOKE_DIR/sparsestore" ./cmd/sparsestore
 "$SMOKE_DIR/sparsestore" import -dir "$SMOKE_DIR/store" -kind GCSR++ -in "$SMOKE_DIR/ds.txt"
@@ -117,6 +118,50 @@ go run ./scripts/checkmetrics -addr "$(cat "$SMOKE_DIR/addr")" \
     -expect fragcache.warmed -expect store.read.count
 kill "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+# Router smoke: boot three shard data servers (each a fresh chunked
+# store), front them with sparserouter, and drive the wire-level
+# differential workload (`sparsestore rpc`: batched writes, region
+# read-back with exact per-point verification, SumAll cross-check,
+# delete + re-verify) through the router. Then scrape the router's
+# /metrics — the OnScrape hook absorbs every shard's obs snapshot, so
+# the aggregate must carry both the router's own scatter counters and
+# the shards' store counters.
+echo "==> router smoke (3 shards, scatter-gather rpc + fleet /metrics)"
+go build -o "$SMOKE_DIR/sparserouter" ./cmd/sparserouter
+SHARD_ADDRS=""
+for i in 0 1 2; do
+    "$SMOKE_DIR/sparsestore" serve -dir "$SMOKE_DIR/shard$i" \
+        -create CSF -shape 24,24 -tile 8,8 \
+        -addr 127.0.0.1:0 -data-addr 127.0.0.1:0 \
+        -data-addr-file "$SMOKE_DIR/shard$i.addr" &
+    SMOKE_PIDS="$SMOKE_PIDS $!"
+done
+for i in 0 1 2; do
+    for _ in $(seq 1 100); do
+        [ -s "$SMOKE_DIR/shard$i.addr" ] && break
+        sleep 0.1
+    done
+    [ -s "$SMOKE_DIR/shard$i.addr" ] || { echo "shard $i never wrote its address" >&2; exit 1; }
+    SHARD_ADDRS="$SHARD_ADDRS,$(cat "$SMOKE_DIR/shard$i.addr")"
+done
+"$SMOKE_DIR/sparserouter" -shards "${SHARD_ADDRS#,}" \
+    -data-addr 127.0.0.1:0 -data-addr-file "$SMOKE_DIR/router.addr" \
+    -metrics-addr 127.0.0.1:0 -metrics-addr-file "$SMOKE_DIR/router.metrics" &
+SMOKE_PIDS="$SMOKE_PIDS $!"
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/router.addr" ] && [ -s "$SMOKE_DIR/router.metrics" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/router.addr" ] || { echo "router never wrote its address" >&2; exit 1; }
+"$SMOKE_DIR/sparsestore" rpc -addr "$(cat "$SMOKE_DIR/router.addr")" -points 150 -batches 3
+go run ./scripts/checkmetrics -addr "$(cat "$SMOKE_DIR/router.metrics")" \
+    -expect router.scatter \
+    -expect store.read.count -expect store.chunked.ingest.count
+kill $SMOKE_PIDS 2>/dev/null || true
+wait $SMOKE_PIDS 2>/dev/null || true
+SMOKE_PIDS=""
 
 if [ "$FUZZ_SECONDS" -gt 0 ]; then
     echo "==> fuzz smoke (${FUZZ_SECONDS}s per target)"
