@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -51,6 +52,8 @@ func run(args []string) error {
 	metricsAddrFile := fs.String("metrics-addr-file", "", "write the bound telemetry address to this file once listening")
 	maxInflight := fs.Int("max-inflight", 0, "bound on concurrently executing requests (0: default)")
 	scrapeTimeout := fs.Duration("scrape-timeout", 5*time.Second, "deadline for pulling shard telemetry on each scrape")
+	slowlog := fs.String("slowlog", "", "slow-query threshold in ms — routed queries at least this slow land in /debug/slowlog (0 logs every query; empty: SPARSEART_SLOWLOG_MS, or off)")
+	traceSample := fs.Float64("trace-sample", 0, "probability that a request without a caller trace starts a sampled trace (0: SPARSEART_TRACE_SAMPLE, or off)")
 	fs.Parse(args)
 	if *shards == "" {
 		return fmt.Errorf("-shards is required")
@@ -61,6 +64,14 @@ func run(args []string) error {
 	}
 
 	reg := obs.Enable()
+	reg.SetProc("router")
+	if *slowlog != "" {
+		ms, err := strconv.ParseInt(*slowlog, 10, 64)
+		if err != nil || ms < 0 {
+			return fmt.Errorf("-slowlog: want a millisecond count >= 0, got %q", *slowlog)
+		}
+		reg.SlowLog().SetThreshold(time.Duration(ms) * time.Millisecond)
+	}
 	router, err := serve.NewRouter(addrs, reg)
 	if err != nil {
 		return err
@@ -75,7 +86,7 @@ func run(args []string) error {
 	if err := writeAddrFile(*dataAddrFile, dataLn.Addr().String()); err != nil {
 		return err
 	}
-	srv := serve.NewServer(router, serve.Config{MaxInFlight: *maxInflight, Obs: reg})
+	srv := serve.NewServer(router, serve.Config{MaxInFlight: *maxInflight, Obs: reg, TraceSample: *traceSample})
 	fmt.Fprintf(os.Stderr, "serving data on %s\n", dataLn.Addr())
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(dataLn) }()

@@ -9,6 +9,8 @@ import (
 	"os"
 	"time"
 
+	"sparseart/internal/obs"
+	"sparseart/internal/obs/export"
 	"sparseart/internal/serve"
 	"sparseart/internal/store"
 	"sparseart/internal/tensor"
@@ -27,6 +29,7 @@ func runRPC(args []string) error {
 	batches := fs.Int("batches", 4, "batches to split the writes into")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
+	traceOut := fs.String("trace-out", "", "sample every request in this run under one trace ID and write the stitched Chrome trace (client + router + shards) to this file")
 	fs.Parse(args)
 	if *addr == "" {
 		return fmt.Errorf("rpc: -addr is required")
@@ -38,6 +41,16 @@ func runRPC(args []string) error {
 	}
 	defer c.Close()
 	ctx := context.Background()
+	var reg *obs.Registry
+	if *traceOut != "" {
+		// Every request this run sends joins one sampled trace, so the
+		// written file is a single end-to-end timeline: client.request
+		// spans here, serve.request/router.query on the router, and
+		// serve.request/store.query on each shard it fanned out to.
+		reg = obs.Enable()
+		reg.SetProc("client")
+		ctx = obs.ContextWithTrace(ctx, obs.NewTrace(true))
+	}
 	withDeadline := func() (context.Context, context.CancelFunc) {
 		return context.WithTimeout(ctx, *timeout)
 	}
@@ -165,8 +178,40 @@ func runRPC(args []string) error {
 		}
 	}
 
+	if *traceOut != "" {
+		if err := writeStitchedTrace(c, reg, *traceOut, *timeout); err != nil {
+			return err
+		}
+	}
+
 	fmt.Printf("rpc smoke ok: %d points, %d batches, %d deleted, sum %.3f\n",
 		coords.Len(), nb, deleted, sum)
+	return nil
+}
+
+// writeStitchedTrace pulls the remote end's telemetry snapshot — a
+// router refreshes from its shards first, so the snapshot carries the
+// whole fleet's sampled spans — absorbs it into the local registry next
+// to this process's client spans, and writes one Chrome trace file.
+// The fetch itself runs untraced: its serve.request span is still open
+// when the snapshot is cut, so tracing it would litter the file with
+// spans whose parent can never appear.
+func writeStitchedTrace(c *serve.Client, reg *obs.Registry, path string, timeout time.Duration) error {
+	tctx, cancel := context.WithTimeout(context.Background(), timeout)
+	snap, err := c.ObsSnapshot(tctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("rpc: trace snapshot: %w", err)
+	}
+	reg.Absorb(snap)
+	out, err := export.ChromeTrace(reg.Snapshot())
+	if err != nil {
+		return fmt.Errorf("rpc: trace render: %w", err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return fmt.Errorf("rpc: trace write: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "rpc: wrote stitched trace to %s\n", path)
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -34,6 +35,28 @@ func startListener(addr string) (stop func(), err error) {
 	srv := &http.Server{Handler: obsserve.New(nil).Handler()}
 	go srv.Serve(ln)
 	return func() { srv.Close() }, nil
+}
+
+// configSlowLog applies the -slowlog / -slowlog-file flags: thresholdMS
+// "" leaves the registry's default (the SPARSEART_SLOWLOG_MS knob), "0"
+// logs every query, any other integer is a threshold in milliseconds.
+func configSlowLog(reg *obs.Registry, thresholdMS, file string) (err error) {
+	sl := reg.SlowLog()
+	if thresholdMS != "" {
+		ms, err := strconv.ParseInt(thresholdMS, 10, 64)
+		if err != nil || ms < 0 {
+			return fmt.Errorf("-slowlog: want a millisecond count >= 0, got %q", thresholdMS)
+		}
+		sl.SetThreshold(time.Duration(ms) * time.Millisecond)
+	}
+	if file != "" {
+		f, err := os.OpenFile(file, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		sl.SetSink(f) // process-lived, like the registry itself
+	}
+	return nil
 }
 
 // writeAddrFile records a bound address for scripts using ":0" ports.
@@ -118,12 +141,19 @@ func runServe(args []string) error {
 	readall := fs.Bool("readall", false, "run one whole-tensor region read after opening, so the scrape shows read-path metrics and spans")
 	report := fs.String("report", "", "append interval OTLP-JSON delta documents to this file while serving")
 	reportEvery := fs.Duration("report-interval", 10*time.Second, "emission interval for -report")
+	slowlog := fs.String("slowlog", "", "slow-query threshold in ms — queries at least this slow land in /debug/slowlog (0 logs every query; empty: SPARSEART_SLOWLOG_MS, or off)")
+	slowlogFile := fs.String("slowlog-file", "", "also append slow-query JSONL lines to this file")
+	traceSample := fs.Float64("trace-sample", 0, "probability that a data request without a caller trace starts a sampled trace (0: SPARSEART_TRACE_SAMPLE, or off)")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("serve: -dir is required")
 	}
 
 	reg := obs.Enable()
+	reg.SetProc("shard:" + *dir)
+	if err := configSlowLog(reg, *slowlog, *slowlogFile); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
 	opts, err := cacheOptions()
 	if err != nil {
 		return err
@@ -169,7 +199,7 @@ func runServe(args []string) error {
 		if err := writeAddrFile(*dataAddrFile, dataLn.Addr().String()); err != nil {
 			return err
 		}
-		dataSrv = serve.NewServer(backend, serve.Config{MaxInFlight: *maxInflight, Obs: reg})
+		dataSrv = serve.NewServer(backend, serve.Config{MaxInFlight: *maxInflight, Obs: reg, TraceSample: *traceSample})
 		fmt.Fprintf(os.Stderr, "serving data for %s on %s\n", *dir, dataLn.Addr())
 		go func() {
 			if err := dataSrv.Serve(dataLn); err != nil {

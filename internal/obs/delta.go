@@ -61,6 +61,22 @@ func Delta(prev, cur *Snapshot) *Snapshot {
 	if len(cur.Spans) > len(prev.Spans) {
 		d.Spans = append([]SpanEvent(nil), cur.Spans[len(prev.Spans):]...)
 	}
+	// Trace spans live in a ring that overwrites its oldest entries, so
+	// a length-based tail is wrong once the ring wraps. Span IDs are
+	// unique random 64-bit values, so the delta is exactly cur's spans
+	// whose IDs prev did not carry — each span crosses a scrape chain
+	// once, no matter how the ring moved underneath.
+	if len(cur.TraceSpans) > 0 {
+		seen := make(map[uint64]struct{}, len(prev.TraceSpans))
+		for _, ts := range prev.TraceSpans {
+			seen[ts.SpanID] = struct{}{}
+		}
+		for _, ts := range cur.TraceSpans {
+			if _, ok := seen[ts.SpanID]; !ok {
+				d.TraceSpans = append(d.TraceSpans, ts)
+			}
+		}
+	}
 	if drops := cur.SpanDrops - prev.SpanDrops; drops > 0 {
 		d.SpanDrops = drops
 	}

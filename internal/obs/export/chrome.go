@@ -2,6 +2,7 @@ package export
 
 import (
 	"encoding/json"
+	"fmt"
 	"sort"
 	"strconv"
 
@@ -76,6 +77,7 @@ func ChromeTrace(s *obs.Snapshot) ([]byte, error) {
 			Args: map[string]any{"depth": e.Depth},
 		})
 	}
+	appendTraceSpans(&tr, s.TraceSpans)
 	if s.SpanDrops > 0 {
 		// Surface capture-time drops as an instant event at the end of
 		// the visible timeline so a truncated trace says so on screen.
@@ -99,4 +101,91 @@ func threadName(depth int) string {
 		return "spans (root)"
 	}
 	return "spans depth " + strconv.Itoa(depth)
+}
+
+// appendTraceSpans renders sampled distributed-trace spans. Each source
+// process (the span's Proc label — "client", "router", "shard:<dir>")
+// gets its own pid, so a snapshot stitched from absorbed shard rings
+// lays the whole fleet out as one timeline; within a process, nesting
+// depth maps to its own track exactly like the legacy spans. Trace
+// spans carry wall-clock start times, which agree across processes up
+// to clock skew — the cross-process alignment the legacy
+// registry-relative offsets cannot give. Timestamps are rebased to the
+// earliest span so the viewer opens at t≈0. Every event's args carry
+// the trace/span/parent IDs, so a viewer (or scripts/checktrace) can
+// reassemble parent links exactly.
+func appendTraceSpans(tr *chromeTrace, spans []obs.TraceSpan) {
+	if len(spans) == 0 {
+		return
+	}
+	procs := map[string][]obs.TraceSpan{}
+	base := spans[0].StartUnixNs
+	for _, ts := range spans {
+		p := ts.Proc
+		if p == "" {
+			p = "unknown"
+		}
+		procs[p] = append(procs[p], ts)
+		if ts.StartUnixNs < base {
+			base = ts.StartUnixNs
+		}
+	}
+	names := make([]string, 0, len(procs))
+	for p := range procs {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	for pi, p := range names {
+		pid := 100 + pi // clear of the legacy timeline's pid 1
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": p},
+		})
+		depths := map[int]bool{}
+		for _, ts := range procs[p] {
+			depths[ts.Depth] = true
+		}
+		sorted := make([]int, 0, len(depths))
+		for d := range depths {
+			sorted = append(sorted, d)
+		}
+		sort.Ints(sorted)
+		for _, d := range sorted {
+			tr.TraceEvents = append(tr.TraceEvents,
+				chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: d + 1,
+					Args: map[string]any{"name": threadName(d)},
+				},
+				chromeEvent{
+					Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: d + 1,
+					Args: map[string]any{"sort_index": d},
+				},
+			)
+		}
+		for _, ts := range procs[p] {
+			args := map[string]any{
+				"trace_id": ts.TraceID(),
+				"span_id":  fmt.Sprintf("%016x", ts.SpanID),
+			}
+			if ts.ParentID != 0 {
+				args["parent_id"] = fmt.Sprintf("%016x", ts.ParentID)
+			}
+			for _, a := range ts.Attrs {
+				if a.Str != "" {
+					args[a.Key] = a.Str
+				} else {
+					args[a.Key] = a.Int
+				}
+			}
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: ts.Name,
+				Ph:   "X",
+				Ts:   float64(ts.StartUnixNs-base) / 1e3,
+				Dur:  float64(ts.DurNs) / 1e3,
+				Pid:  pid,
+				Tid:  ts.Depth + 1,
+				Args: args,
+			})
+		}
+	}
 }

@@ -150,6 +150,18 @@ type Registry struct {
 	traceEvents []SpanEvent
 	traceDrops  int64
 	traceCap    int
+
+	// Sampled request spans (distributed tracing, see trace.go): a
+	// bounded ring keeping the newest spans, plus the process label
+	// stamped onto each recorded span.
+	spanRingMu   sync.Mutex
+	spanRing     []TraceSpan
+	spanRingHead int // next overwrite index once the ring is full
+	spanRingCap  int
+	proc         atomic.Pointer[string]
+
+	// slowlog is the registry's slow-query log, created on first use.
+	slowlog atomic.Pointer[SlowLog]
 }
 
 // defaultTraceCap bounds the span timeline; older events are kept and
@@ -159,7 +171,7 @@ const defaultTraceCap = 8192
 
 // New returns an empty enabled registry.
 func New() *Registry {
-	return &Registry{traceCap: defaultTraceCap}
+	return &Registry{traceCap: defaultTraceCap, spanRingCap: defaultSpanRingCap}
 }
 
 // Counter returns the counter for the given family and label pairs,

@@ -70,6 +70,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics.json", s.metricsJSON)
 	mux.HandleFunc("/trace", s.trace)
 	mux.HandleFunc("/snapshot", s.snapshot)
+	mux.HandleFunc("/debug/slowlog", s.slowlog)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -146,17 +147,45 @@ func (s *Server) metricsJSON(w http.ResponseWriter, r *http.Request) {
 	w.Write(out)
 }
 
+// trace serves the Chrome trace_event timeline. ?trace_id=<32 hex>
+// narrows the distributed trace spans to one trace — the per-query
+// drill-down after a slow-log line names the culprit. The legacy
+// registry-relative timeline is omitted from filtered responses, which
+// show exactly one request's tree.
 func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
 	if s.OnScrape != nil {
 		s.OnScrape()
 	}
-	out, err := export.ChromeTrace(s.reg.Snapshot())
+	snap := s.reg.Snapshot()
+	if id := r.URL.Query().Get("trace_id"); id != "" {
+		var keep []obs.TraceSpan
+		for _, ts := range snap.TraceSpans {
+			if ts.TraceID() == id {
+				keep = append(keep, ts)
+			}
+		}
+		if keep == nil {
+			http.Error(w, "no spans for trace_id "+strconv.Quote(id), http.StatusNotFound)
+			return
+		}
+		snap = &obs.Snapshot{TraceSpans: keep}
+	}
+	out, err := export.ChromeTrace(snap)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(out)
+}
+
+// slowlog serves the in-memory slow-query ring as JSONL, newest last —
+// the same line format the -slowlog file sink writes.
+func (s *Server) slowlog(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.reg.SlowLog().WriteJSONL(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) {

@@ -53,6 +53,9 @@ type Snapshot struct {
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	Spans      []SpanEvent                  `json:"spans,omitempty"`
+	// TraceSpans are the sampled distributed-tracing spans from the
+	// registry's bounded ring, oldest first (see trace.go).
+	TraceSpans []TraceSpan `json:"trace_spans,omitempty"`
 	// SpanDrops counts timeline events discarded after the trace buffer
 	// filled.
 	SpanDrops int64 `json:"span_drops,omitempty"`
@@ -88,6 +91,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	s.Spans = append([]SpanEvent(nil), r.traceEvents...)
 	s.SpanDrops = r.traceDrops
 	r.traceMu.Unlock()
+	s.TraceSpans = r.traceSpans()
 	s.InFlight = r.InFlight()
 	return s
 }
@@ -125,6 +129,9 @@ func (r *Registry) Absorb(s *Snapshot) {
 		r.traceDrops += s.SpanDrops
 		r.traceMu.Unlock()
 	}
+	for _, ts := range s.TraceSpans {
+		r.recordTraceSpan(ts)
+	}
 }
 
 // JSON renders the snapshot as indented JSON. The output is stable: the
@@ -155,8 +162,22 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if len(s.Histograms) == 0 {
 		s.Histograms = nil
 	}
+	for k, h := range s.Histograms {
+		if h.Buckets != nil && len(h.Buckets) == 0 {
+			h.Buckets = nil
+			s.Histograms[k] = h
+		}
+	}
 	if len(s.Spans) == 0 {
 		s.Spans = nil
+	}
+	if len(s.TraceSpans) == 0 {
+		s.TraceSpans = nil
+	}
+	for i := range s.TraceSpans {
+		if len(s.TraceSpans[i].Attrs) == 0 {
+			s.TraceSpans[i].Attrs = nil
+		}
 	}
 	return &s, nil
 }
@@ -213,9 +234,13 @@ func (s *Snapshot) WriteTimeline(w io.Writer, limit int) error {
 		events = events[:limit]
 	}
 	for _, e := range events {
+		depth := e.Depth
+		if depth < 0 {
+			depth = 0 // decoded snapshots may carry anything; render, don't panic
+		}
 		fmt.Fprintf(w, "%12v  %s%-*s %v\n",
-			time.Duration(e.StartNs), strings.Repeat("  ", e.Depth),
-			48-2*e.Depth, e.Name, time.Duration(e.DurNs))
+			time.Duration(e.StartNs), strings.Repeat("  ", depth),
+			48-2*depth, e.Name, time.Duration(e.DurNs))
 	}
 	if dropped := len(s.Spans) - len(events); dropped > 0 {
 		fmt.Fprintf(w, "... %d more span(s)\n", dropped)

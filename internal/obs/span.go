@@ -22,6 +22,14 @@ type Span struct {
 	start time.Time
 	extra time.Duration
 	ended bool
+
+	// Distributed-tracing identity, set by joinTrace when the span
+	// belongs to a sampled trace (see trace.go). Untraced spans leave
+	// these zero and behave exactly as before.
+	traceHi, traceLo uint64
+	spanID, parentID uint64
+	sampled          bool
+	attrs            []Attr
 }
 
 // Start opens a root span. Returns nil on a nil registry.
@@ -41,7 +49,11 @@ func (s *Span) Child(name string) *Span {
 		return nil
 	}
 	s.reg.inflight.Add(1)
-	return &Span{reg: s.reg, name: name, depth: s.depth + 1, start: time.Now()}
+	c := &Span{reg: s.reg, name: name, depth: s.depth + 1, start: time.Now()}
+	if s.sampled {
+		c.joinTrace(s.TraceContext())
+	}
+	return c
 }
 
 // Add folds an externally modeled duration into the span, so that End
@@ -69,7 +81,25 @@ func (s *Span) End() time.Duration {
 	d := time.Since(s.start) + s.extra
 	s.reg.inflight.Add(-1)
 	s.reg.Histogram(s.name).Observe(d)
-	s.reg.recordEvent(s.name, s.depth, s.start, d)
+	if s.sampled {
+		// Sampled spans go to the trace-span ring instead of the legacy
+		// timeline: they carry full identity and would only duplicate
+		// the same interval on the timeline.
+		s.reg.recordTraceSpan(TraceSpan{
+			TraceHi:     s.traceHi,
+			TraceLo:     s.traceLo,
+			SpanID:      s.spanID,
+			ParentID:    s.parentID,
+			Name:        s.name,
+			Proc:        s.reg.Proc(),
+			Depth:       s.depth,
+			StartUnixNs: s.start.UnixNano(),
+			DurNs:       int64(d),
+			Attrs:       s.attrs,
+		})
+	} else {
+		s.reg.recordEvent(s.name, s.depth, s.start, d)
+	}
 	return d
 }
 

@@ -80,8 +80,29 @@ func (c *Client) readLoop() {
 	}
 }
 
-// roundTrip sends one request and waits for its response or ctx.
+// roundTrip sends one request and waits for its response or ctx. When
+// ctx carries a sampled trace, a client.request{op} span wraps the
+// round trip and its trace context rides the frame to the server, so
+// the remote serve.request span links back to this one.
 func (c *Client) roundTrip(ctx context.Context, typ uint8, payload []byte) ([]byte, error) {
+	sp, ctx := obs.Global().StartCtx(ctx, obs.Name("client.request", "op", opName(typ)))
+	tc := sp.TraceContext()
+	if !tc.Valid() {
+		// No local client span (global obs disabled) — still forward the
+		// trace riding ctx so downstream processes keep recording.
+		tc, _ = obs.TraceFrom(ctx)
+	}
+	resp, err := c.roundTripTrace(ctx, typ, tc, payload)
+	if err != nil && sp.Sampled() {
+		sp.SetAttrStr("err", err.Error())
+	}
+	sp.End()
+	return resp, err
+}
+
+// roundTripTrace writes the request frame carrying tc and waits for
+// the matching response or ctx.
+func (c *Client) roundTripTrace(ctx context.Context, typ uint8, tc obs.TraceContext, payload []byte) ([]byte, error) {
 	ch := make(chan clientResp, 1)
 	c.mu.Lock()
 	if c.readErr != nil {
@@ -95,7 +116,7 @@ func (c *Client) roundTrip(ctx context.Context, typ uint8, payload []byte) ([]by
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err := wire.WriteFrame(c.conn, typ, id, payload)
+	err := wire.WriteFrameTrace(c.conn, typ, id, tc, payload)
 	c.wmu.Unlock()
 	if err != nil {
 		c.forget(id)

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"sparseart/internal/core"
 	"sparseart/internal/obs"
 	"sparseart/internal/store"
 	"sparseart/internal/tensor"
@@ -18,6 +19,13 @@ import (
 // virtualNodes is how many ring positions each shard claims; more
 // positions smooth the key distribution.
 const virtualNodes = 64
+
+// Router-level span names: one per routed request kind, wrapping the
+// whole scatter-gather so a stitched trace shows fan-out under them.
+const (
+	obsRouterQuery  = "router.query"
+	obsRouterKernel = "router.kernel"
+)
 
 // Router consistent-hashes tile coordinates across shard servers and
 // presents the same Backend surface a single store does: scatter-
@@ -118,6 +126,9 @@ func (r *Router) closeClients() {
 // Shards returns the shard addresses in ring order of declaration.
 func (r *Router) Shards() []string { return r.addrs }
 
+// kindName labels the shards' organization for spans and slow-log rows.
+func (r *Router) kindName() string { return core.Kind(r.kind).String() }
+
 // owner maps a tile index to its shard by consistent hashing the tile
 // key ("t-0-1"), the same string that names the tile directory.
 func (r *Router) owner(idx []uint64) int {
@@ -203,25 +214,48 @@ func (r *Router) regionShards(region tensor.Region) []int {
 	return shards
 }
 
-// scatter runs fn once per listed shard concurrently and returns the
-// first error.
-func (r *Router) scatter(shards []int, op string, fn func(i int) error) error {
+// scatter runs fn once per listed shard concurrently. The first shard
+// to fail fatally cancels the context every other sub-request runs
+// under, so siblings stop probing fragments for an answer the caller
+// will never see. The error returned is the root cause: cancellations
+// induced by a sibling's failure are reported only if no shard produced
+// a real error of its own (and never when the caller's own ctx ended).
+func (r *Router) scatter(ctx context.Context, shards []int, op string, fn func(ctx context.Context, i int) error) error {
 	r.reg.Counter("router.scatter", "op", op).Add(int64(len(shards)))
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var wg sync.WaitGroup
 	errs := make([]error, len(shards))
 	for k, i := range shards {
 		wg.Add(1)
 		go func(k, i int) {
 			defer wg.Done()
-			errs[k] = shardErr(i, r.addrs[i], fn(i))
+			if err := shardErr(i, r.addrs[i], fn(cctx, i)); err != nil {
+				errs[k] = err
+				cancel() // fatal for the whole request: stop the siblings
+			}
 		}(k, i)
 	}
 	wg.Wait()
+	var induced error
 	for _, err := range errs {
-		if err != nil {
-			r.reg.Counter("router.shard.errors", "op", op).Inc()
-			return err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			// This shard stopped because a sibling failed first; keep
+			// looking for the failure that caused it.
+			if induced == nil {
+				induced = err
+			}
+			continue
+		}
+		r.reg.Counter("router.shard.errors", "op", op).Inc()
+		return err
+	}
+	if induced != nil {
+		r.reg.Counter("router.shard.errors", "op", op).Inc()
+		return induced
 	}
 	return nil
 }
@@ -238,7 +272,7 @@ func (r *Router) allShards() []int {
 // Info aggregates shard identities.
 func (r *Router) Info(ctx context.Context) (*wire.Info, error) {
 	infos := make([]*wire.Info, len(r.clients))
-	err := r.scatter(r.allShards(), "info", func(i int) error {
+	err := r.scatter(ctx, r.allShards(), "info", func(ctx context.Context, i int) error {
 		info, err := r.clients[i].Info(ctx)
 		infos[i] = info
 		return err
@@ -261,6 +295,17 @@ func (r *Router) Info(ctx context.Context) (*wire.Info, error) {
 // it materialized, which are disjoint, so the merged result is exactly
 // what one local Chunked store would return.
 func (r *Router) Query(ctx context.Context, req store.QueryRequest) (*store.Result, *store.ReadReport, error) {
+	sp, ctx := r.reg.StartCtx(ctx, obsRouterQuery)
+	if sp.Sampled() {
+		sp.SetAttrStr("strategy", req.Strategy.String())
+	}
+	res, rep, err := r.queryAt(ctx, req)
+	store.FinishRequestSpan(r.reg, ctx, sp, obsRouterQuery, r.kindName(), store.ReadCost(rep), err)
+	return res, rep, err
+}
+
+// queryAt dispatches the routed read under the router.query span.
+func (r *Router) queryAt(ctx context.Context, req store.QueryRequest) (*store.Result, *store.ReadReport, error) {
 	if req.AsOf != store.AsOfLatest {
 		if req.Probe == nil && req.Region == nil {
 			return nil, nil, fmt.Errorf("store: %w: exactly one of Probe or Region must be set", store.ErrBadRequest)
@@ -277,7 +322,7 @@ func (r *Router) Query(ctx context.Context, req store.QueryRequest) (*store.Resu
 		shards := r.regionShards(*req.Region)
 		results := make([]*store.Result, len(r.clients))
 		reports := make([]*store.ReadReport, len(r.clients))
-		err := r.scatter(shards, "query", func(i int) error {
+		err := r.scatter(ctx, shards, "query", func(ctx context.Context, i int) error {
 			res, rep, err := r.clients[i].Query(ctx, req)
 			results[i], reports[i] = res, rep
 			return err
@@ -285,7 +330,7 @@ func (r *Router) Query(ctx context.Context, req store.QueryRequest) (*store.Resu
 		if err != nil {
 			return nil, nil, err
 		}
-		return mergeResults(r.shape.Dims(), results, reports)
+		return mergeResults(r.shape.Dims(), len(shards), results, reports)
 	}
 	if req.Probe == nil {
 		return nil, nil, fmt.Errorf("store: %w: exactly one of Probe or Region must be set", store.ErrBadRequest)
@@ -302,7 +347,7 @@ func (r *Router) Query(ctx context.Context, req store.QueryRequest) (*store.Resu
 			shards = append(shards, i)
 		}
 	}
-	err := r.scatter(shards, "query", func(i int) error {
+	err := r.scatter(ctx, shards, "query", func(ctx context.Context, i int) error {
 		sub := req
 		sub.Probe = parts[i].coords
 		res, rep, err := r.clients[i].Query(ctx, sub)
@@ -312,7 +357,7 @@ func (r *Router) Query(ctx context.Context, req store.QueryRequest) (*store.Resu
 	if err != nil {
 		return nil, nil, err
 	}
-	return mergeResults(r.shape.Dims(), results, reports)
+	return mergeResults(r.shape.Dims(), len(shards), results, reports)
 }
 
 // pointPart is one shard's slice of a partitioned point set.
@@ -347,7 +392,7 @@ func (r *Router) partitionPoints(coords *tensor.Coords, values []float64) []*poi
 // coordinate tuple (row-major linear order) — tiles are disjoint
 // across shards, so no deduplication is needed and the order matches a
 // single local Chunked read exactly.
-func mergeResults(dims int, results []*store.Result, reports []*store.ReadReport) (*store.Result, *store.ReadReport, error) {
+func mergeResults(dims, shards int, results []*store.Result, reports []*store.ReadReport) (*store.Result, *store.ReadReport, error) {
 	total := 0
 	for _, res := range results {
 		if res != nil {
@@ -382,7 +427,7 @@ func mergeResults(dims int, results []*store.Result, reports []*store.ReadReport
 		out.Append(coords.At(i)...)
 		vals = append(vals, values[i])
 	}
-	rep := &store.ReadReport{}
+	rep := &store.ReadReport{Shards: shards}
 	for _, sub := range reports {
 		if sub == nil {
 			continue
@@ -395,6 +440,11 @@ func mergeResults(dims int, results []*store.Result, reports []*store.ReadReport
 		rep.Probed += sub.Probed
 		rep.Found += sub.Found
 		rep.Scans += sub.Scans
+		rep.Candidates += sub.Candidates
+		rep.FilterSkipped += sub.FilterSkipped
+		rep.CacheHits += sub.CacheHits
+		rep.CacheMisses += sub.CacheMisses
+		rep.BytesRead += sub.BytesRead
 		rep.Epoch += sub.Epoch
 	}
 	return &store.Result{Coords: out, Values: vals}, rep, nil
@@ -417,7 +467,7 @@ func (r *Router) ReadPoints(ctx context.Context, probe *tensor.Coords) ([]float6
 	found := make([]bool, probe.Len())
 	reports := make([]*store.ReadReport, len(r.clients))
 	var mu sync.Mutex
-	err := r.scatter(shards, "read_points", func(i int) error {
+	err := r.scatter(ctx, shards, "read_points", func(ctx context.Context, i int) error {
 		v, f, rep, err := r.clients[i].ReadPoints(ctx, parts[i].coords)
 		if err != nil {
 			return err
@@ -434,7 +484,7 @@ func (r *Router) ReadPoints(ctx context.Context, probe *tensor.Coords) ([]float6
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	rep := &store.ReadReport{}
+	rep := &store.ReadReport{Shards: len(shards)}
 	for _, sub := range reports {
 		if sub == nil {
 			continue
@@ -447,6 +497,11 @@ func (r *Router) ReadPoints(ctx context.Context, probe *tensor.Coords) ([]float6
 		rep.Extract += sub.Extract
 		rep.Probe += sub.Probe
 		rep.Merge += sub.Merge
+		rep.Candidates += sub.Candidates
+		rep.FilterSkipped += sub.FilterSkipped
+		rep.CacheHits += sub.CacheHits
+		rep.CacheMisses += sub.CacheMisses
+		rep.BytesRead += sub.BytesRead
 		rep.Epoch += sub.Epoch
 	}
 	return vals, found, rep, nil
@@ -472,7 +527,7 @@ func (r *Router) Write(ctx context.Context, coords *tensor.Coords, values []floa
 		}
 	}
 	reps := make([]*store.WriteReport, len(r.clients))
-	err := r.scatter(shards, "write", func(i int) error {
+	err := r.scatter(ctx, shards, "write", func(ctx context.Context, i int) error {
 		rep, err := r.clients[i].Write(ctx, parts[i].coords, parts[i].values)
 		reps[i] = rep
 		return err
@@ -540,7 +595,7 @@ func (r *Router) WriteBatch(ctx context.Context, batches []store.Batch, workers 
 	}
 	merged := make([][]*store.WriteReport, len(batches))
 	var mu sync.Mutex
-	err := r.scatter(shards, "write_batch", func(i int) error {
+	err := r.scatter(ctx, shards, "write_batch", func(ctx context.Context, i int) error {
 		reps, err := r.clients[i].WriteBatch(ctx, perShard[i].batches, workers)
 		mu.Lock()
 		for k, rep := range reps {
@@ -573,7 +628,7 @@ func (r *Router) DeleteRegion(ctx context.Context, region tensor.Region) (*store
 	}
 	shards := r.regionShards(region)
 	reps := make([]*store.WriteReport, len(r.clients))
-	err := r.scatter(shards, "delete", func(i int) error {
+	err := r.scatter(ctx, shards, "delete", func(ctx context.Context, i int) error {
 		rep, err := r.clients[i].DeleteRegion(ctx, region)
 		reps[i] = rep
 		return err
@@ -588,6 +643,21 @@ func (r *Router) DeleteRegion(ctx context.Context, region tensor.Region) (*store
 // partials sum exactly because shard tiles are disjoint. SpMV and TTV
 // need cross-tile accumulators and are rejected, as on Chunked.
 func (r *Router) Kernel(ctx context.Context, req store.KernelRequest) (*store.KernelResult, error) {
+	sp, ctx := r.reg.StartCtx(ctx, obsRouterKernel)
+	if sp.Sampled() {
+		sp.SetAttrStr("kernel", req.Op.String())
+	}
+	res, err := r.kernelAt(ctx, req)
+	var rep *store.PushReport
+	if res != nil {
+		rep = res.Report
+	}
+	store.FinishRequestSpan(r.reg, ctx, sp, obsRouterKernel, r.kindName(), store.PushCost(rep), err)
+	return res, err
+}
+
+// kernelAt dispatches the routed kernel under the router.kernel span.
+func (r *Router) kernelAt(ctx context.Context, req store.KernelRequest) (*store.KernelResult, error) {
 	switch req.Op {
 	case store.KernelSumAll, store.KernelLiveNNZ, store.KernelNNZPerSlice:
 	case store.KernelSumRegion:
@@ -602,7 +672,7 @@ func (r *Router) Kernel(ctx context.Context, req store.KernelRequest) (*store.Ke
 		shards = r.regionShards(*req.Region)
 	}
 	results := make([]*store.KernelResult, len(r.clients))
-	err := r.scatter(shards, "kernel", func(i int) error {
+	err := r.scatter(ctx, shards, "kernel", func(ctx context.Context, i int) error {
 		res, err := r.clients[i].Kernel(ctx, req)
 		results[i] = res
 		return err
@@ -641,7 +711,7 @@ func (r *Router) Kernel(ctx context.Context, req store.KernelRequest) (*store.Ke
 // /metrics sees the whole fleet.
 func (r *Router) RefreshObs(ctx context.Context) error {
 	snaps := make([]*obs.Snapshot, len(r.clients))
-	err := r.scatter(r.allShards(), "obs", func(i int) error {
+	err := r.scatter(ctx, r.allShards(), "obs", func(ctx context.Context, i int) error {
 		snap, err := r.clients[i].ObsSnapshot(ctx)
 		snaps[i] = snap
 		return err

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -28,6 +30,12 @@ type Config struct {
 	// Obs receives the server's own metrics (serve.* families); nil
 	// uses the process-global registry.
 	Obs *obs.Registry
+	// TraceSample is the probability [0,1] that a request arriving
+	// without a trace context starts a new sampled trace. Requests that
+	// already carry a context keep the sender's sampling decision.
+	// Zero or negative falls back to SPARSEART_TRACE_SAMPLE (default
+	// off).
+	TraceSample float64
 }
 
 // Server answers wire-protocol requests against one Backend. Each
@@ -35,9 +43,10 @@ type Config struct {
 // concurrently (subject to the in-flight bound), and answered in
 // completion order tagged with the request id.
 type Server struct {
-	backend Backend
-	sem     chan struct{}
-	reg     *obs.Registry
+	backend   Backend
+	sem       chan struct{}
+	reg       *obs.Registry
+	traceRate float64
 
 	ctx    context.Context // canceled by Close; parent of every request ctx
 	cancel context.CancelFunc
@@ -58,15 +67,35 @@ func NewServer(backend Backend, cfg Config) *Server {
 	if reg == nil {
 		reg = obs.Global()
 	}
+	rate := cfg.TraceSample
+	if rate <= 0 {
+		rate = envTraceSample()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		backend: backend,
-		sem:     make(chan struct{}, inflight),
-		reg:     reg,
-		ctx:     ctx,
-		cancel:  cancel,
-		conns:   map[net.Conn]struct{}{},
+		backend:   backend,
+		sem:       make(chan struct{}, inflight),
+		reg:       reg,
+		traceRate: rate,
+		ctx:       ctx,
+		cancel:    cancel,
+		conns:     map[net.Conn]struct{}{},
 	}
+}
+
+// envTraceSample resolves SPARSEART_TRACE_SAMPLE: a float in [0,1];
+// unset, unparsable, or out-of-range values mean no server-side
+// sampling.
+func envTraceSample() float64 {
+	v := os.Getenv("SPARSEART_TRACE_SAMPLE")
+	if v == "" {
+		return 0
+	}
+	rate, err := strconv.ParseFloat(v, 64)
+	if err != nil || rate < 0 || rate > 1 {
+		return 0
+	}
+	return rate
 }
 
 // Serve accepts connections on ln until Close (or a fatal accept
@@ -166,7 +195,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	var reqs sync.WaitGroup
 	defer reqs.Wait()
 	for {
-		typ, id, payload, err := wire.ReadFrame(conn)
+		typ, id, tc, payload, err := wire.ReadFrameTrace(conn)
 		if err != nil {
 			return // EOF, peer reset, or Close — nothing to answer
 		}
@@ -185,24 +214,38 @@ func (s *Server) serveConn(conn net.Conn) {
 				fmt.Errorf("serve: %w: %d requests in flight", wire.ErrOverloaded, cap(s.sem))))
 			continue
 		}
+		if !tc.Valid() && typ != wire.MsgObs && typ != wire.MsgPing && obs.Sample(s.traceRate) {
+			// No caller context: this server is the trace root. Telemetry
+			// and liveness ops are never minted a trace — a scrape's own
+			// sub-requests would parent to a serve.request span that is
+			// still open when the snapshot it serves is cut, littering
+			// every stitched trace with unresolvable links.
+			tc = obs.NewTrace(true)
+		}
 		s.reg.Gauge("serve.inflight").Add(1)
 		reqs.Add(1)
-		go func(typ uint8, id uint64, payload []byte) {
+		go func(typ uint8, id uint64, tc obs.TraceContext, payload []byte) {
 			defer reqs.Done()
 			defer func() {
 				s.reg.Gauge("serve.inflight").Add(-1)
 				<-s.sem
 			}()
-			start := time.Now()
-			resp, err := s.handle(typ, payload)
-			s.reg.Histogram("serve.request", "op", op).Observe(time.Since(start))
+			// The span's End feeds the same serve.request{op} histogram
+			// the server has always kept; sampled requests additionally
+			// record a trace span carrying the caller's trace identity.
+			sp := s.reg.StartRemote(tc, obs.Name("serve.request", "op", op))
+			resp, err := s.handle(typ, sp.TraceContext(), payload)
+			if err != nil && sp.Sampled() {
+				sp.SetAttrStr("err", err.Error())
+			}
+			sp.End()
 			if err != nil {
-				s.reg.Counter("serve.errors", "op", op, "code", fmt.Sprint(uint16(wire.CodeOf(err)))).Inc()
+				s.reg.Counter("serve.request.errors", "op", op, "code", fmt.Sprint(uint16(wire.CodeOf(err)))).Inc()
 				cw.reply(wire.MsgErr, id, wire.EncodeError(err))
 				return
 			}
 			cw.reply(wire.MsgOK, id, resp)
-		}(typ, id, payload)
+		}(typ, id, tc, payload)
 	}
 }
 
@@ -232,24 +275,26 @@ func opName(typ uint8) string {
 	}
 }
 
-// reqCtx derives the request context from the server lifetime and the
-// request's relative deadline.
-func (s *Server) reqCtx(d time.Duration) (context.Context, context.CancelFunc) {
+// reqCtx derives the request context from the server lifetime, the
+// request's relative deadline, and its trace context — backend spans
+// started under it join the request's trace.
+func (s *Server) reqCtx(d time.Duration, tc obs.TraceContext) (context.Context, context.CancelFunc) {
+	ctx := obs.ContextWithTrace(s.ctx, tc)
 	if d > 0 {
-		return context.WithTimeout(s.ctx, d)
+		return context.WithTimeout(ctx, d)
 	}
-	return context.WithCancel(s.ctx)
+	return context.WithCancel(ctx)
 }
 
 // handle decodes, executes, and encodes one request.
-func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
+func (s *Server) handle(typ uint8, tc obs.TraceContext, payload []byte) ([]byte, error) {
 	switch typ {
 	case wire.MsgQuery:
 		q, err := wire.DecodeQuery(payload)
 		if err != nil {
 			return nil, badPayload(err)
 		}
-		ctx, cancel := s.reqCtx(q.Deadline)
+		ctx, cancel := s.reqCtx(q.Deadline, tc)
 		defer cancel()
 		res, rep, err := s.backend.Query(ctx, q.Req)
 		if err != nil {
@@ -262,7 +307,7 @@ func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, badPayload(err)
 		}
-		ctx, cancel := s.reqCtx(m.Deadline)
+		ctx, cancel := s.reqCtx(m.Deadline, tc)
 		defer cancel()
 		vals, found, rep, err := s.backend.ReadPoints(ctx, m.Probe)
 		if err != nil {
@@ -275,7 +320,7 @@ func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, badPayload(err)
 		}
-		ctx, cancel := s.reqCtx(m.Deadline)
+		ctx, cancel := s.reqCtx(m.Deadline, tc)
 		defer cancel()
 		rep, err := s.backend.Write(ctx, m.Coords, m.Values)
 		if err != nil {
@@ -288,7 +333,7 @@ func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, badPayload(err)
 		}
-		ctx, cancel := s.reqCtx(m.Deadline)
+		ctx, cancel := s.reqCtx(m.Deadline, tc)
 		defer cancel()
 		reps, err := s.backend.WriteBatch(ctx, m.Batches, m.Workers)
 		if err != nil {
@@ -301,7 +346,7 @@ func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, badPayload(err)
 		}
-		ctx, cancel := s.reqCtx(m.Deadline)
+		ctx, cancel := s.reqCtx(m.Deadline, tc)
 		defer cancel()
 		rep, err := s.backend.DeleteRegion(ctx, m.Region)
 		if err != nil {
@@ -314,7 +359,7 @@ func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, badPayload(err)
 		}
-		ctx, cancel := s.reqCtx(m.Deadline)
+		ctx, cancel := s.reqCtx(m.Deadline, tc)
 		defer cancel()
 		res, err := s.backend.Kernel(ctx, m.Req)
 		if err != nil {
@@ -327,7 +372,7 @@ func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, badPayload(err)
 		}
-		ctx, cancel := s.reqCtx(d)
+		ctx, cancel := s.reqCtx(d, tc)
 		defer cancel()
 		info, err := s.backend.Info(ctx)
 		if err != nil {
@@ -340,7 +385,7 @@ func (s *Server) handle(typ uint8, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, badPayload(err)
 		}
-		ctx, cancel := s.reqCtx(d)
+		ctx, cancel := s.reqCtx(d, tc)
 		defer cancel()
 		return s.backend.ObsSnapshot(ctx)
 

@@ -85,7 +85,7 @@ func (s *Store) readRegionAutoAt(ctx context.Context, v *readView, region tensor
 	s.takeCost()
 	reg := s.obsReg()
 	kind := s.curKind().String()
-	root := reg.Start(obsRead)
+	root, _ := reg.StartCtx(ctx, obsRead)
 	defer root.End()
 	queryBox := region.BBox()
 	vol, ok := region.Volume()
@@ -96,6 +96,7 @@ func (s *Store) readRegionAutoAt(ctx context.Context, v *readView, region tensor
 	var probe *tensor.Coords // materialized lazily, only if some fragment probes
 	var hits []hit
 	cands := v.overlapping(queryBox, limit)
+	rep.Candidates = len(cands)
 	var skipped int64
 	for _, fi := range cands {
 		if err := ctx.Err(); err != nil {
@@ -151,6 +152,7 @@ func (s *Store) readRegionAutoAt(ctx context.Context, v *readView, region tensor
 	if skipped > 0 {
 		reg.Counter("store.filter.skipped", "kind", kind).Add(skipped)
 	}
+	rep.FilterSkipped = int(skipped)
 	sp := root.Child(obsReadMerge)
 	res, mergeDur := mergeHits(s, hits, v.overlapTombs(cands))
 	sp.End()

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -11,26 +12,32 @@ import (
 
 	"sparseart/internal/core"
 	"sparseart/internal/fsim"
+	"sparseart/internal/obs"
 	"sparseart/internal/tensor"
 )
 
 // BenchmarkConcurrentRead measures region reads under goroutine
-// fan-out, idle and with a compaction/write churn loop running
-// concurrently. Readers serve from MVCC snapshots and never take the
-// writer lock, so throughput should scale with goroutines and the
-// compacting variant should track the idle one (the acceptance bar:
-// p99 within ~2x). Each sub-benchmark reports the measured p99 as
-// "p99-ns" next to the usual ns/op.
+// fan-out, in four modes: idle (no registry — the pre-instrumentation
+// baseline, which must hold within 2% at p99), metered (a live metrics
+// registry, tracing off — the sampled-off arm of the EXPERIMENTS.md
+// `tracing-overhead` row), traced (same registry, every request under
+// a sampled trace — the sampled-1.0 arm), and compacting (idle with a
+// compaction/write churn loop running concurrently). Readers serve
+// from MVCC snapshots and never take the writer lock, so throughput
+// should scale with goroutines and the compacting variant should track
+// the idle one (the acceptance bar: p99 within ~2x). Each
+// sub-benchmark reports the measured latency percentiles as
+// "p50-ns"/"p95-ns"/"p99-ns" next to the usual ns/op.
 func BenchmarkConcurrentRead(b *testing.B) {
 	shape := tensor.Shape{64, 64}
-	for _, compacting := range []bool{false, true} {
-		mode := "idle"
-		if compacting {
-			mode = "compacting"
-		}
+	for _, mode := range []string{"idle", "metered", "traced", "compacting"} {
 		for _, g := range []int{1, 4, 16, 64} {
 			b.Run(fmt.Sprintf("%s/goroutines=%d", mode, g), func(b *testing.B) {
-				st, err := Create(fsim.NewPerlmutterSim(), "t", core.CSF, shape)
+				opts := []Option(nil)
+				if mode == "metered" || mode == "traced" {
+					opts = append(opts, WithObs(obs.New()))
+				}
+				st, err := Create(fsim.NewPerlmutterSim(), "t", core.CSF, shape, opts...)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -43,7 +50,7 @@ func BenchmarkConcurrentRead(b *testing.B) {
 				}
 				var stop atomic.Bool
 				var churn sync.WaitGroup
-				if compacting {
+				if mode == "compacting" {
 					churn.Add(1)
 					go func() {
 						defer churn.Done()
@@ -76,8 +83,12 @@ func BenchmarkConcurrentRead(b *testing.B) {
 						lat := make([]time.Duration, 0, n)
 						for i := 0; i < n; i++ {
 							region := randomRegion(b, wrng, shape, 8)
+							ctx := context.Background()
+							if mode == "traced" {
+								ctx = obs.ContextWithTrace(ctx, obs.NewTrace(true))
+							}
 							t0 := time.Now()
-							if _, _, err := st.ReadRegion(region); err != nil {
+							if _, _, err := st.Query(ctx, QueryRequest{Region: &region, AsOf: AsOfLatest}); err != nil {
 								b.Error(err)
 								return
 							}
@@ -96,13 +107,20 @@ func BenchmarkConcurrentRead(b *testing.B) {
 				}
 				if len(all) > 0 {
 					sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-					p99 := all[len(all)*99/100]
-					if len(all)*99/100 >= len(all) {
-						p99 = all[len(all)-1]
-					}
-					b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns")
+					b.ReportMetric(float64(percentile(all, 50).Nanoseconds()), "p50-ns")
+					b.ReportMetric(float64(percentile(all, 95).Nanoseconds()), "p95-ns")
+					b.ReportMetric(float64(percentile(all, 99).Nanoseconds()), "p99-ns")
 				}
 			})
 		}
 	}
+}
+
+// percentile returns the p-th percentile of sorted latencies.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }

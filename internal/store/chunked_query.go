@@ -37,10 +37,23 @@ func (c *Chunked) Query(ctx context.Context, req QueryRequest) (*Result, *ReadRe
 	if req.Region != nil && req.Region.Dims() != dims {
 		return nil, nil, fmt.Errorf("store: %w: %d-dim region for %d-dim store", ErrShapeMismatch, req.Region.Dims(), dims)
 	}
-	if req.Region != nil {
-		return c.queryRegion(ctx, *req.Region, req.Strategy, req.Workers)
+	reg := c.obsReg()
+	sp, ctx := reg.StartCtx(ctx, obsQuery)
+	if sp.Sampled() {
+		sp.SetAttrStr("strategy", req.Strategy.String())
 	}
-	return c.queryProbe(ctx, req.Probe, req.Workers)
+	var (
+		res *Result
+		rep *ReadReport
+		err error
+	)
+	if req.Region != nil {
+		res, rep, err = c.queryRegion(ctx, *req.Region, req.Strategy, req.Workers)
+	} else {
+		res, rep, err = c.queryProbe(ctx, req.Probe, req.Workers)
+	}
+	FinishRequestSpan(reg, ctx, sp, obsQuery, c.kind.String(), ReadCost(rep), err)
+	return res, rep, err
 }
 
 // globalHit is one found point in global coordinates, collected across
@@ -83,13 +96,18 @@ func mergeTileReport(rep, r *ReadReport) {
 	rep.Fragments += r.Fragments
 	rep.Probed += r.Probed
 	rep.Scans += r.Scans
+	rep.Candidates += r.Candidates
+	rep.FilterSkipped += r.FilterSkipped
+	rep.CacheHits += r.CacheHits
+	rep.CacheMisses += r.CacheMisses
+	rep.BytesRead += r.BytesRead
 }
 
 // queryProbe partitions the probe by tile and reads each tile's slice
 // in tile-local coordinates; points outside the global shape or in
 // tiles never written are simply not found.
 func (c *Chunked) queryProbe(ctx context.Context, probe *tensor.Coords, workers int) (*Result, *ReadReport, error) {
-	root := c.obsReg().Start(obsChunkedRead)
+	root, ctx := c.obsReg().StartCtx(ctx, obsChunkedRead)
 	defer root.End()
 	type part struct {
 		idx    []uint64
@@ -175,7 +193,7 @@ func (c *Chunked) tileClip(region tensor.Region, idx []uint64) (tensor.Region, b
 // intersects, as a tile-local sub-region query, and merges the global
 // results in row-major order.
 func (c *Chunked) queryRegion(ctx context.Context, region tensor.Region, strategy Strategy, workers int) (*Result, *ReadReport, error) {
-	root := c.obsReg().Start(obsChunkedRead)
+	root, ctx := c.obsReg().StartCtx(ctx, obsChunkedRead)
 	defer root.End()
 	rep := &ReadReport{}
 	var hits []globalHit
@@ -214,6 +232,22 @@ func (c *Chunked) queryRegion(ctx context.Context, region tensor.Region, strateg
 // TTV are rejected — their operand indexing is global, and the paper's
 // chunked remedy targets storage, not contraction.
 func (c *Chunked) Kernel(ctx context.Context, req KernelRequest) (*KernelResult, error) {
+	reg := c.obsReg()
+	sp, ctx := reg.StartCtx(ctx, obsKernel)
+	if sp.Sampled() {
+		sp.SetAttrStr("kernel", req.Op.String())
+	}
+	res, err := c.kernelAt(ctx, req)
+	var rep *PushReport
+	if res != nil {
+		rep = res.Report
+	}
+	FinishRequestSpan(reg, ctx, sp, obsKernel, c.kind.String(), PushCost(rep), err)
+	return res, err
+}
+
+// kernelAt runs the kernel across tiles.
+func (c *Chunked) kernelAt(ctx context.Context, req KernelRequest) (*KernelResult, error) {
 	dims := c.shape.Dims()
 	switch req.Op {
 	case KernelSumAll, KernelLiveNNZ:

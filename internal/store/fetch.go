@@ -56,6 +56,7 @@ func (s *Store) loadFragment(root *obs.Span, fr fragRef, rep *ReadReport) (*frag
 	}
 	sp.End()
 	reg.Counter("store.read.bytes", "kind", kind).Add(lz.BytesRead())
+	rep.BytesRead += lz.BytesRead()
 
 	sp = root.Child(obsReadExtract)
 	t = time.Now()
@@ -104,11 +105,24 @@ func (s *Store) loadFragment(root *obs.Span, fr fragRef, rep *ReadReport) (*frag
 // only the goroutine that actually performs the load pays for it.
 func (s *Store) fetchFragment(root *obs.Span, fr fragRef, rep *ReadReport) (*fragcache.Entry, error) {
 	if s.cache == nil {
+		rep.CacheMisses++
 		return s.loadFragment(root, fr, rep)
 	}
 	// cacheScope labels this store's traffic (a chunked store sets it to
 	// the tile key) so a shared cache's hit rates stay attributable.
-	return s.cache.GetScoped(s.cacheScope, fr.name, func() (*fragcache.Entry, error) {
+	loaded := false
+	e, err := s.cache.GetScoped(s.cacheScope, fr.name, func() (*fragcache.Entry, error) {
+		loaded = true
 		return s.loadFragment(root, fr, rep)
 	})
+	// Attribution is per request: a fetch counts as a miss only when
+	// this request's own loader ran. A coalesced fill (another request
+	// performed the load while we waited) is a hit here — we paid no
+	// I/O — and a miss in the report of whoever did.
+	if loaded {
+		rep.CacheMisses++
+	} else if err == nil {
+		rep.CacheHits++
+	}
+	return e, err
 }

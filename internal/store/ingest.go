@@ -421,8 +421,13 @@ func (s *Store) prepareBatch(j *ingestJob, b Batch, root *obs.Span) {
 	sp = root.Child(obsWriteReorg)
 	t = time.Now()
 	packed := tensor.ApplyPermValues(b.Values, built.Perm)
-	sp.End()
 	rep.Reorg = time.Since(t)
+	if d := sp.End(); d > 0 {
+		// Nanoseconds of work: reuse the span's duration (already in
+		// the unlabeled histogram) so labeled and unlabeled agree
+		// exactly — see writeLocked.
+		rep.Reorg = d
+	}
 	reg.Histogram(obsWriteReorg, "kind", kind).Observe(rep.Reorg)
 
 	// Encode is the CPU half of the Write phase; the committer adds the

@@ -80,6 +80,22 @@ func (s *Store) Kernel(ctx context.Context, req KernelRequest) (*KernelResult, e
 	if req.Region != nil && req.Op != KernelSumRegion {
 		return nil, fmt.Errorf("store: %w: kernel %v takes no region", ErrBadRequest, req.Op)
 	}
+	reg := s.obsReg()
+	sp, ctx := reg.StartCtx(ctx, obsKernel)
+	if sp.Sampled() {
+		sp.SetAttrStr("kernel", req.Op.String())
+	}
+	res, err := s.kernelAt(ctx, req)
+	var rep *PushReport
+	if res != nil {
+		rep = res.Report
+	}
+	FinishRequestSpan(reg, ctx, sp, obsKernel, s.curKind().String(), PushCost(rep), err)
+	return res, err
+}
+
+// kernelAt dispatches the kernel to its push-down executor.
+func (s *Store) kernelAt(ctx context.Context, req KernelRequest) (*KernelResult, error) {
 	switch req.Op {
 	case KernelSumAll:
 		sum, rep, err := s.SumAllContext(ctx, req.Workers)

@@ -31,7 +31,7 @@ func (s *Store) readParallelAt(ctx context.Context, v *readView, probe *tensor.C
 	s.takeCost()
 	reg := s.obsReg()
 	kind := s.curKind().String()
-	root := reg.Start(obsRead)
+	root, _ := reg.StartCtx(ctx, obsRead)
 	defer root.End()
 	queryBox, any := probe.Bounds()
 	if !any {
@@ -39,6 +39,7 @@ func (s *Store) readParallelAt(ctx context.Context, v *readView, probe *tensor.C
 	}
 
 	cands := v.overlapping(queryBox, limit)
+	rep.Candidates = len(cands)
 	var overlapping []int
 	var skipped int64
 	for _, fi := range cands {
@@ -55,6 +56,7 @@ func (s *Store) readParallelAt(ctx context.Context, v *readView, probe *tensor.C
 	if skipped > 0 {
 		reg.Counter("store.filter.skipped", "kind", kind).Add(skipped)
 	}
+	rep.FilterSkipped = int(skipped)
 
 	var (
 		mu    sync.Mutex
@@ -116,6 +118,9 @@ func (s *Store) readParallelAt(ctx context.Context, v *readView, probe *tensor.C
 			rep.Extract += local.Extract
 			rep.Probe += local.Probe
 			rep.Probed += local.Probed
+			rep.CacheHits += local.CacheHits
+			rep.CacheMisses += local.CacheMisses
+			rep.BytesRead += local.BytesRead
 			mu.Unlock()
 		}()
 	}

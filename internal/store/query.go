@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
+	"sparseart/internal/obs"
 	"sparseart/internal/psort"
 	"sparseart/internal/tensor"
 )
@@ -131,6 +133,18 @@ func (s *Store) Query(ctx context.Context, req QueryRequest) (*Result, *ReadRepo
 	if req.Region != nil && req.Region.Dims() != dims {
 		return nil, nil, fmt.Errorf("store: %w: %d-dim region for %d-dim store", ErrShapeMismatch, req.Region.Dims(), dims)
 	}
+	reg := s.obsReg()
+	sp, ctx := reg.StartCtx(ctx, obsQuery)
+	if sp.Sampled() {
+		sp.SetAttrStr("strategy", req.Strategy.String())
+	}
+	res, rep, err := s.queryAt(ctx, req)
+	FinishRequestSpan(reg, ctx, sp, obsQuery, s.curKind().String(), ReadCost(rep), err)
+	return res, rep, err
+}
+
+// queryAt dispatches a validated request against a pinned view.
+func (s *Store) queryAt(ctx context.Context, req QueryRequest) (*Result, *ReadReport, error) {
 	v := s.acquireView()
 	defer v.release()
 	limit := len(v.frags)
@@ -230,4 +244,93 @@ func (s *Store) ReadParallel(probe *tensor.Coords, workers int) (*Result, *ReadR
 		workers = -1 // legacy semantics: "not specified" meant every core
 	}
 	return s.Query(context.Background(), QueryRequest{Probe: probe, AsOf: AsOfLatest, Workers: workers})
+}
+
+// ReadCost flattens a read report into the cost map shared by span
+// attributes and slow-query-log entries. It returns a constructor, not
+// a map, so the untraced fast path allocates nothing.
+func ReadCost(rep *ReadReport) func() map[string]int64 {
+	if rep == nil {
+		return nil
+	}
+	return func() map[string]int64 {
+		return map[string]int64{
+			"candidates":     int64(rep.Candidates),
+			"filter_skipped": int64(rep.FilterSkipped),
+			"fragments":      int64(rep.Fragments),
+			"probes":         int64(rep.Probed),
+			"scans":          int64(rep.Scans),
+			"found":          int64(rep.Found),
+			"cache_hits":     int64(rep.CacheHits),
+			"cache_misses":   int64(rep.CacheMisses),
+			"bytes_read":     rep.BytesRead,
+			"io_ns":          int64(rep.IO),
+			"extract_ns":     int64(rep.Extract),
+			"probe_ns":       int64(rep.Probe),
+			"merge_ns":       int64(rep.Merge),
+			"epoch":          int64(rep.Epoch),
+		}
+	}
+}
+
+// PushCost flattens a push-down kernel report the same way.
+func PushCost(rep *PushReport) func() map[string]int64 {
+	if rep == nil {
+		return nil
+	}
+	return func() map[string]int64 {
+		return map[string]int64{
+			"fragments":      int64(rep.Fragments),
+			"filter_skipped": int64(rep.Skipped),
+			"cells":          int64(rep.Cells),
+			"shadowed":       int64(rep.Shadowed),
+			"dead":           int64(rep.Dead),
+		}
+	}
+}
+
+// FinishRequestSpan closes a request span with the per-query cost
+// attribution attached and feeds the slow-query log. cost may be nil
+// (failed requests have no report); it is only invoked when the span is
+// sampled or the slowlog triggers, so the common path stays
+// allocation-free.
+func FinishRequestSpan(reg *obs.Registry, ctx context.Context, sp *obs.Span, op, kind string, cost func() map[string]int64, err error) {
+	var deadlineNs int64
+	if dl, ok := ctx.Deadline(); ok {
+		deadlineNs = int64(time.Until(dl))
+	}
+	if sp.Sampled() {
+		sp.SetAttrStr("kind", kind)
+		if cost != nil {
+			for k, v := range cost() {
+				sp.SetAttr(k, v)
+			}
+		}
+		if deadlineNs != 0 {
+			sp.SetAttr("deadline_remaining_ns", deadlineNs)
+		}
+		if err != nil {
+			sp.SetAttrStr("err", err.Error())
+		}
+	}
+	d := sp.End()
+	if sl := reg.SlowLog(); sl.Triggered(d) {
+		e := obs.SlowEntry{
+			Proc:       reg.Proc(),
+			Op:         op,
+			Kind:       kind,
+			DurNs:      int64(d),
+			DeadlineNs: deadlineNs,
+		}
+		if tc, ok := obs.TraceFrom(ctx); ok {
+			e.TraceID = tc.TraceID()
+		}
+		if cost != nil {
+			e.Cost = cost()
+		}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		sl.Record(e)
+	}
 }

@@ -305,6 +305,8 @@ const (
 	obsReadExtract = "store.read.extract" // per-fragment decode + open
 	obsReadProbe   = "store.read.probe"   // per-fragment probe pass
 	obsReadMerge   = "store.read.merge"   // final merge
+	obsQuery       = "store.query"        // request span per Query (carries cost attrs)
+	obsKernel      = "store.kernel"       // request span per Kernel
 )
 
 // Create initializes an empty store under prefix on fs. The shape's
@@ -648,8 +650,14 @@ func (s *Store) writeLocked(c *tensor.Coords, vals []float64) (*WriteReport, err
 	sp = root.Child(obsWriteReorg)
 	t = time.Now()
 	packed := tensor.ApplyPermValues(vals, built.Perm)
-	sp.End()
 	rep.Reorg = time.Since(t)
+	if d := sp.End(); d > 0 {
+		// The phase is nanoseconds of work, so clock-read skew between
+		// two independent measurements would dwarf it: feed the span's
+		// own duration — already observed in the unlabeled histogram —
+		// into the labeled one so the two stay in exact agreement.
+		rep.Reorg = d
+	}
 	reg.Histogram(obsWriteReorg, "kind", kind).Observe(rep.Reorg)
 
 	sp = root.Child(obsWriteWrite)
@@ -777,6 +785,25 @@ type ReadReport struct {
 	// executed against. Concurrent mutations never change a pinned
 	// snapshot, so the result is exactly the store's state at Epoch.
 	Epoch uint64
+
+	// Per-query cost attribution, fed into span attributes and the
+	// slow-query log. Candidates is what the spatial index returned for
+	// the target (Fragments = Candidates - tombstones - FilterSkipped);
+	// FilterSkipped counts candidates the per-fragment coordinate
+	// filters dismissed without a fetch.
+	Candidates    int
+	FilterSkipped int
+	// CacheHits / CacheMisses split fragment fetches by whether the
+	// reader cache answered (a coalesced fill counts as a hit: this
+	// request performed no load). BytesRead is the bytes transferred by
+	// this request's cold loads.
+	CacheHits   int
+	CacheMisses int
+	BytesRead   int64
+	// Shards is the scatter-gather fan-out that produced this report:
+	// set by the router when merging shard reports, zero for local
+	// reads.
+	Shards int
 }
 
 // Sum returns the total read time.
@@ -802,7 +829,7 @@ func (s *Store) readAt(ctx context.Context, v *readView, probe *tensor.Coords, l
 	s.takeCost()
 	reg := s.obsReg()
 	kind := s.curKind().String()
-	root := reg.Start(obsRead)
+	root, _ := reg.StartCtx(ctx, obsRead)
 	defer root.End()
 	queryBox, any := probe.Bounds()
 	if !any {
@@ -811,6 +838,7 @@ func (s *Store) readAt(ctx context.Context, v *readView, probe *tensor.Coords, l
 
 	var hits []hit
 	cands := v.overlapping(queryBox, limit)
+	rep.Candidates = len(cands)
 	var skipped int64
 	for _, fi := range cands {
 		if err := ctx.Err(); err != nil {
@@ -850,6 +878,7 @@ func (s *Store) readAt(ctx context.Context, v *readView, probe *tensor.Coords, l
 	if skipped > 0 {
 		reg.Counter("store.filter.skipped", "kind", kind).Add(skipped)
 	}
+	rep.FilterSkipped = int(skipped)
 
 	sp := root.Child(obsReadMerge)
 	res, mergeDur := mergeHits(s, hits, v.overlapTombs(cands))
@@ -944,12 +973,13 @@ func (s *Store) readRegionScanAt(ctx context.Context, v *readView, region tensor
 	s.takeCost()
 	reg := s.obsReg()
 	kind := s.curKind().String()
-	root := reg.Start(obsRead)
+	root, _ := reg.StartCtx(ctx, obsRead)
 	defer root.End()
 	queryBox := region.BBox()
 
 	var hits []hit
 	cands := v.overlapping(queryBox, limit)
+	rep.Candidates = len(cands)
 	var skipped int64
 	for _, fi := range cands {
 		if err := ctx.Err(); err != nil {
@@ -989,6 +1019,7 @@ func (s *Store) readRegionScanAt(ctx context.Context, v *readView, region tensor
 	if skipped > 0 {
 		reg.Counter("store.filter.skipped", "kind", kind).Add(skipped)
 	}
+	rep.FilterSkipped = int(skipped)
 	sp := root.Child(obsReadMerge)
 	res, mergeDur := mergeHits(s, hits, v.overlapTombs(cands))
 	sp.End()

@@ -131,20 +131,32 @@ func putReadReport(w *buf.Writer, rep *store.ReadReport) {
 	w.U64(uint64(int64(rep.Found)))
 	w.U64(uint64(int64(rep.Scans)))
 	w.U64(rep.Epoch)
+	w.U64(uint64(int64(rep.Candidates)))
+	w.U64(uint64(int64(rep.FilterSkipped)))
+	w.U64(uint64(int64(rep.CacheHits)))
+	w.U64(uint64(int64(rep.CacheMisses)))
+	w.U64(uint64(rep.BytesRead))
+	w.U64(uint64(int64(rep.Shards)))
 }
 
 // getReadReport inverts putReadReport.
 func getReadReport(r *buf.Reader) *store.ReadReport {
 	return &store.ReadReport{
-		IO:        time.Duration(r.U64()),
-		Extract:   time.Duration(r.U64()),
-		Probe:     time.Duration(r.U64()),
-		Merge:     time.Duration(r.U64()),
-		Fragments: int(int64(r.U64())),
-		Probed:    int(int64(r.U64())),
-		Found:     int(int64(r.U64())),
-		Scans:     int(int64(r.U64())),
-		Epoch:     r.U64(),
+		IO:            time.Duration(r.U64()),
+		Extract:       time.Duration(r.U64()),
+		Probe:         time.Duration(r.U64()),
+		Merge:         time.Duration(r.U64()),
+		Fragments:     int(int64(r.U64())),
+		Probed:        int(int64(r.U64())),
+		Found:         int(int64(r.U64())),
+		Scans:         int(int64(r.U64())),
+		Epoch:         r.U64(),
+		Candidates:    int(int64(r.U64())),
+		FilterSkipped: int(int64(r.U64())),
+		CacheHits:     int(int64(r.U64())),
+		CacheMisses:   int(int64(r.U64())),
+		BytesRead:     int64(r.U64()),
+		Shards:        int(int64(r.U64())),
 	}
 }
 

@@ -8,8 +8,9 @@
 // Frame layout (all integers little-endian):
 //
 //	u32  payload length (excluding this 13-byte header)
-//	u8   message type (Msg*)
+//	u8   message type (Msg*), high bit = trace block present
 //	u64  request id (echoed verbatim in the response)
+//	...  optional 25-byte trace-context block (see below)
 //	...  payload
 //
 // Requests and responses are matched by request id, so one connection
@@ -17,6 +18,23 @@
 // order. Every request payload begins with a u64 relative deadline in
 // nanoseconds (0 = none) from which the server derives the request's
 // context.
+//
+// # Trace context
+//
+// When the type byte's high bit (FlagTrace) is set, a fixed 25-byte
+// block follows the header, before the payload:
+//
+//	u64  trace ID, high half
+//	u64  trace ID, low half
+//	u64  parent span ID (the sender's current span)
+//	u8   flags (bit 0: sampled)
+//
+// The scheme is version-tolerant in both directions: a frame written
+// without trace context is byte-identical to the pre-trace format, and
+// a decoder that predates the block would reject the unknown type byte
+// rather than misparse the payload. ReadFrame (the legacy entry point)
+// understands and discards the block, so trace-carrying frames decode
+// identically minus the context.
 package wire
 
 import (
@@ -26,6 +44,7 @@ import (
 	"io"
 
 	"sparseart/internal/buf"
+	"sparseart/internal/obs"
 	"sparseart/internal/store"
 )
 
@@ -52,15 +71,53 @@ const MaxFrame = 1 << 30
 // frameHeaderLen is the fixed frame header size.
 const frameHeaderLen = 4 + 1 + 8
 
-// WriteFrame writes one frame. Callers serialize concurrent writers.
+// FlagTrace on the type byte marks a frame carrying a trace-context
+// block between the header and the payload. Message types stay below
+// 0x80, so the bit is unambiguous.
+const FlagTrace = uint8(0x80)
+
+// traceBlockLen is the fixed trace-context block size.
+const traceBlockLen = 8 + 8 + 8 + 1
+
+// traceFlagSampled marks a sampled trace in the block's flags byte.
+const traceFlagSampled = uint8(0x01)
+
+// WriteFrame writes one frame with no trace context. Callers serialize
+// concurrent writers.
 func WriteFrame(w io.Writer, typ uint8, id uint64, payload []byte) error {
+	return WriteFrameTrace(w, typ, id, obs.TraceContext{}, payload)
+}
+
+// WriteFrameTrace writes one frame, attaching tc as a trace-context
+// block when it names a trace. A zero tc produces a frame
+// byte-identical to the pre-trace format.
+func WriteFrameTrace(w io.Writer, typ uint8, id uint64, tc obs.TraceContext, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("wire: frame payload %d exceeds limit", len(payload))
 	}
-	hdr := buf.NewWriter(frameHeaderLen)
+	if typ&FlagTrace != 0 {
+		return fmt.Errorf("wire: message type %#x collides with the trace flag", typ)
+	}
+	traced := tc.Valid()
+	n := frameHeaderLen
+	if traced {
+		n += traceBlockLen
+		typ |= FlagTrace
+	}
+	hdr := buf.NewWriter(n)
 	hdr.U32(uint32(len(payload)))
 	hdr.U8(typ)
 	hdr.U64(id)
+	if traced {
+		hdr.U64(tc.Hi)
+		hdr.U64(tc.Lo)
+		hdr.U64(tc.Span)
+		var flags uint8
+		if tc.Sampled {
+			flags |= traceFlagSampled
+		}
+		hdr.U8(flags)
+	}
 	if _, err := w.Write(hdr.Bytes()); err != nil {
 		return err
 	}
@@ -68,24 +125,46 @@ func WriteFrame(w io.Writer, typ uint8, id uint64, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one frame, allocating the payload.
+// ReadFrame reads one frame, allocating the payload. A trace-context
+// block, if present, is consumed and discarded; use ReadFrameTrace to
+// keep it.
 func ReadFrame(r io.Reader) (typ uint8, id uint64, payload []byte, err error) {
+	typ, id, _, payload, err = ReadFrameTrace(r)
+	return typ, id, payload, err
+}
+
+// ReadFrameTrace reads one frame along with its trace context. Frames
+// without a trace block (the pre-trace format) return a zero context.
+// The returned type has FlagTrace stripped.
+func ReadFrameTrace(r io.Reader) (typ uint8, id uint64, tc obs.TraceContext, payload []byte, err error) {
 	var hdr [frameHeaderLen]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, obs.TraceContext{}, nil, err
 	}
 	br := buf.NewReader(hdr[:])
 	n := br.U32()
 	typ = br.U8()
 	id = br.U64()
 	if n > MaxFrame {
-		return 0, 0, nil, fmt.Errorf("wire: frame payload %d exceeds limit", n)
+		return 0, 0, obs.TraceContext{}, nil, fmt.Errorf("wire: frame payload %d exceeds limit", n)
+	}
+	if typ&FlagTrace != 0 {
+		typ &^= FlagTrace
+		var blk [traceBlockLen]byte
+		if _, err = io.ReadFull(r, blk[:]); err != nil {
+			return 0, 0, obs.TraceContext{}, nil, err
+		}
+		tr := buf.NewReader(blk[:])
+		tc.Hi = tr.U64()
+		tc.Lo = tr.U64()
+		tc.Span = tr.U64()
+		tc.Sampled = tr.U8()&traceFlagSampled != 0
 	}
 	payload = make([]byte, n)
 	if _, err = io.ReadFull(r, payload); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, obs.TraceContext{}, nil, err
 	}
-	return typ, id, payload, nil
+	return typ, id, tc, payload, nil
 }
 
 // Code is a wire-stable error code. Codes never change meaning across

@@ -121,21 +121,28 @@ wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 
 # Router smoke: boot three shard data servers (each a fresh chunked
-# store), front them with sparserouter, and drive the wire-level
-# differential workload (`sparsestore rpc`: batched writes, region
-# read-back with exact per-point verification, SumAll cross-check,
-# delete + re-verify) through the router. Then scrape the router's
-# /metrics — the OnScrape hook absorbs every shard's obs snapshot, so
-# the aggregate must carry both the router's own scatter counters and
-# the shards' store counters.
-echo "==> router smoke (3 shards, scatter-gather rpc + fleet /metrics)"
+# store), front them with sparserouter — everything at trace sampling
+# 1.0 with the slow-query threshold at 0 (log every request) — and
+# drive the wire-level differential workload (`sparsestore rpc`:
+# batched writes, region read-back with exact per-point verification,
+# SumAll cross-check, delete + re-verify) through the router under one
+# sampled trace. Then validate both observability surfaces:
+# checkmetrics scrapes /metrics (the OnScrape hook absorbs every
+# shard's obs snapshot, so the aggregate must carry both the router's
+# scatter counters and the shards' store counters), and checktrace
+# asserts the stitched Chrome trace follows the request across client,
+# router, and shard processes with resolvable parent links, that every
+# /debug/slowlog line parses with a cost breakdown, and that
+# /trace?trace_id= serves the trace back.
+echo "==> router smoke (3 shards, scatter-gather rpc + fleet /metrics + stitched trace)"
 go build -o "$SMOKE_DIR/sparserouter" ./cmd/sparserouter
 SHARD_ADDRS=""
 for i in 0 1 2; do
     "$SMOKE_DIR/sparsestore" serve -dir "$SMOKE_DIR/shard$i" \
         -create CSF -shape 24,24 -tile 8,8 \
         -addr 127.0.0.1:0 -data-addr 127.0.0.1:0 \
-        -data-addr-file "$SMOKE_DIR/shard$i.addr" &
+        -data-addr-file "$SMOKE_DIR/shard$i.addr" \
+        -trace-sample 1 -slowlog 0 &
     SMOKE_PIDS="$SMOKE_PIDS $!"
 done
 for i in 0 1 2; do
@@ -148,17 +155,21 @@ for i in 0 1 2; do
 done
 "$SMOKE_DIR/sparserouter" -shards "${SHARD_ADDRS#,}" \
     -data-addr 127.0.0.1:0 -data-addr-file "$SMOKE_DIR/router.addr" \
-    -metrics-addr 127.0.0.1:0 -metrics-addr-file "$SMOKE_DIR/router.metrics" &
+    -metrics-addr 127.0.0.1:0 -metrics-addr-file "$SMOKE_DIR/router.metrics" \
+    -trace-sample 1 -slowlog 0 &
 SMOKE_PIDS="$SMOKE_PIDS $!"
 for _ in $(seq 1 100); do
     [ -s "$SMOKE_DIR/router.addr" ] && [ -s "$SMOKE_DIR/router.metrics" ] && break
     sleep 0.1
 done
 [ -s "$SMOKE_DIR/router.addr" ] || { echo "router never wrote its address" >&2; exit 1; }
-"$SMOKE_DIR/sparsestore" rpc -addr "$(cat "$SMOKE_DIR/router.addr")" -points 150 -batches 3
+"$SMOKE_DIR/sparsestore" rpc -addr "$(cat "$SMOKE_DIR/router.addr")" -points 150 -batches 3 \
+    -trace-out "$SMOKE_DIR/trace.json"
 go run ./scripts/checkmetrics -addr "$(cat "$SMOKE_DIR/router.metrics")" \
     -expect router.scatter \
     -expect store.read.count -expect store.chunked.ingest.count
+go run ./scripts/checktrace -file "$SMOKE_DIR/trace.json" \
+    -addr "$(cat "$SMOKE_DIR/router.metrics")"
 kill $SMOKE_PIDS 2>/dev/null || true
 wait $SMOKE_PIDS 2>/dev/null || true
 SMOKE_PIDS=""
